@@ -1,0 +1,42 @@
+//! Prints the reproduction tables for every experiment (or a subset).
+//!
+//! ```text
+//! cargo run -p sprite-bench --release --bin experiments          # all
+//! cargo run -p sprite-bench --release --bin experiments -- e05   # one
+//! cargo run -p sprite-bench --release --bin experiments -- list  # index
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let suite = sprite_bench::experiments::all();
+    if args.first().map(String::as_str) == Some("list") {
+        for (id, desc, _) in &suite {
+            println!("{id}  {desc}");
+        }
+        return;
+    }
+    let selected: Vec<_> = if args.is_empty() {
+        suite
+    } else {
+        suite
+            .into_iter()
+            .filter(|(id, _, _)| args.iter().any(|a| a == id))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiments; try `list`");
+        std::process::exit(1);
+    }
+    println!("# Sprite process migration — reproduction tables\n");
+    for (id, desc, table) in selected {
+        let wall = Instant::now();
+        let rendered = table();
+        println!("{rendered}");
+        println!(
+            "  [{id}: {desc}; generated in {:.1}s wall]\n",
+            wall.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! E10 — Host-selection architectures head to head (Table 6.2).
+//!
+//! Drives the four architectures over the same synthetic cluster: periodic
+//! load reports from every host, a stream of selection requests, and
+//! releases when the borrowed hosts are done. Reported per architecture and
+//! cluster size: selection latency, control messages per selection, grant
+//! rate and staleness conflicts — the dimensions on which the thesis
+//! concludes a central server wins (its measured select+release was 56 ms
+//! \[DO91\]).
+
+use sprite_hostsel::{
+    AvailabilityPolicy, CentralServer, HostInfo, HostSelector, MulticastQuery, Probabilistic,
+    SharedFileBoard,
+};
+use sprite_net::{CostModel, HostId, Network};
+use sprite_sim::{DetRng, SimDuration, SimTime};
+use sprite_workloads::{ActivityModel, ActivityTrace};
+
+use crate::support::TableWriter;
+
+/// One (architecture, cluster size) measurement.
+#[derive(Debug, Clone)]
+pub struct ArchRow {
+    /// Architecture name.
+    pub name: &'static str,
+    /// Cluster size.
+    pub hosts: usize,
+    /// Selection requests issued.
+    pub requests: u64,
+    /// Fraction granted.
+    pub grant_rate: f64,
+    /// Staleness conflicts per request.
+    pub conflicts_per_request: f64,
+    /// Mean selection latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Control messages per request (updates + selection traffic).
+    pub messages_per_request: f64,
+}
+
+/// Drives one selector for `duration` over `hosts` hosts.
+pub fn drive(
+    selector: &mut dyn HostSelector,
+    hosts: usize,
+    duration: SimDuration,
+    seed: u64,
+) -> ArchRow {
+    let mut net = Network::new(CostModel::sun3(), hosts);
+    let mut rng = DetRng::seed_from(seed);
+    let model = ActivityModel::default();
+    // Start mid-morning on a weekday so ~1/3 of hosts are user-active.
+    let start = SimTime::ZERO + SimDuration::from_secs(2 * 86_400 + 10 * 3_600);
+    let traces: Vec<ActivityTrace> = (0..hosts)
+        .map(|i| {
+            ActivityTrace::generate(
+                &mut rng,
+                &model,
+                HostId::new(i as u32),
+                duration + SimDuration::from_secs(3 * 86_400 + 11 * 3_600),
+            )
+        })
+        .collect();
+    let truth_at = |t: SimTime, extra_load: &dyn Fn(HostId) -> f64| -> Vec<HostInfo> {
+        traces
+            .iter()
+            .map(|tr| HostInfo {
+                host: tr.host,
+                load: extra_load(tr.host),
+                idle: tr.idle_duration_at(t),
+                console_active: tr.active_at(t),
+            })
+            .collect()
+    };
+    let mut held: Vec<(SimTime, HostId, HostId)> = Vec::new(); // (release_at, requester, host)
+    let report_every = SimDuration::from_secs(5);
+    let request_every = SimDuration::from_secs(10);
+    let mut t = start;
+    let mut next_request = start + request_every;
+    let end = start + duration;
+    while t < end {
+        // Periodic load-daemon reports.
+        let held_hosts: Vec<HostId> = held.iter().map(|(_, _, hh)| *hh).collect();
+        let loaded = move |hid: HostId| {
+            if held_hosts.contains(&hid) {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let world = truth_at(t, &loaded);
+        for info in &world {
+            selector.report(&mut net, t, *info);
+        }
+        // Releases that came due.
+        let due: Vec<(SimTime, HostId, HostId)> =
+            held.iter().copied().filter(|(at, _, _)| *at <= t).collect();
+        held.retain(|(at, _, _)| *at > t);
+        for (at, req, hh) in due {
+            selector.release(&mut net, at, req, hh);
+        }
+        // Selection requests from random user-active hosts.
+        while next_request <= t {
+            let requester = HostId::new(rng.uniform_u64(hosts as u64) as u32);
+            let (granted, done) = selector.select(&mut net, next_request, requester, &world);
+            if let Some(hh) = granted {
+                let hold = rng.exponential(SimDuration::from_secs(60));
+                held.push((done + hold, requester, hh));
+            }
+            next_request += request_every;
+        }
+        t += report_every;
+    }
+    let stats = selector.stats();
+    ArchRow {
+        name: selector.name(),
+        hosts,
+        requests: stats.requests,
+        grant_rate: stats.granted as f64 / stats.requests.max(1) as f64,
+        conflicts_per_request: stats.conflicts as f64 / stats.requests.max(1) as f64,
+        mean_latency_ms: stats.select_latency.mean() * 1e3,
+        messages_per_request: stats.messages as f64 / stats.requests.max(1) as f64,
+    }
+}
+
+/// Runs the full matrix.
+pub fn run(host_counts: &[usize], duration: SimDuration, seed: u64) -> Vec<ArchRow> {
+    let policy = AvailabilityPolicy::default();
+    let mut rows = Vec::new();
+    for &n in host_counts {
+        let mut selectors: Vec<Box<dyn HostSelector>> = vec![
+            Box::new(CentralServer::new(HostId::new(0), policy)),
+            Box::new(SharedFileBoard::new(HostId::new(0), policy)),
+            Box::new(Probabilistic::new(n, 4, policy, seed ^ 0x9e37)),
+            Box::new(MulticastQuery::new(policy)),
+        ];
+        for s in &mut selectors {
+            rows.push(drive(s.as_mut(), n, duration, seed));
+        }
+    }
+    rows
+}
+
+/// Renders the table.
+pub fn table() -> String {
+    let rows = run(&[10, 50, 100, 200], SimDuration::from_secs(1800), 31);
+    let mut t = TableWriter::new(
+        "E10: host-selection architectures (30 simulated minutes each)",
+        &[
+            "architecture",
+            "hosts",
+            "requests",
+            "granted",
+            "conflicts/req",
+            "latency(ms)",
+            "msgs/req",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.name.to_string(),
+            r.hosts.to_string(),
+            r.requests.to_string(),
+            format!("{:.0}%", r.grant_rate * 100.0),
+            format!("{:.2}", r.conflicts_per_request),
+            format!("{:.2}", r.mean_latency_ms),
+            format!("{:.1}", r.messages_per_request),
+        ]);
+    }
+    t.note("paper: central server selects in ~tens of ms and scales best; the shared file");
+    t.note("hammers the file server as clusters grow; gossip is cheap but stale; multicast");
+    t.note("replies scale with cluster size");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn central_server_is_fast_and_scales() {
+        let rows = run(&[20, 80], SimDuration::from_secs(300), 3);
+        let central: Vec<&ArchRow> =
+            rows.iter().filter(|r| r.name == "central-server").collect();
+        let shared: Vec<&ArchRow> = rows.iter().filter(|r| r.name == "shared-file").collect();
+        // Central select latency is tens of ms and roughly size-independent.
+        for c in &central {
+            assert!(c.mean_latency_ms < 60.0, "central latency {}", c.mean_latency_ms);
+        }
+        // The shared file slows down with cluster size and is slower than
+        // the central server at scale.
+        assert!(shared[1].mean_latency_ms > shared[0].mean_latency_ms);
+        assert!(shared[1].mean_latency_ms > central[1].mean_latency_ms);
+    }
+
+    #[test]
+    fn multicast_traffic_grows_with_cluster() {
+        let rows = run(&[20, 80], SimDuration::from_secs(300), 5);
+        let mc: Vec<&ArchRow> = rows.iter().filter(|r| r.name == "multicast").collect();
+        assert!(mc[1].messages_per_request > 2.0 * mc[0].messages_per_request);
+    }
+
+    #[test]
+    fn gossip_selects_fastest_but_floods_updates() {
+        let rows = run(&[40], SimDuration::from_secs(300), 7);
+        let prob = rows.iter().find(|r| r.name == "probabilistic").unwrap();
+        let central = rows.iter().find(|r| r.name == "central-server").unwrap();
+        // Local selection beats a server round trip...
+        assert!(prob.mean_latency_ms < central.mean_latency_ms);
+        // ...but the gossip fabric pays continuous per-host update traffic,
+        // where the central server only hears about idle/busy transitions
+        // [TL88]. This is Table 6.2's core trade-off.
+        assert!(
+            prob.messages_per_request > 3.0 * central.messages_per_request,
+            "gossip {} msgs/req vs central {}",
+            prob.messages_per_request,
+            central.messages_per_request
+        );
+    }
+
+    #[test]
+    fn everyone_grants_most_requests_in_an_idle_cluster() {
+        let rows = run(&[30], SimDuration::from_secs(300), 9);
+        for r in &rows {
+            assert!(
+                r.grant_rate > 0.5,
+                "{} grant rate {:.2} too low",
+                r.name,
+                r.grant_rate
+            );
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The experiment suite: one module per table/figure of the paper's
+//! evaluation. Each module exposes `run(...)` returning structured results
+//! (unit-tested for the paper's qualitative claims) and `table()` rendering
+//! the printable reproduction.
+
+pub mod a01;
+pub mod a02;
+pub mod a03;
+pub mod a04;
+pub mod a05;
+pub mod a06;
+pub mod a07;
+pub mod e01;
+pub mod e02;
+pub mod e03;
+pub mod e04;
+pub mod e05;
+pub mod e06;
+pub mod e07;
+pub mod e08;
+pub mod e09;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+
+/// Experiment IDs in order, with their table renderers and one-line
+/// descriptions.
+pub fn all() -> Vec<(&'static str, &'static str, fn() -> String)> {
+    vec![
+        ("e01", "migration cost breakdown", e01::table as fn() -> String),
+        ("e02", "VM transfer strategies vs size", e02::table),
+        ("e03", "migration cost vs open files", e03::table),
+        ("e04", "kernel-call forwarding costs", e04::table),
+        ("e05", "pmake speedup vs hosts", e05::table),
+        ("e06", "effective utilization: pmake vs simulations", e06::table),
+        ("e07", "idle hosts by time of day", e07::table),
+        ("e08", "eviction / workstation reclaim", e08::table),
+        ("e09", "process lifetimes and placement policy", e09::table),
+        ("e10", "host-selection architectures", e10::table),
+        ("e11", "a month in the life", e11::table),
+        ("e12", "residual dependencies ablation", e12::table),
+        ("a01", "ablation: client name caching", a01::table),
+        ("a02", "ablation: hardware generations", a02::table),
+        ("a03", "ablation: pre-copy vs dirtying rate", a03::table),
+        ("a04", "ablation: second file server", a04::table),
+        ("a05", "ablation: checkpoint/restart baseline", a05::table),
+        ("a06", "ablation: eviction policy", a06::table),
+        ("a07", "ablation: workstation autonomy", a07::table),
+    ]
+}

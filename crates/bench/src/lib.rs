@@ -1,0 +1,13 @@
+//! Benchmark harness for the Sprite migration reproduction.
+//!
+//! Every table and figure of the paper's evaluation has an experiment
+//! module under [`experiments`] (E1-E12; see DESIGN.md for the index).
+//! `cargo run -p sprite-bench --release --bin experiments` prints all the
+//! reproduction tables; `cargo bench -p sprite-bench` runs the Criterion
+//! microbenches over the core operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod support;

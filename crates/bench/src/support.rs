@@ -1,0 +1,211 @@
+//! Shared scaffolding for the experiment harness.
+
+use sprite_core::{MigrationConfig, Migrator};
+use sprite_fs::SpritePath;
+use sprite_hostsel::{AvailabilityPolicy, CentralServer, HostInfo, HostSelector};
+use sprite_kernel::Cluster;
+use sprite_net::{CostModel, HostId, PAGE_SIZE};
+use sprite_sim::{SimDuration, SimTime};
+use sprite_vm::{SegmentKind, VirtAddr};
+
+/// Host index shorthand.
+pub fn h(i: u32) -> HostId {
+    HostId::new(i)
+}
+
+/// A standard experiment cluster: `hosts` machines, file server on host 0,
+/// `/bin/sim` and `/bin/cc` installed. Returns the cluster and the time at
+/// which setup finished.
+pub fn standard_cluster(hosts: usize) -> (Cluster, SimTime) {
+    cluster_with(CostModel::sun3(), hosts, sprite_fs::FsConfig::default())
+}
+
+/// Like [`standard_cluster`] but with an explicit hardware generation and
+/// file-system configuration — the ablations sweep these.
+pub fn cluster_with(
+    cost: CostModel,
+    hosts: usize,
+    fs_config: sprite_fs::FsConfig,
+) -> (Cluster, SimTime) {
+    let mut c = Cluster::with_fs_config(cost, hosts, fs_config);
+    c.add_file_server(h(0), SpritePath::new("/"));
+    let t = c
+        .install_program(SimTime::ZERO, SpritePath::new("/bin/sim"), 32 * 1024)
+        .expect("install /bin/sim");
+    let t = c
+        .install_program(t, SpritePath::new("/bin/cc"), 48 * 1024)
+        .expect("install /bin/cc");
+    (c, t)
+}
+
+/// A default migrator for `hosts`.
+pub fn standard_migrator(hosts: usize) -> Migrator {
+    Migrator::new(MigrationConfig::default(), hosts)
+}
+
+/// A central-server selector already told that hosts `first..hosts` are
+/// idle (hosts below `first` are reserved: server, home, ...).
+pub fn warmed_selector(cluster: &mut Cluster, hosts: usize, first: u32) -> CentralServer {
+    let mut sel = CentralServer::new(h(0), AvailabilityPolicy::default());
+    for i in 0..hosts as u32 {
+        let info = if i < first {
+            HostInfo {
+                host: h(i),
+                load: 2.0,
+                idle: SimDuration::ZERO,
+                console_active: true,
+            }
+        } else {
+            HostInfo::idle_host(h(i), SimDuration::from_secs(3600))
+        };
+        sel.report(&mut cluster.net, SimTime::ZERO, info);
+    }
+    sel
+}
+
+/// Dirties `megabytes` of a process's heap so migration has something to
+/// move. Returns the completion time.
+pub fn dirty_heap(
+    cluster: &mut Cluster,
+    now: SimTime,
+    pid: sprite_kernel::ProcessId,
+    megabytes: f64,
+) -> SimTime {
+    let bytes = (megabytes * 1024.0 * 1024.0) as u64;
+    if bytes == 0 {
+        return now;
+    }
+    let host = cluster.pcb(pid).expect("pid exists").current;
+    let mut space = cluster
+        .pcb_mut(pid)
+        .expect("pid exists")
+        .space
+        .take()
+        .expect("process has a space");
+    let data = vec![0xd7u8; bytes as usize];
+    let t = space
+        .write(
+            &mut cluster.fs,
+            &mut cluster.net,
+            now,
+            host,
+            VirtAddr::new(SegmentKind::Heap, 0),
+            &data,
+        )
+        .expect("heap write");
+    cluster.pcb_mut(pid).expect("pid exists").space = Some(space);
+    t
+}
+
+/// Pages needed for `megabytes` of heap (plus slack).
+pub fn pages_for_mb(megabytes: f64) -> u64 {
+    ((megabytes * 1024.0 * 1024.0) as u64).div_ceil(PAGE_SIZE) + 4
+}
+
+/// Fixed-width table writer so every experiment prints the same way.
+#[derive(Debug, Clone)]
+pub struct TableWriter {
+    title: String,
+    header: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl TableWriter {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        TableWriter {
+            title: title.to_owned(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            widths: header.iter().map(|s| s.len()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds one row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        for (i, c) in cells.iter().enumerate() {
+            self.widths[i] = self.widths[i].max(c.len());
+        }
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Adds a footnote printed under the table.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:>width$}", c, width = widths[i]));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.header, &self.widths));
+        let rule: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+        out.push_str(&format!("{}\n", "-".repeat(rule)));
+        for r in &self.rows {
+            out.push_str(&line(r, &self.widths));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn ms(d: SimDuration) -> String {
+    format!("{:.2}", d.as_millis_f64())
+}
+
+/// Formats a duration in seconds with two decimals.
+pub fn secs(d: SimDuration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TableWriter::new("demo", &["col", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("note: a note"));
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    fn standard_cluster_is_usable() {
+        let (mut c, t) = standard_cluster(4);
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
+        let t2 = dirty_heap(&mut c, t, pid, 0.05);
+        assert!(t2 > t);
+        assert!(c.pcb(pid).unwrap().space.as_ref().unwrap().dirty_pages() > 0);
+    }
+
+    #[test]
+    fn pages_for_mb_covers_request() {
+        assert!(pages_for_mb(1.0) >= 256);
+        assert!(pages_for_mb(0.0) >= 1);
+    }
+}

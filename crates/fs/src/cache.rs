@@ -1,0 +1,334 @@
+//! Client block caches.
+//!
+//! Each Sprite workstation caches file blocks in main memory; client caching
+//! "not only reduces network traffic, but it reduces server processor
+//! utilization as well" \[Nel88\]. The cache is block-granular (one VM page per
+//! block), write-back with delayed writes, and invalidated or flushed under
+//! direction of the file server's consistency protocol.
+//!
+//! Migration cares about these caches twice over: a migrating process's
+//! dirty blocks must be flushed to the server before its open files move
+//! (Ch. 5.3), and a foreign process's cache footprint is part of the cost it
+//! imposes on its host.
+
+use std::collections::HashMap;
+
+use sprite_net::PAGE_SIZE;
+
+use crate::FileId;
+
+/// Address of one cached block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockAddr {
+    /// The file the block belongs to.
+    pub file: FileId,
+    /// Block index within the file (block = [`PAGE_SIZE`] bytes).
+    pub block: u64,
+}
+
+/// One cached block's data and state.
+#[derive(Debug, Clone)]
+struct CachedBlock {
+    data: Vec<u8>,
+    dirty: bool,
+    /// LRU clock at last touch.
+    touched: u64,
+    /// File version this block was read under; a mismatch at open time
+    /// means another host wrote the file since, and the block is stale.
+    version: u64,
+}
+
+/// A write-back LRU block cache for one host.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_fs::{BlockCache, BlockAddr, FileId};
+///
+/// let mut cache = BlockCache::new(128);
+/// // (FileIds normally come from SpriteFs::create.)
+/// ```
+#[derive(Debug)]
+pub struct BlockCache {
+    blocks: HashMap<BlockAddr, CachedBlock>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BlockCache {
+            blocks: HashMap::new(),
+            capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up a block, updating recency. `current_version` is the file
+    /// version the caller holds from the server; a version mismatch is
+    /// treated as a miss and the stale block is discarded.
+    pub fn lookup(&mut self, addr: BlockAddr, current_version: u64) -> Option<Vec<u8>> {
+        let clock = self.tick();
+        match self.blocks.get_mut(&addr) {
+            Some(b) if b.version == current_version => {
+                b.touched = clock;
+                self.hits += 1;
+                Some(b.data.clone())
+            }
+            Some(_) => {
+                self.blocks.remove(&addr);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a clean block fetched from the server. Returns any dirty
+    /// block evicted to make room (which the caller must write back).
+    pub fn insert_clean(
+        &mut self,
+        addr: BlockAddr,
+        version: u64,
+        data: Vec<u8>,
+    ) -> Option<(BlockAddr, Vec<u8>)> {
+        self.insert(addr, version, data, false)
+    }
+
+    /// Records a write into the cache (delayed write). Returns any dirty
+    /// block evicted to make room.
+    pub fn insert_dirty(
+        &mut self,
+        addr: BlockAddr,
+        version: u64,
+        data: Vec<u8>,
+    ) -> Option<(BlockAddr, Vec<u8>)> {
+        self.insert(addr, version, data, true)
+    }
+
+    fn insert(
+        &mut self,
+        addr: BlockAddr,
+        version: u64,
+        data: Vec<u8>,
+        dirty: bool,
+    ) -> Option<(BlockAddr, Vec<u8>)> {
+        debug_assert!(data.len() as u64 <= PAGE_SIZE, "block larger than a page");
+        let clock = self.tick();
+        // Overwriting an existing entry keeps dirtiness sticky: a cached
+        // dirty block stays dirty even if re-written with identical bytes.
+        let was_dirty = self.blocks.get(&addr).is_some_and(|b| b.dirty);
+        self.blocks.insert(
+            addr,
+            CachedBlock {
+                data,
+                dirty: dirty || was_dirty,
+                touched: clock,
+                version,
+            },
+        );
+        if self.blocks.len() <= self.capacity {
+            return None;
+        }
+        // Evict the least recently used *other* block.
+        let victim = self
+            .blocks
+            .iter()
+            .filter(|(a, _)| **a != addr)
+            .min_by_key(|(_, b)| b.touched)
+            .map(|(a, _)| *a)
+            .expect("over-capacity cache has another entry");
+        let evicted = self.blocks.remove(&victim).expect("victim present");
+        if evicted.dirty {
+            Some((victim, evicted.data))
+        } else {
+            None
+        }
+    }
+
+    /// Re-stamps every cached block of `file` with `version`: the server
+    /// confirmed at open time that this host's copies are still current
+    /// (it was the last writer), even though the version number advanced.
+    pub fn revalidate_file(&mut self, file: FileId, version: u64) {
+        for (addr, block) in self.blocks.iter_mut() {
+            if addr.file == file {
+                block.version = version;
+            }
+        }
+    }
+
+    /// Removes and returns all dirty blocks of `file` (for a consistency
+    /// recall or a migration flush). Clean blocks of the file stay cached.
+    pub fn take_dirty_blocks(&mut self, file: FileId) -> Vec<(BlockAddr, Vec<u8>)> {
+        let addrs: Vec<BlockAddr> = self
+            .blocks
+            .iter()
+            .filter(|(a, b)| a.file == file && b.dirty)
+            .map(|(a, _)| *a)
+            .collect();
+        let mut out = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let mut block = self.blocks.remove(&addr).expect("listed block present");
+            block.dirty = false;
+            let data = block.data.clone();
+            // Keep a clean copy: a recall flushes but need not invalidate.
+            self.blocks.insert(addr, block);
+            out.push((addr, data));
+        }
+        out.sort_by_key(|(a, _)| a.block);
+        out
+    }
+
+    /// Drops every block of `file` (server disabled caching, or the local
+    /// copy is known stale). Returns dirty blocks that must be written back.
+    pub fn invalidate_file(&mut self, file: FileId) -> Vec<(BlockAddr, Vec<u8>)> {
+        let addrs: Vec<BlockAddr> = self
+            .blocks
+            .keys()
+            .filter(|a| a.file == file)
+            .copied()
+            .collect();
+        let mut dirty = Vec::new();
+        for addr in addrs {
+            let block = self.blocks.remove(&addr).expect("listed block present");
+            if block.dirty {
+                dirty.push((addr, block.data));
+            }
+        }
+        dirty.sort_by_key(|(a, _)| a.block);
+        dirty
+    }
+
+    /// Count of dirty blocks held for `file`.
+    pub fn dirty_block_count(&self, file: FileId) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|(a, b)| a.file == file && b.dirty)
+            .count() as u64
+    }
+
+    /// Total blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// (hits, misses) since creation.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(f: u64, b: u64) -> BlockAddr {
+        BlockAddr {
+            file: FileId::new(f),
+            block: b,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = BlockCache::new(4);
+        c.insert_clean(addr(1, 0), 1, vec![7; 16]);
+        assert_eq!(c.lookup(addr(1, 0), 1), Some(vec![7; 16]));
+        assert_eq!(c.hit_stats(), (1, 0));
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss_and_discards() {
+        let mut c = BlockCache::new(4);
+        c.insert_clean(addr(1, 0), 1, vec![7; 16]);
+        assert_eq!(c.lookup(addr(1, 0), 2), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.hit_stats(), (0, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = BlockCache::new(2);
+        c.insert_clean(addr(1, 0), 1, vec![0]);
+        c.insert_clean(addr(1, 1), 1, vec![1]);
+        // Touch block 0 so block 1 becomes LRU.
+        c.lookup(addr(1, 0), 1);
+        let evicted = c.insert_clean(addr(1, 2), 1, vec![2]);
+        assert!(evicted.is_none(), "clean eviction returns nothing");
+        assert!(c.lookup(addr(1, 1), 1).is_none(), "LRU block evicted");
+        assert!(c.lookup(addr(1, 0), 1).is_some());
+    }
+
+    #[test]
+    fn dirty_eviction_returns_writeback() {
+        let mut c = BlockCache::new(1);
+        c.insert_dirty(addr(1, 0), 1, vec![9]);
+        let evicted = c.insert_clean(addr(1, 1), 1, vec![2]);
+        assert_eq!(evicted, Some((addr(1, 0), vec![9])));
+    }
+
+    #[test]
+    fn overwrite_keeps_dirtiness_sticky() {
+        let mut c = BlockCache::new(2);
+        c.insert_dirty(addr(1, 0), 1, vec![1]);
+        c.insert_clean(addr(1, 0), 1, vec![2]);
+        assert_eq!(c.dirty_block_count(FileId::new(1)), 1);
+    }
+
+    #[test]
+    fn take_dirty_flushes_but_keeps_clean_copies() {
+        let mut c = BlockCache::new(8);
+        c.insert_dirty(addr(1, 2), 1, vec![2]);
+        c.insert_dirty(addr(1, 0), 1, vec![0]);
+        c.insert_clean(addr(1, 1), 1, vec![1]);
+        c.insert_dirty(addr(2, 0), 1, vec![9]);
+        let flushed = c.take_dirty_blocks(FileId::new(1));
+        assert_eq!(
+            flushed,
+            vec![(addr(1, 0), vec![0]), (addr(1, 2), vec![2])],
+            "dirty blocks of file 1 in block order"
+        );
+        assert_eq!(c.dirty_block_count(FileId::new(1)), 0);
+        assert_eq!(c.dirty_block_count(FileId::new(2)), 1);
+        assert_eq!(c.len(), 4, "flushed blocks stay cached clean");
+    }
+
+    #[test]
+    fn invalidate_drops_everything_and_returns_dirty() {
+        let mut c = BlockCache::new(8);
+        c.insert_dirty(addr(1, 0), 1, vec![0]);
+        c.insert_clean(addr(1, 1), 1, vec![1]);
+        let dirty = c.invalidate_file(FileId::new(1));
+        assert_eq!(dirty, vec![(addr(1, 0), vec![0])]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        BlockCache::new(0);
+    }
+}

@@ -1,0 +1,104 @@
+//! File identities, kinds and open modes.
+
+use std::fmt;
+
+use sprite_net::HostId;
+
+/// Identifies a file (or pseudo-device) in the network-wide name space.
+///
+/// Sprite's real identifier was a `(server, domain, file number)` triple; a
+/// dense global counter keeps the simulation simple while preserving the
+/// property that the identifier is location-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(u64);
+
+impl FileId {
+    pub(crate) const fn new(raw: u64) -> Self {
+        FileId(raw)
+    }
+
+    /// The raw identifier value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+/// What kind of object a name designates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// An ordinary data file, cacheable subject to the consistency protocol.
+    Regular,
+    /// A swap/backing file used by the virtual-memory system. Paging I/O
+    /// bypasses the client block cache and goes straight to the server
+    /// (Sprite pages "via the file system", which is exactly what makes
+    /// migration's flush-and-demand-page VM strategy natural — Ch. 3.2).
+    Backing,
+    /// A pseudo-device \[WO88\]: a file-like rendezvous with a user-level
+    /// server process on `server_process_host`. Reads and writes become
+    /// request/response round trips with that process; the file server only
+    /// stores the name. Sprite's IPC — including the migration daemon and
+    /// Internet protocol server \[Che87\] — runs over these.
+    Pseudo {
+        /// Host where the serving user process runs.
+        server_process_host: HostId,
+    },
+}
+
+/// Access mode requested at open time. Determines write-sharing, which
+/// drives the cache-consistency protocol \[NWO88\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpenMode {
+    /// Read-only.
+    Read,
+    /// Write-only.
+    Write,
+    /// Read and write.
+    ReadWrite,
+}
+
+impl OpenMode {
+    /// True if the mode permits reading.
+    pub fn reads(self) -> bool {
+        matches!(self, OpenMode::Read | OpenMode::ReadWrite)
+    }
+
+    /// True if the mode permits writing.
+    pub fn writes(self) -> bool {
+        matches!(self, OpenMode::Write | OpenMode::ReadWrite)
+    }
+}
+
+impl fmt::Display for OpenMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpenMode::Read => "r",
+            OpenMode::Write => "w",
+            OpenMode::ReadWrite => "rw",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_capabilities() {
+        assert!(OpenMode::Read.reads() && !OpenMode::Read.writes());
+        assert!(!OpenMode::Write.reads() && OpenMode::Write.writes());
+        assert!(OpenMode::ReadWrite.reads() && OpenMode::ReadWrite.writes());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FileId::new(3).to_string(), "file3");
+        assert_eq!(OpenMode::ReadWrite.to_string(), "rw");
+    }
+}

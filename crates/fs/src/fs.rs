@@ -1,0 +1,1441 @@
+//! The network-wide file system facade.
+//!
+//! [`SpriteFs`] wires together the per-server state, the per-client block
+//! caches and the stream table, and charges every operation's simulated cost
+//! to the network and the server CPUs. It implements the behaviour Chapter 5
+//! of the thesis depends on:
+//!
+//! * name lookup at the server, costed per pathname component;
+//! * client caching with the \[NWO88\] consistency protocol — recall of dirty
+//!   blocks on sequential write-sharing, caching disabled on concurrent
+//!   write-sharing;
+//! * streams with server-managed (shadow) access positions once migration
+//!   spreads a stream across hosts;
+//! * paging traffic for the VM system through backing files;
+//! * pseudo-devices for IPC with user-level servers \[WO88\].
+//!
+//! Every public operation takes the current simulated time and the shared
+//! [`Network`], and returns its completion time alongside its result.
+
+use std::collections::HashMap;
+
+use sprite_net::{HostId, Network, PAGE_SIZE};
+use sprite_sim::{SimDuration, SimTime};
+
+use crate::cache::{BlockAddr, BlockCache};
+use crate::server::ServerState;
+use crate::stream::{MoveOutcome, ReleaseOutcome, StreamId, StreamTable};
+use crate::{FileId, FileKind, OpenMode, SpritePath};
+
+/// Tunables for the file system.
+#[derive(Debug, Clone)]
+pub struct FsConfig {
+    /// Client block-cache capacity, in blocks (Sprite workstations devoted a
+    /// few megabytes of main memory to the FS cache).
+    pub client_cache_blocks: usize,
+    /// Server block-cache capacity, in blocks.
+    pub server_cache_blocks: usize,
+    /// Flush a host's dirty blocks for a file when the host drops its last
+    /// stream to it (Sprite used 30-second delayed writes; flushing on final
+    /// close is the same traffic, scheduled deterministically).
+    pub flush_on_close: bool,
+    /// Cache name-to-file translations at clients, skipping the server's
+    /// per-component lookup work on repeat opens. Sprite did NOT have this
+    /// (the consistency of name caches is hard), and Nelson estimated adding
+    /// it "would reduce file server utilization by as much as a factor of
+    /// two" \[Nel88\] — the A1 ablation measures exactly that. Name removal
+    /// invalidates other hosts' entries at no modelled cost.
+    pub client_name_caching: bool,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig {
+            client_cache_blocks: 1024,  // 4 MB
+            server_cache_blocks: 8192,  // 32 MB
+            flush_on_close: true,
+            client_name_caching: false,
+        }
+    }
+}
+
+/// Why a file-system operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No such file.
+    NotFound(SpritePath),
+    /// Name already exists.
+    AlreadyExists(SpritePath),
+    /// No server exports a domain covering the path.
+    NoDomain(SpritePath),
+    /// The stream does not exist or is not held by the acting host.
+    BadStream(StreamId),
+    /// The stream's mode forbids the operation.
+    BadMode(StreamId),
+    /// Operation not valid for this file kind.
+    WrongKind(FileId),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "name already exists: {p}"),
+            FsError::NoDomain(p) => write!(f, "no server exports a domain for {p}"),
+            FsError::BadStream(s) => write!(f, "bad stream reference: {s}"),
+            FsError::BadMode(s) => write!(f, "operation violates open mode of {s}"),
+            FsError::WrongKind(id) => write!(f, "operation not valid for {id}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias for file-system operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Operation counters for the evaluation tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsStats {
+    /// Name lookups performed at servers.
+    pub lookups: u64,
+    /// Stream opens.
+    pub opens: u64,
+    /// Stream closes.
+    pub closes: u64,
+    /// Blocks fetched from servers into client caches.
+    pub block_fetches: u64,
+    /// Dirty blocks written back to servers.
+    pub block_writebacks: u64,
+    /// Consistency recalls (flush demanded from a previous writer).
+    pub consistency_recalls: u64,
+    /// Times caching was disabled by concurrent write-sharing.
+    pub cache_disables: u64,
+    /// Read/write operations that bypassed caching.
+    pub uncached_ops: u64,
+    /// Operations that paid a shadow-stream round trip for the offset.
+    pub shadow_ops: u64,
+    /// Bytes returned by reads.
+    pub bytes_read: u64,
+    /// Bytes accepted by writes.
+    pub bytes_written: u64,
+    /// VM page-ins served.
+    pub pageins: u64,
+    /// VM page-outs served.
+    pub pageouts: u64,
+    /// Pseudo-device request/response round trips.
+    pub pseudo_requests: u64,
+    /// Opens that skipped the server lookup thanks to a client name cache.
+    pub name_cache_hits: u64,
+}
+
+/// The shared, network-wide file system.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_fs::{FsConfig, OpenMode, SpriteFs, SpritePath};
+/// use sprite_net::{CostModel, HostId, Network};
+/// use sprite_sim::SimTime;
+///
+/// # fn main() -> Result<(), sprite_fs::FsError> {
+/// let mut net = Network::new(CostModel::sun3(), 4);
+/// let mut fs = SpriteFs::new(FsConfig::default(), 4);
+/// fs.add_server(HostId::new(0), SpritePath::new("/"));
+///
+/// let client = HostId::new(1);
+/// let t0 = SimTime::ZERO;
+/// let (_, t1) = fs.create(&mut net, t0, client, SpritePath::new("/tmp/x"))?;
+/// let (stream, t2) = fs.open(&mut net, t1, client, SpritePath::new("/tmp/x"), OpenMode::ReadWrite)?;
+/// let t3 = fs.write(&mut net, t2, client, stream, b"hello sprite")?;
+/// fs.seek(stream, 0)?;
+/// let (data, _t4) = fs.read(&mut net, t3, client, stream, 12)?;
+/// assert_eq!(data, b"hello sprite");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SpriteFs {
+    domains: Vec<(SpritePath, HostId)>,
+    servers: HashMap<HostId, ServerState>,
+    clients: Vec<BlockCache>,
+    name_caches: Vec<HashMap<SpritePath, FileId>>,
+    streams: StreamTable,
+    file_home: HashMap<FileId, HostId>,
+    next_file: u64,
+    stats: FsStats,
+    config: FsConfig,
+}
+
+impl SpriteFs {
+    /// Creates a file system for a cluster of `hosts` machines with no
+    /// servers yet; call [`SpriteFs::add_server`] before creating files.
+    pub fn new(config: FsConfig, hosts: usize) -> Self {
+        SpriteFs {
+            domains: Vec::new(),
+            servers: HashMap::new(),
+            clients: (0..hosts)
+                .map(|_| BlockCache::new(config.client_cache_blocks))
+                .collect(),
+            name_caches: vec![HashMap::new(); hosts],
+            streams: StreamTable::new(),
+            file_home: HashMap::new(),
+            next_file: 1,
+            stats: FsStats::default(),
+            config,
+        }
+    }
+
+    /// Declares that `host` runs a file server exporting the subtree at
+    /// `prefix`. Longest-prefix match routes names to servers.
+    pub fn add_server(&mut self, host: HostId, prefix: SpritePath) {
+        self.servers
+            .entry(host)
+            .or_insert_with(|| ServerState::new(host, self.config.server_cache_blocks));
+        self.domains.push((prefix, host));
+        // Longest prefix first.
+        self.domains
+            .sort_by(|(a, _), (b, _)| b.depth().cmp(&a.depth()));
+    }
+
+    /// Which server exports the domain containing `path`.
+    pub fn resolve(&self, path: &SpritePath) -> FsResult<HostId> {
+        self.domains
+            .iter()
+            .find(|(prefix, _)| path.starts_with(prefix))
+            .map(|(_, h)| *h)
+            .ok_or_else(|| FsError::NoDomain(path.clone()))
+    }
+
+    /// Operation counters so far.
+    pub fn stats(&self) -> FsStats {
+        self.stats
+    }
+
+    /// Resets operation counters (measurement-phase boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = FsStats::default();
+    }
+
+    /// Read access to a server's state (diagnostics, invariant checks).
+    pub fn server(&self, host: HostId) -> Option<&ServerState> {
+        self.servers.get(&host)
+    }
+
+    /// Read access to a client cache.
+    pub fn client_cache(&self, host: HostId) -> &BlockCache {
+        &self.clients[host.index()]
+    }
+
+    /// Read access to the stream table.
+    pub fn streams(&self) -> &StreamTable {
+        &self.streams
+    }
+
+    /// The server host storing `file`.
+    pub fn home_of(&self, file: FileId) -> Option<HostId> {
+        self.file_home.get(&file).copied()
+    }
+
+    // ----- internal helpers ------------------------------------------------
+
+    /// Charges one client→server service interaction: a local kernel call if
+    /// the client *is* the server machine, otherwise an RPC whose service
+    /// time queues on the server CPU.
+    fn charge_service(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        client: HostId,
+        server: HostId,
+        req_bytes: u64,
+        reply_bytes: u64,
+        extra: SimDuration,
+    ) -> SimTime {
+        let srv = self.servers.get_mut(&server).expect("known server");
+        if client == server {
+            let local = net.cost().local_kernel_call;
+            srv.cpu.acquire(now + local, extra + net.cost().cache_block_op)
+        } else {
+            net.rpc_with_service(
+                now,
+                client,
+                server,
+                req_bytes,
+                reply_bytes,
+                extra,
+                Some(&mut srv.cpu),
+            )
+            .done
+        }
+    }
+
+    /// Flushes one dirty block to its server, charging transfer + service.
+    fn write_back_block(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        from: HostId,
+        addr: BlockAddr,
+        data: Vec<u8>,
+    ) -> SimTime {
+        let server = *self.file_home.get(&addr.file).expect("file has a home");
+        let extra = net.cost().cache_block_op;
+        let done = self.charge_service(net, now, from, server, data.len() as u64 + 64, 64, extra);
+        let srv = self.servers.get_mut(&server).expect("known server");
+        srv.touch_block(addr.file, addr.block);
+        if let Some(file) = srv.file_mut(addr.file) {
+            file.write_at(addr.block * PAGE_SIZE, &data);
+        }
+        self.stats.block_writebacks += 1;
+        done
+    }
+
+    /// Recalls all dirty blocks of `file` from `host` (server-initiated
+    /// flush). Returns completion time.
+    fn recall_dirty(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        file: FileId,
+    ) -> SimTime {
+        let server = *self.file_home.get(&file).expect("file has a home");
+        let dirty = self.clients[host.index()].take_dirty_blocks(file);
+        if dirty.is_empty() {
+            return now;
+        }
+        // The recall request itself.
+        let mut t = if host == server {
+            now
+        } else {
+            net.rpc(now, server, host, 64, 64, None).done
+        };
+        for (addr, data) in dirty {
+            t = self.write_back_block(net, t, host, addr, data);
+        }
+        self.stats.consistency_recalls += 1;
+        t
+    }
+
+    /// Drops every cached block of `file` on `host`, writing dirty ones
+    /// back first (caching got disabled).
+    fn invalidate_on_host(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        file: FileId,
+    ) -> SimTime {
+        let dirty = self.clients[host.index()].invalidate_file(file);
+        let mut t = now;
+        for (addr, data) in dirty {
+            t = self.write_back_block(net, t, host, addr, data);
+        }
+        t
+    }
+
+    // ----- namespace operations -------------------------------------------
+
+    /// Creates a regular file at `path`.
+    pub fn create(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        path: SpritePath,
+    ) -> FsResult<(FileId, SimTime)> {
+        self.create_kind(net, now, host, path, FileKind::Regular)
+    }
+
+    /// Creates a backing (swap) file for the VM system.
+    pub fn create_backing(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        path: SpritePath,
+    ) -> FsResult<(FileId, SimTime)> {
+        self.create_kind(net, now, host, path, FileKind::Backing)
+    }
+
+    /// Creates a pseudo-device served by a user process on `server_host`.
+    pub fn create_pseudo_device(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        path: SpritePath,
+        server_process_host: HostId,
+    ) -> FsResult<(FileId, SimTime)> {
+        self.create_kind(
+            net,
+            now,
+            host,
+            path,
+            FileKind::Pseudo {
+                server_process_host,
+            },
+        )
+    }
+
+    fn create_kind(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        path: SpritePath,
+        kind: FileKind,
+    ) -> FsResult<(FileId, SimTime)> {
+        let server = self.resolve(&path)?;
+        let lookup = net.cost().name_lookup_component * path.depth();
+        let done = self.charge_service(net, now, host, server, 128, 64, lookup);
+        self.stats.lookups += 1;
+        let id = FileId::new(self.next_file);
+        let srv = self.servers.get_mut(&server).expect("resolved server");
+        match srv.create(path.clone(), id, kind) {
+            Some(id) => {
+                self.next_file += 1;
+                self.file_home.insert(id, server);
+                Ok((id, done))
+            }
+            None => Err(FsError::AlreadyExists(path)),
+        }
+    }
+
+    /// Removes a name. Fails if the file does not exist.
+    ///
+    /// Divergence from UNIX: streams still open on the file read end-of-file
+    /// afterwards rather than retaining the old contents until close.
+    /// Sprite's servers kept unlinked-but-open files alive; the simulation
+    /// truncates instead, which no workload in the evaluation exercises
+    /// (pinned by `unlink_while_open_reads_eof`).
+    pub fn unlink(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        path: &SpritePath,
+    ) -> FsResult<SimTime> {
+        let server = self.resolve(path)?;
+        let lookup = net.cost().name_lookup_component * path.depth();
+        let done = self.charge_service(net, now, host, server, 128, 64, lookup);
+        self.stats.lookups += 1;
+        let srv = self.servers.get_mut(&server).expect("resolved server");
+        if let Some(id) = srv.lookup(path) {
+            srv.unlink(path);
+            self.file_home.remove(&id);
+            self.clients[host.index()].invalidate_file(id);
+            for cache in &mut self.name_caches {
+                cache.remove(path);
+            }
+            Ok(done)
+        } else {
+            Err(FsError::NotFound(path.clone()))
+        }
+    }
+
+    // ----- stream operations ------------------------------------------------
+
+    /// Opens `path` from `host`, running the consistency protocol.
+    pub fn open(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        path: SpritePath,
+        mode: OpenMode,
+    ) -> FsResult<(StreamId, SimTime)> {
+        let server = self.resolve(&path)?;
+        let cached_name = self.config.client_name_caching
+            && self.name_caches[host.index()].contains_key(&path);
+        let lookup = if cached_name {
+            self.stats.name_cache_hits += 1;
+            SimDuration::ZERO
+        } else {
+            self.stats.lookups += 1;
+            net.cost().name_lookup_component * path.depth()
+        };
+        let mut t = self.charge_service(net, now, host, server, 128, 128, lookup);
+        let srv = self.servers.get_mut(&server).expect("resolved server");
+        let Some(id) = srv.lookup(&path) else {
+            self.name_caches[host.index()].remove(&path);
+            return Err(FsError::NotFound(path));
+        };
+        let kind = srv.file(id).expect("looked-up file").kind;
+        let actions = srv.open(id, host, mode);
+        for flush_host in &actions.flush_from {
+            t = self.recall_dirty(net, t, *flush_host, id);
+        }
+        if !actions.invalidate_on.is_empty() {
+            self.stats.cache_disables += 1;
+            for inv_host in &actions.invalidate_on {
+                // Notify the host (server-initiated) then drop its blocks.
+                if *inv_host != server {
+                    t = net.rpc(t, server, *inv_host, 64, 64, None).done;
+                }
+                t = self.invalidate_on_host(net, t, *inv_host, id);
+            }
+        }
+        // Bring the opener's cache in line with the (possibly bumped)
+        // version: still-current copies are re-stamped, stale ones dropped.
+        if actions.cacheable && !actions.invalidate_on.contains(&host) {
+            if actions.opener_cache_current {
+                let version = self.server_file_version(server, id);
+                self.clients[host.index()].revalidate_file(id, version);
+            } else {
+                t = self.invalidate_on_host(net, t, host, id);
+            }
+        }
+        if self.config.client_name_caching {
+            self.name_caches[host.index()].insert(path, id);
+        }
+        let stream = self.streams.open(id, server, kind, mode, host);
+        self.stats.opens += 1;
+        Ok((stream, t))
+    }
+
+    /// Duplicates a stream reference on the same host (`fork`, `dup`). The
+    /// duplicate shares the access position, as UNIX semantics demand.
+    pub fn dup(&mut self, stream: StreamId, host: HostId) -> FsResult<()> {
+        let s = self.streams.get(stream).ok_or(FsError::BadStream(stream))?;
+        if s.refs_on(host) == 0 {
+            return Err(FsError::BadStream(stream));
+        }
+        self.streams.add_ref(stream, host);
+        Ok(())
+    }
+
+    /// Repositions a stream (lseek). Purely local.
+    pub fn seek(&mut self, stream: StreamId, offset: u64) -> FsResult<()> {
+        self.streams
+            .get_mut(stream)
+            .ok_or(FsError::BadStream(stream))?
+            .set_offset(offset);
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes from `stream` at its access position.
+    pub fn read(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        stream: StreamId,
+        len: u64,
+    ) -> FsResult<(Vec<u8>, SimTime)> {
+        let (file, server, mode, kind, shadowed, offset) = self.stream_info(stream, host)?;
+        if !mode.reads() {
+            return Err(FsError::BadMode(stream));
+        }
+        if matches!(kind, FileKind::Pseudo { .. }) {
+            return Err(FsError::WrongKind(file));
+        }
+        let mut t = now + net.cost().local_kernel_call;
+        if shadowed {
+            // The access position lives at the I/O server.
+            t = self.charge_service(net, t, host, server, 64, 64, SimDuration::ZERO);
+            self.stats.shadow_ops += 1;
+        }
+        let cacheable = self.server_file_cacheable(server, file);
+        let version = self.server_file_version(server, file);
+        let logical = self.server_file_len(server, file);
+        let end = (offset + len).min(logical);
+        let mut data = Vec::with_capacity(len as usize);
+        let mut pos = offset;
+        while pos < end {
+            let block = pos / PAGE_SIZE;
+            let block_start = block * PAGE_SIZE;
+            let take_from = (pos - block_start) as usize;
+            let take_to = ((end - block_start).min(PAGE_SIZE)) as usize;
+            let bytes = if cacheable {
+                let addr = BlockAddr { file, block };
+                match self.clients[host.index()].lookup(addr, version) {
+                    Some(b) => b,
+                    None => {
+                        t = self.fetch_block(net, t, host, server, file, block, version);
+                        self.clients[host.index()]
+                            .lookup(addr, version)
+                            .expect("block just inserted")
+                    }
+                }
+            } else {
+                self.stats.uncached_ops += 1;
+                let extra = net.cost().cache_block_op
+                    + self.disk_penalty(net, server, file, block);
+                t = self.charge_service(net, t, host, server, 64, PAGE_SIZE + 64, extra);
+                self.server_block(server, file, block)
+            };
+            let have = bytes.len().min(take_to);
+            if take_from < have {
+                data.extend_from_slice(&bytes[take_from..have]);
+            }
+            // Zero-fill sparse holes within logical size.
+            let expected = take_to.saturating_sub(take_from.min(take_to));
+            while data.len() < (pos - offset) as usize + expected {
+                data.push(0);
+            }
+            pos = block_start + take_to as u64;
+        }
+        let n = data.len() as u64;
+        if let Some(s) = self.streams.get_mut(stream) {
+            s.advance(n);
+        }
+        self.stats.bytes_read += n;
+        Ok((data, t))
+    }
+
+    /// Writes `bytes` at the stream's access position.
+    pub fn write(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        stream: StreamId,
+        bytes: &[u8],
+    ) -> FsResult<SimTime> {
+        let (file, server, mode, kind, shadowed, offset) = self.stream_info(stream, host)?;
+        if !mode.writes() {
+            return Err(FsError::BadMode(stream));
+        }
+        if matches!(kind, FileKind::Pseudo { .. }) {
+            return Err(FsError::WrongKind(file));
+        }
+        let mut t = now + net.cost().local_kernel_call;
+        if shadowed {
+            t = self.charge_service(net, t, host, server, 64, 64, SimDuration::ZERO);
+            self.stats.shadow_ops += 1;
+        }
+        let cacheable = self.server_file_cacheable(server, file);
+        let version = self.server_file_version(server, file);
+        let end = offset + bytes.len() as u64;
+        let mut pos = offset;
+        while pos < end {
+            let block = pos / PAGE_SIZE;
+            let block_start = block * PAGE_SIZE;
+            let within = (pos - block_start) as usize;
+            let upto = ((end - block_start).min(PAGE_SIZE)) as usize;
+            let chunk = &bytes[(pos - offset) as usize..(pos - offset) as usize + (upto - within)];
+            if cacheable {
+                let addr = BlockAddr { file, block };
+                // Read-modify-write for partial blocks.
+                let mut current = self.clients[host.index()]
+                    .lookup(addr, version)
+                    .unwrap_or_else(|| self.server_block(server, file, block));
+                if current.len() < upto {
+                    current.resize(upto, 0);
+                }
+                current[within..upto].copy_from_slice(chunk);
+                if let Some((evicted, data)) =
+                    self.clients[host.index()].insert_dirty(addr, version, current)
+                {
+                    t = self.write_back_block(net, t, host, evicted, data);
+                }
+                // Metadata-only size update rides along with the next RPC in
+                // the real system; the logical size must grow now so reads
+                // see the right end of file.
+                self.note_size(server, file, block_start + upto as u64);
+            } else {
+                self.stats.uncached_ops += 1;
+                let extra = net.cost().cache_block_op;
+                t = self.charge_service(
+                    net,
+                    t,
+                    host,
+                    server,
+                    chunk.len() as u64 + 64,
+                    64,
+                    extra,
+                );
+                let srv = self.servers.get_mut(&server).expect("known server");
+                srv.touch_block(file, block);
+                if let Some(f) = srv.file_mut(file) {
+                    f.write_at(block_start + within as u64, chunk);
+                }
+            }
+            pos = block_start + upto as u64;
+        }
+        let n = bytes.len() as u64;
+        if let Some(s) = self.streams.get_mut(stream) {
+            s.advance(n);
+        }
+        self.stats.bytes_written += n;
+        Ok(t)
+    }
+
+    /// Forces a host's dirty blocks for the stream's file to the server.
+    pub fn fsync(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        stream: StreamId,
+    ) -> FsResult<SimTime> {
+        let (file, _, _, _, _, _) = self.stream_info(stream, host)?;
+        let dirty = self.clients[host.index()].take_dirty_blocks(file);
+        let mut t = now;
+        for (addr, data) in dirty {
+            t = self.write_back_block(net, t, host, addr, data);
+        }
+        Ok(t)
+    }
+
+    /// Closes one reference to `stream` held by `host`.
+    pub fn close(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        stream: StreamId,
+    ) -> FsResult<SimTime> {
+        let (file, server, mode, _, _, _) = self.stream_info(stream, host)?;
+        let mut t = now + net.cost().local_kernel_call;
+        match self.streams.release(stream, host) {
+            ReleaseOutcome::UnknownStream | ReleaseOutcome::NotAHolder => {
+                return Err(FsError::BadStream(stream))
+            }
+            ReleaseOutcome::StreamClosed => {
+                if self.config.flush_on_close {
+                    let dirty = self.clients[host.index()].take_dirty_blocks(file);
+                    for (addr, data) in dirty {
+                        t = self.write_back_block(net, t, host, addr, data);
+                    }
+                }
+                t = self.charge_service(net, t, host, server, 64, 64, SimDuration::ZERO);
+                let srv = self.servers.get_mut(&server).expect("known server");
+                srv.close(file, host, mode);
+            }
+            ReleaseOutcome::StillOpen {
+                host_dropped_file_ref,
+                ..
+            } => {
+                if host_dropped_file_ref {
+                    if self.config.flush_on_close {
+                        let dirty = self.clients[host.index()].take_dirty_blocks(file);
+                        for (addr, data) in dirty {
+                            t = self.write_back_block(net, t, host, addr, data);
+                        }
+                    }
+                    t = self.charge_service(net, t, host, server, 64, 64, SimDuration::ZERO);
+                    let srv = self.servers.get_mut(&server).expect("known server");
+                    srv.close(file, host, mode);
+                }
+            }
+        }
+        self.stats.closes += 1;
+        Ok(t)
+    }
+
+    // ----- migration support -------------------------------------------------
+
+    /// Moves `nrefs` references of `stream` from `from` to `to` as part of
+    /// process migration (Ch. 5.3): flushes `from`'s dirty blocks for the
+    /// file, atomically updates the I/O server's open records, and reports
+    /// whether the stream is now shadowed.
+    pub fn migrate_stream(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        stream: StreamId,
+        from: HostId,
+        to: HostId,
+        nrefs: u32,
+    ) -> FsResult<(MoveOutcome, SimTime)> {
+        let (file, server, mode, _, _, _) = self.stream_info(stream, from)?;
+        // 1. Flush the source's dirty blocks so the target (and server) see
+        //    current data.
+        let dirty = self.clients[from.index()].take_dirty_blocks(file);
+        let mut t = now;
+        for (addr, data) in dirty {
+            t = self.write_back_block(net, t, from, addr, data);
+        }
+        // 2. The arriving host may hold stale cached blocks for this file
+        //    from an earlier visit; migration acts like an open for
+        //    consistency purposes, so those copies are dropped (dirty ones
+        //    written back first) and reads on the target refetch current
+        //    data from the server.
+        let stale_dirty = self.clients[to.index()].invalidate_file(file);
+        for (addr, data) in stale_dirty {
+            t = self.write_back_block(net, t, to, addr, data);
+        }
+        // 3. One RPC to the I/O server to move the open records; the server
+        //    is the single synchronization point, which is what made
+        //    Sprite's stream migration safe in the presence of sharing.
+        t = self.charge_service(net, t, from, server, 128, 64, net.cost().cache_block_op);
+        let outcome = self
+            .streams
+            .move_refs(stream, from, to, nrefs)
+            .ok_or(FsError::BadStream(stream))?;
+        let srv = self.servers.get_mut(&server).expect("known server");
+        if outcome.from_dropped_file_ref {
+            srv.move_open(file, from, to, mode);
+        } else {
+            srv.open_for_migration(file, to, mode);
+        }
+        // 4. Concurrent write-sharing created by the move disables caching.
+        let (cacheable, holders) = {
+            let f = srv.file(file).expect("file exists");
+            (f.cacheable, f.open_hosts().collect::<Vec<_>>())
+        };
+        if !cacheable {
+            self.stats.cache_disables += 1;
+            for h in holders {
+                t = self.invalidate_on_host(net, t, h, file);
+            }
+        }
+        Ok((outcome, t))
+    }
+
+    // ----- paging (backing files) ---------------------------------------------
+
+    /// Writes one page to a backing file (dirty-page flush during normal
+    /// paging or migration). Bypasses the client cache.
+    pub fn page_out(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        file: FileId,
+        page: u64,
+        bytes: &[u8],
+    ) -> FsResult<SimTime> {
+        let server = self.backing_server(file)?;
+        let extra = net.cost().cache_block_op;
+        let t = self.charge_service(net, now, host, server, bytes.len() as u64 + 64, 64, extra);
+        let srv = self.servers.get_mut(&server).expect("known server");
+        srv.touch_block(file, page);
+        srv.file_mut(file)
+            .expect("backing file exists")
+            .write_at(page * PAGE_SIZE, bytes);
+        self.stats.pageouts += 1;
+        Ok(t)
+    }
+
+    /// Reads one page from a backing file (demand page-in).
+    pub fn page_in(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        file: FileId,
+        page: u64,
+    ) -> FsResult<(Vec<u8>, SimTime)> {
+        let server = self.backing_server(file)?;
+        let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, page);
+        let t = self.charge_service(net, now, host, server, 64, PAGE_SIZE + 64, extra);
+        let srv = self.servers.get_mut(&server).expect("known server");
+        let mut data = srv.file(file).expect("backing file exists").read_block(page);
+        data.resize(PAGE_SIZE as usize, 0);
+        self.stats.pageins += 1;
+        Ok((data, t))
+    }
+
+    fn backing_server(&self, file: FileId) -> FsResult<HostId> {
+        let server = self
+            .file_home
+            .get(&file)
+            .copied()
+            .ok_or(FsError::WrongKind(file))?;
+        let kind = self.servers[&server]
+            .file(file)
+            .ok_or(FsError::WrongKind(file))?
+            .kind;
+        match kind {
+            FileKind::Backing | FileKind::Regular => Ok(server),
+            FileKind::Pseudo { .. } => Err(FsError::WrongKind(file)),
+        }
+    }
+
+    // ----- pseudo-devices -------------------------------------------------------
+
+    /// Performs one request/response round trip with the user-level server
+    /// behind a pseudo-device stream \[WO88\]. `service` is the server
+    /// process's think time.
+    pub fn pseudo_request(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        stream: StreamId,
+        req_bytes: u64,
+        reply_bytes: u64,
+        service: SimDuration,
+    ) -> FsResult<SimTime> {
+        let (file, _, _, kind, _, _) = self.stream_info(stream, host)?;
+        let FileKind::Pseudo {
+            server_process_host,
+        } = kind
+        else {
+            return Err(FsError::WrongKind(file));
+        };
+        self.stats.pseudo_requests += 1;
+        let cost = net.cost();
+        if server_process_host == host {
+            // Local rendezvous: two kernel crossings and two context
+            // switches into and out of the server process.
+            Ok(now
+                + cost.local_kernel_call * 2
+                + cost.context_switch * 2
+                + service)
+        } else {
+            let switch = cost.context_switch * 2;
+            let done = net
+                .rpc_with_service(now, host, server_process_host, req_bytes, reply_bytes, service + switch, None)
+                .done;
+            Ok(done)
+        }
+    }
+
+    // ----- small internal accessors ----------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    fn stream_info(
+        &self,
+        stream: StreamId,
+        host: HostId,
+    ) -> FsResult<(FileId, HostId, OpenMode, FileKind, bool, u64)> {
+        let s = self.streams.get(stream).ok_or(FsError::BadStream(stream))?;
+        if s.refs_on(host) == 0 {
+            return Err(FsError::BadStream(stream));
+        }
+        Ok((
+            s.file,
+            s.server,
+            s.mode,
+            s.kind,
+            s.is_shadowed(),
+            s.offset(),
+        ))
+    }
+
+    fn server_file_version(&self, server: HostId, file: FileId) -> u64 {
+        self.servers[&server]
+            .file(file)
+            .map(|f| f.version)
+            .unwrap_or(0)
+    }
+
+    fn server_file_cacheable(&self, server: HostId, file: FileId) -> bool {
+        self.servers[&server]
+            .file(file)
+            .map(|f| f.cacheable)
+            .unwrap_or(false)
+    }
+
+    fn server_file_len(&self, server: HostId, file: FileId) -> u64 {
+        self.servers[&server]
+            .file(file)
+            .map(|f| f.logical_size())
+            .unwrap_or(0)
+    }
+
+    fn server_block(&self, server: HostId, file: FileId, block: u64) -> Vec<u8> {
+        self.servers[&server]
+            .file(file)
+            .map(|f| f.read_block(block))
+            .unwrap_or_default()
+    }
+
+    fn note_size(&mut self, server: HostId, file: FileId, end: u64) {
+        if let Some(f) = self.servers.get_mut(&server).and_then(|s| s.file_mut(file)) {
+            f.note_logical_size(end);
+        }
+    }
+
+    fn disk_penalty(
+        &mut self,
+        net: &Network,
+        server: HostId,
+        file: FileId,
+        block: u64,
+    ) -> SimDuration {
+        let srv = self.servers.get_mut(&server).expect("known server");
+        if srv.touch_block(file, block) {
+            SimDuration::ZERO
+        } else {
+            net.cost().disk_access
+        }
+    }
+
+    fn fetch_block(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        server: HostId,
+        file: FileId,
+        block: u64,
+        version: u64,
+    ) -> SimTime {
+        let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, block);
+        let t = self.charge_service(net, now, host, server, 64, PAGE_SIZE + 64, extra);
+        let mut data = self.server_block(server, file, block);
+        if data.is_empty() {
+            // Sparse or unwritten region: cache a zero block so the entry
+            // exists (short tail blocks stay short).
+            data = Vec::new();
+        }
+        let addr = BlockAddr { file, block };
+        if let Some((evicted, dirty)) =
+            self.clients[host.index()].insert_clean(addr, version, data)
+        {
+            let t2 = self.write_back_block(net, t, host, evicted, dirty);
+            self.stats.block_fetches += 1;
+            return t2;
+        }
+        self.stats.block_fetches += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprite_net::CostModel;
+
+    fn setup(hosts: usize) -> (Network, SpriteFs) {
+        let net = Network::new(CostModel::sun3(), hosts);
+        let mut fs = SpriteFs::new(FsConfig::default(), hosts);
+        fs.add_server(HostId::new(0), SpritePath::new("/"));
+        (net, fs)
+    }
+
+    fn h(i: u32) -> HostId {
+        HostId::new(i)
+    }
+
+    #[test]
+    fn create_open_write_read_round_trip() {
+        let (mut net, mut fs) = setup(3);
+        let t0 = SimTime::ZERO;
+        let (_, t1) = fs.create(&mut net, t0, h(1), SpritePath::new("/a")).unwrap();
+        let (s, t2) = fs
+            .open(&mut net, t1, h(1), SpritePath::new("/a"), OpenMode::ReadWrite)
+            .unwrap();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let t3 = fs.write(&mut net, t2, h(1), s, &payload).unwrap();
+        fs.seek(s, 0).unwrap();
+        let (back, t4) = fs.read(&mut net, t3, h(1), s, payload.len() as u64).unwrap();
+        assert_eq!(back, payload);
+        assert!(t4 > t0);
+        fs.close(&mut net, t4, h(1), s).unwrap();
+        // After close-with-flush the server holds the authoritative bytes.
+        let file = fs.server(h(0)).unwrap();
+        let id = fs.streams();
+        assert!(id.is_empty());
+        let stored = file
+            .file(FileId::new(1))
+            .unwrap()
+            .read_at(0, payload.len() as u64);
+        assert_eq!(stored, payload);
+    }
+
+    #[test]
+    fn second_host_sees_writers_data_via_recall() {
+        let (mut net, mut fs) = setup(3);
+        let t0 = SimTime::ZERO;
+        let (id, t1) = fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (s1, t2) = fs
+            .open(&mut net, t1, h(1), SpritePath::new("/f"), OpenMode::Write)
+            .unwrap();
+        let t3 = fs.write(&mut net, t2, h(1), s1, b"written by host1").unwrap();
+        let t4 = fs.close(&mut net, t3, h(1), s1).unwrap();
+        // Leave a dirty footprint: re-open and write without closing.
+        let (s2, t5) = fs
+            .open(&mut net, t4, h(1), SpritePath::new("/f"), OpenMode::Write)
+            .unwrap();
+        let t6 = fs.write(&mut net, t5, h(1), s2, b"WRITTEN").unwrap();
+        assert!(fs.client_cache(h(1)).dirty_block_count(id) > 0);
+        let t7 = fs.close(&mut net, t6, h(1), s2).unwrap();
+        // Host 2 opens for read; any remaining dirty data must be recalled.
+        let (s3, t8) = fs
+            .open(&mut net, t7, h(2), SpritePath::new("/f"), OpenMode::Read)
+            .unwrap();
+        let (data, _) = fs.read(&mut net, t8, h(2), s3, 16).unwrap();
+        assert_eq!(&data, b"WRITTEN by host1");
+        assert_eq!(fs.client_cache(h(1)).dirty_block_count(id), 0);
+    }
+
+    #[test]
+    fn recall_happens_when_writer_still_has_file_open() {
+        let (mut net, mut fs) = setup(3);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (s1, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Write)
+            .unwrap();
+        let t2 = fs.write(&mut net, t1, h(1), s1, b"dirty").unwrap();
+        // Writer has NOT closed. A reader on another host forces concurrent
+        // sharing: caching disabled, dirty data flushed.
+        let (s2, t3) = fs
+            .open(&mut net, t2, h(2), SpritePath::new("/f"), OpenMode::Read)
+            .unwrap();
+        assert!(fs.stats().cache_disables >= 1);
+        let (data, _) = fs.read(&mut net, t3, h(2), s2, 5).unwrap();
+        assert_eq!(&data, b"dirty");
+        // Writer's further writes go through to the server immediately.
+        let t4 = fs.write(&mut net, t3, h(1), s1, b" more").unwrap();
+        assert!(fs.stats().uncached_ops > 0);
+        fs.seek(s2, 0).unwrap();
+        let (data2, _) = fs.read(&mut net, t4, h(2), s2, 10).unwrap();
+        assert_eq!(&data2, b"dirty more");
+    }
+
+    #[test]
+    fn shadowed_stream_pays_server_round_trip() {
+        let (mut net, mut fs) = setup(3);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::ReadWrite)
+            .unwrap();
+        fs.dup(s, h(1)).unwrap(); // forked child shares the stream
+        let t2 = fs.write(&mut net, t1, h(1), s, b"0123456789").unwrap();
+        // One ref migrates to host 2: stream becomes shadowed.
+        let (outcome, t3) = fs.migrate_stream(&mut net, t2, s, h(1), h(2), 1).unwrap();
+        assert!(outcome.shadowed);
+        let before = fs.stats().shadow_ops;
+        fs.seek(s, 0).unwrap();
+        let (data, _) = fs.read(&mut net, t3, h(2), s, 4).unwrap();
+        assert_eq!(&data, b"0123");
+        assert_eq!(fs.stats().shadow_ops, before + 1);
+        // The shared access position is visible from the home host too.
+        let (data2, _) = fs.read(&mut net, t3, h(1), s, 3).unwrap();
+        assert_eq!(&data2, b"456");
+    }
+
+    #[test]
+    fn migrating_sole_reference_does_not_shadow() {
+        let (mut net, mut fs) = setup(3);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Write)
+            .unwrap();
+        let t2 = fs.write(&mut net, t1, h(1), s, b"data").unwrap();
+        let (outcome, t3) = fs.migrate_stream(&mut net, t2, s, h(1), h(2), 1).unwrap();
+        assert!(!outcome.shadowed);
+        // Writes continue transparently from the new host.
+        let t4 = fs.write(&mut net, t3, h(2), s, b"more").unwrap();
+        assert!(t4 > t3);
+        assert_eq!(fs.streams().get(s).unwrap().offset(), 8);
+    }
+
+    #[test]
+    fn migrate_stream_flushes_source_dirty_blocks() {
+        let (mut net, mut fs) = setup(3);
+        let t0 = SimTime::ZERO;
+        let (id, _) = fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Write)
+            .unwrap();
+        let t2 = fs.write(&mut net, t1, h(1), s, &[7u8; 20_000]).unwrap();
+        assert!(fs.client_cache(h(1)).dirty_block_count(id) > 0);
+        let (_, _t3) = fs.migrate_stream(&mut net, t2, s, h(1), h(2), 1).unwrap();
+        assert_eq!(fs.client_cache(h(1)).dirty_block_count(id), 0);
+        let server_data = fs
+            .server(h(0))
+            .unwrap()
+            .file(id)
+            .unwrap()
+            .read_at(0, 20_000);
+        assert_eq!(server_data, vec![7u8; 20_000]);
+    }
+
+    #[test]
+    fn paging_round_trip() {
+        let (mut net, mut fs) = setup(2);
+        let t0 = SimTime::ZERO;
+        let (swap, t1) = fs
+            .create_backing(&mut net, t0, h(1), SpritePath::new("/swap/p1"))
+            .unwrap();
+        let page = vec![0xabu8; PAGE_SIZE as usize];
+        let t2 = fs.page_out(&mut net, t1, h(1), swap, 3, &page).unwrap();
+        let (back, t3) = fs.page_in(&mut net, t2, h(1), swap, 3).unwrap();
+        assert_eq!(back, page);
+        assert!(t3 > t2);
+        let (zeros, _) = fs.page_in(&mut net, t3, h(1), swap, 0).unwrap();
+        assert_eq!(zeros, vec![0u8; PAGE_SIZE as usize]);
+        assert_eq!(fs.stats().pageouts, 1);
+        assert_eq!(fs.stats().pageins, 2);
+    }
+
+    #[test]
+    fn pseudo_device_round_trips() {
+        let (mut net, mut fs) = setup(3);
+        let t0 = SimTime::ZERO;
+        fs.create_pseudo_device(&mut net, t0, h(1), SpritePath::new("/dev/migd"), h(0))
+            .unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/dev/migd"), OpenMode::ReadWrite)
+            .unwrap();
+        let t2 = fs
+            .pseudo_request(&mut net, t1, h(1), s, 128, 128, SimDuration::from_micros(200))
+            .unwrap();
+        assert!(t2.elapsed_since(t1) >= net.cost().small_rpc_round_trip());
+        // Reads and writes are meaningless on pseudo-devices.
+        assert!(matches!(
+            fs.read(&mut net, t2, h(1), s, 4),
+            Err(FsError::WrongKind(_))
+        ));
+        assert_eq!(fs.stats().pseudo_requests, 1);
+    }
+
+    #[test]
+    fn local_pseudo_request_is_cheaper() {
+        let (mut net, mut fs) = setup(3);
+        let t0 = SimTime::ZERO;
+        fs.create_pseudo_device(&mut net, t0, h(1), SpritePath::new("/dev/d"), h(1))
+            .unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/dev/d"), OpenMode::ReadWrite)
+            .unwrap();
+        let local = fs
+            .pseudo_request(&mut net, t1, h(1), s, 64, 64, SimDuration::ZERO)
+            .unwrap()
+            .elapsed_since(t1);
+        assert!(local < net.cost().small_rpc_round_trip());
+    }
+
+    #[test]
+    fn deeper_paths_cost_more_to_open() {
+        let (mut net, mut fs) = setup(2);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(1), SpritePath::new("/a")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/x/y/z/w/deep"))
+            .unwrap();
+        let shallow = {
+            let (s, t) = fs
+                .open(&mut net, t0, h(1), SpritePath::new("/a"), OpenMode::Read)
+                .unwrap();
+            fs.close(&mut net, t, h(1), s).unwrap();
+            t.elapsed_since(t0)
+        };
+        let deep = {
+            let (s, t) = fs
+                .open(&mut net, t0, h(1), SpritePath::new("/x/y/z/w/deep"), OpenMode::Read)
+                .unwrap();
+            fs.close(&mut net, t, h(1), s).unwrap();
+            t.elapsed_since(t0)
+        };
+        assert!(deep > shallow, "deep {deep} vs shallow {shallow}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (mut net, mut fs) = setup(2);
+        let t0 = SimTime::ZERO;
+        assert!(matches!(
+            fs.open(&mut net, t0, h(1), SpritePath::new("/nope"), OpenMode::Read),
+            Err(FsError::NotFound(_))
+        ));
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        assert!(matches!(
+            fs.create(&mut net, t0, h(1), SpritePath::new("/f")),
+            Err(FsError::AlreadyExists(_))
+        ));
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Read)
+            .unwrap();
+        assert!(matches!(
+            fs.write(&mut net, t1, h(1), s, b"x"),
+            Err(FsError::BadMode(_))
+        ));
+        // A host that holds no reference cannot use the stream.
+        assert!(matches!(
+            fs.read(&mut net, t1, h(0), s, 1),
+            Err(FsError::BadStream(_))
+        ));
+        let fs2 = SpriteFs::new(FsConfig::default(), 2);
+        assert!(matches!(
+            fs2.resolve(&SpritePath::new("/anything")),
+            Err(FsError::NoDomain(_))
+        ));
+    }
+
+    #[test]
+    fn unlink_removes_and_invalidates() {
+        let (mut net, mut fs) = setup(2);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Write)
+            .unwrap();
+        let t2 = fs.write(&mut net, t1, h(1), s, b"bytes").unwrap();
+        let t3 = fs.close(&mut net, t2, h(1), s).unwrap();
+        fs.unlink(&mut net, t3, h(1), &SpritePath::new("/f")).unwrap();
+        assert!(matches!(
+            fs.open(&mut net, t3, h(1), SpritePath::new("/f"), OpenMode::Read),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(matches!(
+            fs.unlink(&mut net, t3, h(1), &SpritePath::new("/f")),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn cache_hits_avoid_server_traffic() {
+        let (mut net, mut fs) = setup(2);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::ReadWrite)
+            .unwrap();
+        let t2 = fs.write(&mut net, t1, h(1), s, &[1u8; 8192]).unwrap();
+        let fetches_before = fs.stats().block_fetches;
+        fs.seek(s, 0).unwrap();
+        let (_, t3) = fs.read(&mut net, t2, h(1), s, 8192).unwrap();
+        // All blocks are dirty in the local cache: no fetches.
+        assert_eq!(fs.stats().block_fetches, fetches_before);
+        fs.seek(s, 0).unwrap();
+        let (_, _t4) = fs.read(&mut net, t3, h(1), s, 8192).unwrap();
+        assert_eq!(fs.stats().block_fetches, fetches_before);
+        let (hits, _) = fs.client_cache(h(1)).hit_stats();
+        assert!(hits >= 4);
+    }
+
+    #[test]
+    fn fsync_pushes_dirty_blocks() {
+        let (mut net, mut fs) = setup(2);
+        let t0 = SimTime::ZERO;
+        let (id, _) = fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Write)
+            .unwrap();
+        let t2 = fs.write(&mut net, t1, h(1), s, b"sync me").unwrap();
+        assert_eq!(fs.client_cache(h(1)).dirty_block_count(id), 1);
+        let t3 = fs.fsync(&mut net, t2, h(1), s).unwrap();
+        assert!(t3 > t2);
+        assert_eq!(fs.client_cache(h(1)).dirty_block_count(id), 0);
+        assert_eq!(
+            fs.server(h(0)).unwrap().file(id).unwrap().read_at(0, 7),
+            b"sync me"
+        );
+    }
+
+    #[test]
+    fn reads_past_eof_are_short() {
+        let (mut net, mut fs) = setup(2);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::ReadWrite)
+            .unwrap();
+        let t2 = fs.write(&mut net, t1, h(1), s, b"abc").unwrap();
+        fs.seek(s, 0).unwrap();
+        let (data, _) = fs.read(&mut net, t2, h(1), s, 100).unwrap();
+        assert_eq!(&data, b"abc");
+        let (empty, _) = fs.read(&mut net, t2, h(1), s, 100).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn name_cache_skips_lookup_cost_on_repeat_opens() {
+        let mut net = Network::new(sprite_net::CostModel::sun3(), 2);
+        let mut fs = SpriteFs::new(
+            FsConfig {
+                client_name_caching: true,
+                ..FsConfig::default()
+            },
+            2,
+        );
+        fs.add_server(h(0), SpritePath::new("/"));
+        let t0 = SimTime::ZERO;
+        let deep = SpritePath::new("/a/b/c/d/e/f");
+        fs.create(&mut net, t0, h(1), deep.clone()).unwrap();
+        let (s1, t1) = fs.open(&mut net, t0, h(1), deep.clone(), OpenMode::Read).unwrap();
+        let first = t1.elapsed_since(t0);
+        let t1b = fs.close(&mut net, t1, h(1), s1).unwrap();
+        let (s2, t2) = fs.open(&mut net, t1b, h(1), deep.clone(), OpenMode::Read).unwrap();
+        let second = t2.elapsed_since(t1b);
+        assert!(second < first, "repeat open {second} should beat first {first}");
+        assert_eq!(fs.stats().name_cache_hits, 1);
+        fs.close(&mut net, t2, h(1), s2).unwrap();
+        // Unlink invalidates the cached name: the next open must fail, not
+        // resurrect the file through a stale translation.
+        fs.unlink(&mut net, t2, h(1), &deep).unwrap();
+        assert!(matches!(
+            fs.open(&mut net, t2, h(1), deep, OpenMode::Read),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn second_server_owns_its_domain() {
+        let mut net = Network::new(sprite_net::CostModel::sun3(), 3);
+        let mut fs = SpriteFs::new(FsConfig::default(), 3);
+        fs.add_server(h(0), SpritePath::new("/"));
+        fs.add_server(h(2), SpritePath::new("/swap"));
+        assert_eq!(fs.resolve(&SpritePath::new("/src/x.c")).unwrap(), h(0));
+        assert_eq!(fs.resolve(&SpritePath::new("/swap/p1.heap")).unwrap(), h(2));
+        let t0 = SimTime::ZERO;
+        let (swap_file, t) = fs
+            .create_backing(&mut net, t0, h(1), SpritePath::new("/swap/p1.heap"))
+            .unwrap();
+        let (root_file, t) = fs.create(&mut net, t, h(1), SpritePath::new("/src/x.c")).unwrap();
+        // Each file lives on its own server.
+        assert_eq!(fs.home_of(swap_file), Some(h(2)));
+        assert_eq!(fs.home_of(root_file), Some(h(0)));
+        assert!(fs.server(h(2)).unwrap().lookup(&SpritePath::new("/swap/p1.heap")).is_some());
+        assert!(fs.server(h(0)).unwrap().lookup(&SpritePath::new("/swap/p1.heap")).is_none());
+        // Paging traffic charges the swap server's CPU, not the root's.
+        let before_root = fs.server(h(0)).unwrap().cpu.busy_time();
+        let before_swap = fs.server(h(2)).unwrap().cpu.busy_time();
+        fs.page_out(&mut net, t, h(1), swap_file, 0, &[1u8; 4096]).unwrap();
+        assert_eq!(fs.server(h(0)).unwrap().cpu.busy_time(), before_root);
+        assert!(fs.server(h(2)).unwrap().cpu.busy_time() > before_swap);
+    }
+
+    #[test]
+    fn unlink_while_open_reads_eof() {
+        let (mut net, mut fs) = setup(2);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(1), SpritePath::new("/u")).unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/u"), OpenMode::ReadWrite)
+            .unwrap();
+        let t2 = fs.write(&mut net, t1, h(1), s, b"gone soon").unwrap();
+        let t3 = fs.unlink(&mut net, t2, h(1), &SpritePath::new("/u")).unwrap();
+        fs.seek(s, 0).unwrap();
+        let (data, _) = fs.read(&mut net, t3, h(1), s, 16).unwrap();
+        assert!(data.is_empty(), "documented divergence: unlinked file reads EOF");
+        // Closing the orphaned stream must not error.
+        fs.close(&mut net, t3, h(1), s).unwrap();
+    }
+
+    #[test]
+    fn stats_reset_is_complete() {
+        let (mut net, mut fs) = setup(2);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(1), SpritePath::new("/r")).unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/r"), OpenMode::ReadWrite)
+            .unwrap();
+        fs.write(&mut net, t1, h(1), s, b"x").unwrap();
+        assert!(fs.stats().opens > 0 && fs.stats().bytes_written > 0);
+        fs.reset_stats();
+        let st = fs.stats();
+        assert_eq!(st.opens, 0);
+        assert_eq!(st.bytes_written, 0);
+        assert_eq!(st.lookups, 0);
+    }
+
+    #[test]
+    fn sparse_writes_read_back_zero_filled() {
+        let (mut net, mut fs) = setup(2);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (s, t1) = fs
+            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::ReadWrite)
+            .unwrap();
+        fs.seek(s, 3 * PAGE_SIZE).unwrap();
+        let t2 = fs.write(&mut net, t1, h(1), s, b"tail").unwrap();
+        fs.seek(s, PAGE_SIZE).unwrap();
+        let (data, _) = fs.read(&mut net, t2, h(1), s, PAGE_SIZE).unwrap();
+        assert_eq!(data, vec![0u8; PAGE_SIZE as usize]);
+        fs.seek(s, 3 * PAGE_SIZE).unwrap();
+        let (tail, _) = fs.read(&mut net, t2, h(1), s, 4).unwrap();
+        assert_eq!(&tail, b"tail");
+    }
+}

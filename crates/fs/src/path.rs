@@ -1,0 +1,124 @@
+//! Pathnames and domains.
+//!
+//! Sprite presents a single network-wide file name space, partitioned into
+//! *domains* each managed by one file server \[Wel90\]. Name lookup happens at
+//! the server, one pathname component at a time — which is why lookups are
+//! the file servers' dominant CPU cost during parallel compilations \[Nel88\],
+//! and why E5's speedup curve bends where it does.
+
+use std::fmt;
+
+/// An absolute pathname in the shared name space.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_fs::SpritePath;
+///
+/// let p = SpritePath::new("/users/douglis/thesis.tex");
+/// assert_eq!(p.components().count(), 3);
+/// assert_eq!(p.to_string(), "/users/douglis/thesis.tex");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpritePath(String);
+
+impl SpritePath {
+    /// Creates a path, normalizing to a single leading slash and no
+    /// trailing slash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty.
+    pub fn new(path: impl Into<String>) -> Self {
+        let raw = path.into();
+        assert!(!raw.is_empty(), "empty pathname");
+        let trimmed = raw.trim_matches('/');
+        SpritePath(format!("/{trimmed}"))
+    }
+
+    /// The pathname components, in order.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/').filter(|c| !c.is_empty())
+    }
+
+    /// Number of components (what a server-side lookup pays for).
+    pub fn depth(&self) -> u64 {
+        self.components().count() as u64
+    }
+
+    /// Appends a component.
+    pub fn join(&self, component: &str) -> SpritePath {
+        SpritePath::new(format!("{}/{}", self.0, component))
+    }
+
+    /// True if `self` lies under `prefix` (or equals it).
+    pub fn starts_with(&self, prefix: &SpritePath) -> bool {
+        if prefix.0 == "/" {
+            return true;
+        }
+        self.0 == prefix.0
+            || self
+                .0
+                .strip_prefix(&prefix.0)
+                .is_some_and(|rest| rest.starts_with('/'))
+    }
+
+    /// The raw string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SpritePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SpritePath {
+    fn from(s: &str) -> Self {
+        SpritePath::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_slashes() {
+        assert_eq!(SpritePath::new("a/b").as_str(), "/a/b");
+        assert_eq!(SpritePath::new("/a/b/").as_str(), "/a/b");
+        assert_eq!(SpritePath::new("//a//"), SpritePath::new("a"));
+    }
+
+    #[test]
+    fn depth_counts_components() {
+        assert_eq!(SpritePath::new("/").depth(), 0);
+        assert_eq!(SpritePath::new("/tmp").depth(), 1);
+        assert_eq!(SpritePath::new("/users/ouster/x.c").depth(), 3);
+    }
+
+    #[test]
+    fn join_appends() {
+        let base = SpritePath::new("/src");
+        assert_eq!(base.join("main.c"), SpritePath::new("/src/main.c"));
+    }
+
+    #[test]
+    fn prefix_matching_is_component_wise() {
+        let p = SpritePath::new("/users/douglis/x");
+        assert!(p.starts_with(&SpritePath::new("/users")));
+        assert!(p.starts_with(&SpritePath::new("/users/douglis")));
+        assert!(p.starts_with(&SpritePath::new("/")));
+        assert!(!p.starts_with(&SpritePath::new("/use")));
+        assert!(!p.starts_with(&SpritePath::new("/users/doug")));
+        assert!(p.starts_with(&p.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pathname")]
+    fn empty_path_panics() {
+        SpritePath::new("");
+    }
+}

@@ -1,0 +1,511 @@
+//! File-server state.
+//!
+//! Each server owns a set of domains (subtrees) of the shared name space,
+//! stores file contents, tracks which clients have each file open in which
+//! mode, and runs the cache-consistency protocol \[NWO88\]: caching is
+//! disabled for a file that is concurrently write-shared, and a client
+//! opening a file last written by a different client forces that writer's
+//! dirty blocks back first. The server's CPU is a real simulated resource —
+//! name lookups and block operations queue on it, and its saturation is what
+//! limits parallel compilation (E5) exactly as Nelson predicted \[Nel88\].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use sprite_net::{HostId, PAGE_SIZE};
+use sprite_sim::FcfsResource;
+
+use crate::{FileId, FileKind, OpenMode, SpritePath};
+
+/// One client's open instances of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenRecord {
+    /// The client host.
+    pub host: HostId,
+    /// Mode of this open instance.
+    pub mode: OpenMode,
+    /// Number of streams this host has open in this mode.
+    pub count: u32,
+}
+
+/// Server-side state for one file.
+#[derive(Debug)]
+pub struct ServerFile {
+    /// The authoritative contents.
+    pub data: Vec<u8>,
+    /// Bumped each time a client opens the file for writing; clients use it
+    /// to detect stale cached blocks (sequential write-sharing).
+    pub version: u64,
+    /// What kind of object this is.
+    pub kind: FileKind,
+    /// False when concurrent write-sharing has disabled client caching.
+    pub cacheable: bool,
+    /// Which hosts have the file open, per mode.
+    pub opens: Vec<OpenRecord>,
+    /// The client that most recently had the file open for writing (it may
+    /// hold dirty blocks the server must recall before another host reads).
+    pub last_writer: Option<HostId>,
+    /// Size including delayed writes still cached at clients. Size updates
+    /// travel with write RPC batches in the real system, so the server's
+    /// notion of length is current even when data is not.
+    noted_size: u64,
+}
+
+impl ServerFile {
+    fn new(kind: FileKind) -> Self {
+        ServerFile {
+            data: Vec::new(),
+            version: 1,
+            kind,
+            cacheable: !matches!(kind, FileKind::Pseudo { .. }),
+            opens: Vec::new(),
+            last_writer: None,
+            noted_size: 0,
+        }
+    }
+
+    /// The file's logical length, counting delayed writes still cached at
+    /// clients.
+    pub fn logical_size(&self) -> u64 {
+        self.noted_size.max(self.data.len() as u64)
+    }
+
+    /// Records that a client's cached write extended the file to `end`.
+    pub fn note_logical_size(&mut self, end: u64) {
+        self.noted_size = self.noted_size.max(end);
+    }
+
+    /// Hosts with the file open at all.
+    pub fn open_hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        let mut seen = HashSet::new();
+        self.opens
+            .iter()
+            .filter(move |r| seen.insert(r.host))
+            .map(|r| r.host)
+    }
+
+    /// Hosts with the file open for writing.
+    pub fn writer_hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        let mut seen = HashSet::new();
+        self.opens
+            .iter()
+            .filter(|r| r.mode.writes())
+            .filter(move |r| seen.insert(r.host))
+            .map(|r| r.host)
+    }
+
+    /// True if distinct hosts share the file while at least one writes —
+    /// the condition under which Sprite disables caching.
+    pub fn concurrently_write_shared(&self) -> bool {
+        let hosts: HashSet<HostId> = self.open_hosts().collect();
+        hosts.len() > 1 && self.writer_hosts().next().is_some()
+    }
+
+    fn add_open(&mut self, host: HostId, mode: OpenMode) {
+        if let Some(r) = self
+            .opens
+            .iter_mut()
+            .find(|r| r.host == host && r.mode == mode)
+        {
+            r.count += 1;
+        } else {
+            self.opens.push(OpenRecord {
+                host,
+                mode,
+                count: 1,
+            });
+        }
+    }
+
+    fn remove_open(&mut self, host: HostId, mode: OpenMode) -> bool {
+        if let Some(pos) = self
+            .opens
+            .iter()
+            .position(|r| r.host == host && r.mode == mode)
+        {
+            self.opens[pos].count -= 1;
+            if self.opens[pos].count == 0 {
+                self.opens.remove(pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads `len` bytes at `offset` (short reads at end of file).
+    pub fn read_at(&self, offset: u64, len: u64) -> Vec<u8> {
+        let start = (offset as usize).min(self.data.len());
+        let end = ((offset + len) as usize).min(self.data.len());
+        self.data[start..end].to_vec()
+    }
+
+    /// Writes `bytes` at `offset`, growing the file if needed.
+    pub fn write_at(&mut self, offset: u64, bytes: &[u8]) {
+        let end = offset as usize + bytes.len();
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        self.data[offset as usize..end].copy_from_slice(bytes);
+    }
+
+    /// Reads one whole block (short at end of file).
+    pub fn read_block(&self, block: u64) -> Vec<u8> {
+        self.read_at(block * PAGE_SIZE, PAGE_SIZE)
+    }
+}
+
+/// Consistency work a client open triggers, computed by the server.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConsistencyActions {
+    /// Hosts that must flush their dirty blocks of the file to the server
+    /// before the open completes (sequential write-sharing).
+    pub flush_from: Vec<HostId>,
+    /// Hosts that must drop all cached blocks of the file because caching
+    /// is now disabled (concurrent write-sharing), including the opener.
+    pub invalidate_on: Vec<HostId>,
+    /// Whether the file is cacheable after this open.
+    pub cacheable: bool,
+    /// True when the opener's own cached blocks are still current — nobody
+    /// else wrote the file since the opener last did. The opener may then
+    /// keep its cache across the version bump instead of refetching.
+    pub opener_cache_current: bool,
+}
+
+/// One file server.
+#[derive(Debug)]
+pub struct ServerState {
+    /// The machine this server runs on.
+    pub host: HostId,
+    /// The server's CPU; lookups and block service queue here.
+    pub cpu: FcfsResource,
+    namespace: HashMap<SpritePath, FileId>,
+    files: HashMap<FileId, ServerFile>,
+    /// Server main-memory block cache residency (LRU set). Contents always
+    /// live in `files`; this set only decides whether service costs a disk
+    /// access.
+    mem_cache: HashSet<(FileId, u64)>,
+    mem_lru: VecDeque<(FileId, u64)>,
+    mem_capacity: usize,
+    disk_reads: u64,
+}
+
+impl ServerState {
+    /// Creates a server on `host` with a block cache of `mem_capacity`
+    /// blocks.
+    pub fn new(host: HostId, mem_capacity: usize) -> Self {
+        ServerState {
+            host,
+            cpu: FcfsResource::new(),
+            namespace: HashMap::new(),
+            files: HashMap::new(),
+            mem_cache: HashSet::new(),
+            mem_lru: VecDeque::new(),
+            mem_capacity: mem_capacity.max(1),
+            disk_reads: 0,
+        }
+    }
+
+    /// Registers a new file under `path`. Returns `None` if the name exists.
+    pub fn create(&mut self, path: SpritePath, id: FileId, kind: FileKind) -> Option<FileId> {
+        if self.namespace.contains_key(&path) {
+            return None;
+        }
+        self.namespace.insert(path, id);
+        self.files.insert(id, ServerFile::new(kind));
+        Some(id)
+    }
+
+    /// Looks a path up in this server's namespace.
+    pub fn lookup(&self, path: &SpritePath) -> Option<FileId> {
+        self.namespace.get(path).copied()
+    }
+
+    /// Removes a name and its file. Returns true if it existed.
+    pub fn unlink(&mut self, path: &SpritePath) -> bool {
+        if let Some(id) = self.namespace.remove(path) {
+            self.files.remove(&id);
+            self.mem_cache.retain(|(f, _)| *f != id);
+            self.mem_lru.retain(|(f, _)| *f != id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Accesses a file's state.
+    pub fn file(&self, id: FileId) -> Option<&ServerFile> {
+        self.files.get(&id)
+    }
+
+    /// Mutable access to a file's state.
+    pub fn file_mut(&mut self, id: FileId) -> Option<&mut ServerFile> {
+        self.files.get_mut(&id)
+    }
+
+    /// Number of files stored.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total disk reads performed (server cache misses).
+    pub fn disk_reads(&self) -> u64 {
+        self.disk_reads
+    }
+
+    /// Registers an open by `host` in `mode`, returning the consistency
+    /// actions the caller must carry out *before* granting the open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file does not exist (callers look up first).
+    pub fn open(&mut self, id: FileId, host: HostId, mode: OpenMode) -> ConsistencyActions {
+        let file = self.files.get_mut(&id).expect("open of unknown file");
+        let mut actions = ConsistencyActions {
+            cacheable: file.cacheable,
+            opener_cache_current: file.last_writer.map_or(true, |w| w == host),
+            ..ConsistencyActions::default()
+        };
+        // Sequential write-sharing: a different host wrote this file last
+        // and may hold dirty blocks; recall them so this open sees current
+        // data [NWO88].
+        if let Some(w) = file.last_writer {
+            if w != host {
+                actions.flush_from.push(w);
+            }
+        }
+        file.add_open(host, mode);
+        if mode.writes() {
+            file.version += 1;
+            file.last_writer = Some(host);
+        }
+        // Concurrent write-sharing: disable caching for everyone.
+        if file.concurrently_write_shared() && file.cacheable {
+            file.cacheable = false;
+            actions.invalidate_on = file.open_hosts().collect();
+        }
+        actions.cacheable = file.cacheable;
+        actions
+    }
+
+    /// Adds an open record for `host` during stream migration: no version
+    /// bump and no recall (the migration protocol already flushed the source
+    /// host), but concurrent write-sharing created by the move still
+    /// disables caching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file does not exist.
+    pub fn open_for_migration(&mut self, id: FileId, host: HostId, mode: OpenMode) {
+        let file = self.files.get_mut(&id).expect("migrating unknown file");
+        file.add_open(host, mode);
+        if mode.writes() {
+            // A write stream arriving on a new host is a write-open for
+            // consistency purposes: bump the version so blocks cached
+            // elsewhere under the old version read as stale.
+            file.version += 1;
+            file.last_writer = Some(host);
+        }
+        if file.concurrently_write_shared() {
+            file.cacheable = false;
+        }
+    }
+
+    /// Registers a close by `host`. Re-enables caching when the file is no
+    /// longer concurrently write-shared. Returns false for a bogus close.
+    pub fn close(&mut self, id: FileId, host: HostId, mode: OpenMode) -> bool {
+        let Some(file) = self.files.get_mut(&id) else {
+            return false;
+        };
+        let ok = file.remove_open(host, mode);
+        if ok && !file.concurrently_write_shared() {
+            file.cacheable = true;
+        }
+        ok
+    }
+
+    /// Transfers `host`'s open records for a migrating stream to `to`.
+    /// Part of the stream-migration protocol (Ch. 5.3): the I/O server is
+    /// the one place that atomically updates which host holds the stream.
+    pub fn move_open(&mut self, id: FileId, from: HostId, to: HostId, mode: OpenMode) -> bool {
+        let Some(file) = self.files.get_mut(&id) else {
+            return false;
+        };
+        if !file.remove_open(from, mode) {
+            return false;
+        }
+        file.add_open(to, mode);
+        if mode.writes() {
+            // Same rule as `open_for_migration`: the stream's arrival is a
+            // write-open, so stale copies elsewhere must version-miss.
+            file.version += 1;
+            file.last_writer = Some(to);
+        }
+        // Migration can create or destroy concurrent write-sharing.
+        if file.concurrently_write_shared() {
+            file.cacheable = false;
+        } else {
+            file.cacheable = true;
+        }
+        true
+    }
+
+    /// Touches a block in the server memory cache; returns true if it was
+    /// resident (no disk access needed).
+    pub fn touch_block(&mut self, id: FileId, block: u64) -> bool {
+        let key = (id, block);
+        if self.mem_cache.contains(&key) {
+            // Refresh recency.
+            if let Some(pos) = self.mem_lru.iter().position(|k| *k == key) {
+                self.mem_lru.remove(pos);
+            }
+            self.mem_lru.push_back(key);
+            true
+        } else {
+            self.disk_reads += 1;
+            self.mem_cache.insert(key);
+            self.mem_lru.push_back(key);
+            while self.mem_cache.len() > self.mem_capacity {
+                if let Some(old) = self.mem_lru.pop_front() {
+                    self.mem_cache.remove(&old);
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> ServerState {
+        ServerState::new(HostId::new(0), 64)
+    }
+
+    fn h(i: u32) -> HostId {
+        HostId::new(i)
+    }
+
+    #[test]
+    fn create_lookup_unlink() {
+        let mut s = server();
+        let p = SpritePath::new("/a/b");
+        assert!(s.create(p.clone(), FileId::new(1), FileKind::Regular).is_some());
+        assert!(s.create(p.clone(), FileId::new(2), FileKind::Regular).is_none());
+        assert_eq!(s.lookup(&p), Some(FileId::new(1)));
+        assert!(s.unlink(&p));
+        assert!(!s.unlink(&p));
+        assert_eq!(s.lookup(&p), None);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut f = ServerFile::new(FileKind::Regular);
+        f.write_at(10, b"hello");
+        assert_eq!(f.data.len(), 15);
+        assert_eq!(f.read_at(10, 5), b"hello");
+        assert_eq!(f.read_at(12, 100), b"llo");
+        assert_eq!(f.read_at(100, 5), b"");
+    }
+
+    #[test]
+    fn single_host_open_is_cacheable_with_no_actions() {
+        let mut s = server();
+        s.create(SpritePath::new("/f"), FileId::new(1), FileKind::Regular);
+        let a = s.open(FileId::new(1), h(1), OpenMode::ReadWrite);
+        assert!(a.cacheable);
+        assert!(a.flush_from.is_empty());
+        assert!(a.invalidate_on.is_empty());
+    }
+
+    #[test]
+    fn sequential_write_sharing_recalls_from_last_writer() {
+        let mut s = server();
+        s.create(SpritePath::new("/f"), FileId::new(1), FileKind::Regular);
+        s.open(FileId::new(1), h(1), OpenMode::Write);
+        s.close(FileId::new(1), h(1), OpenMode::Write);
+        let a = s.open(FileId::new(1), h(2), OpenMode::Read);
+        assert_eq!(a.flush_from, vec![h(1)]);
+        assert!(a.cacheable, "no concurrent sharing, still cacheable");
+    }
+
+    #[test]
+    fn write_open_bumps_version() {
+        let mut s = server();
+        s.create(SpritePath::new("/f"), FileId::new(1), FileKind::Regular);
+        let v0 = s.file(FileId::new(1)).unwrap().version;
+        s.open(FileId::new(1), h(1), OpenMode::Write);
+        assert_eq!(s.file(FileId::new(1)).unwrap().version, v0 + 1);
+        s.open(FileId::new(1), h(1), OpenMode::Read);
+        assert_eq!(s.file(FileId::new(1)).unwrap().version, v0 + 1);
+    }
+
+    #[test]
+    fn concurrent_write_sharing_disables_caching() {
+        let mut s = server();
+        s.create(SpritePath::new("/f"), FileId::new(1), FileKind::Regular);
+        s.open(FileId::new(1), h(1), OpenMode::Write);
+        let a = s.open(FileId::new(1), h(2), OpenMode::Read);
+        assert!(!a.cacheable);
+        let mut inv = a.invalidate_on.clone();
+        inv.sort();
+        assert_eq!(inv, vec![h(1), h(2)]);
+    }
+
+    #[test]
+    fn caching_reenabled_after_sharing_ends() {
+        let mut s = server();
+        s.create(SpritePath::new("/f"), FileId::new(1), FileKind::Regular);
+        s.open(FileId::new(1), h(1), OpenMode::Write);
+        s.open(FileId::new(1), h(2), OpenMode::Read);
+        assert!(!s.file(FileId::new(1)).unwrap().cacheable);
+        s.close(FileId::new(1), h(1), OpenMode::Write);
+        assert!(s.file(FileId::new(1)).unwrap().cacheable);
+    }
+
+    #[test]
+    fn move_open_transfers_sharing() {
+        let mut s = server();
+        s.create(SpritePath::new("/f"), FileId::new(1), FileKind::Regular);
+        s.open(FileId::new(1), h(1), OpenMode::Write);
+        assert!(s.move_open(FileId::new(1), h(1), h(2), OpenMode::Write));
+        let f = s.file(FileId::new(1)).unwrap();
+        assert_eq!(f.open_hosts().collect::<Vec<_>>(), vec![h(2)]);
+        assert_eq!(f.last_writer, Some(h(2)));
+        assert!(f.cacheable);
+        assert!(!s.move_open(FileId::new(1), h(1), h(3), OpenMode::Write));
+    }
+
+    #[test]
+    fn migration_can_end_concurrent_sharing() {
+        let mut s = server();
+        s.create(SpritePath::new("/f"), FileId::new(1), FileKind::Regular);
+        s.open(FileId::new(1), h(1), OpenMode::Write);
+        s.open(FileId::new(1), h(2), OpenMode::Read);
+        assert!(!s.file(FileId::new(1)).unwrap().cacheable);
+        // The writer migrates to the reader's host: sharing collapses.
+        s.move_open(FileId::new(1), h(1), h(2), OpenMode::Write);
+        assert!(s.file(FileId::new(1)).unwrap().cacheable);
+    }
+
+    #[test]
+    fn server_memory_cache_lru() {
+        let mut s = ServerState::new(h(0), 2);
+        assert!(!s.touch_block(FileId::new(1), 0), "first touch misses");
+        assert!(s.touch_block(FileId::new(1), 0), "second touch hits");
+        s.touch_block(FileId::new(1), 1);
+        s.touch_block(FileId::new(1), 2); // evicts block 0? no: 0 touched recently
+        // LRU order after touches: 0 (hit), 1, 2 -> capacity 2 keeps {1,2}.
+        assert!(!s.touch_block(FileId::new(1), 0), "block 0 was evicted");
+        assert_eq!(s.disk_reads(), 4);
+    }
+
+    #[test]
+    fn double_close_rejected() {
+        let mut s = server();
+        s.create(SpritePath::new("/f"), FileId::new(1), FileKind::Regular);
+        s.open(FileId::new(1), h(1), OpenMode::Read);
+        assert!(s.close(FileId::new(1), h(1), OpenMode::Read));
+        assert!(!s.close(FileId::new(1), h(1), OpenMode::Read));
+    }
+}

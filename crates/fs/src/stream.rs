@@ -1,0 +1,365 @@
+//! Streams and shadow streams.
+//!
+//! A *stream* is Sprite's open-file object: it names a file, an access mode
+//! and an access position. Streams are shared — `fork` gives parent and
+//! child the *same* stream, so they share one access position. Process
+//! migration can therefore leave a single stream referenced from two hosts;
+//! when that happens the access position can no longer live safely in either
+//! kernel, so Sprite moves it to the I/O server and marks the client-side
+//! objects as *shadow streams* \[Wel90\]. Every subsequent read or write pays
+//! a server round trip to use the shared offset — a genuine, measurable cost
+//! of transparency that experiment E3/E12 quantifies.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sprite_net::HostId;
+
+use crate::{FileId, FileKind, OpenMode};
+
+/// Identifies one stream (open-file object) network-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(u64);
+
+impl StreamId {
+    pub(crate) const fn new(raw: u64) -> Self {
+        StreamId(raw)
+    }
+
+    /// The raw identifier value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+/// One open-file object, possibly referenced from several hosts.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    /// The file this stream reads/writes.
+    pub file: FileId,
+    /// The I/O server managing the file.
+    pub server: HostId,
+    /// Access mode fixed at open time.
+    pub mode: OpenMode,
+    /// What kind of object the file is.
+    pub kind: FileKind,
+    offset: u64,
+    /// Reference counts per holding host (fork shares within a host;
+    /// migration moves references between hosts).
+    holders: HashMap<HostId, u32>,
+}
+
+impl Stream {
+    /// Current access position.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Sets the access position (lseek).
+    pub fn set_offset(&mut self, offset: u64) {
+        self.offset = offset;
+    }
+
+    /// Advances the access position after a transfer of `n` bytes.
+    pub fn advance(&mut self, n: u64) {
+        self.offset += n;
+    }
+
+    /// Total references across all hosts.
+    pub fn total_refs(&self) -> u32 {
+        self.holders.values().sum()
+    }
+
+    /// References held by one host.
+    pub fn refs_on(&self, host: HostId) -> u32 {
+        self.holders.get(&host).copied().unwrap_or(0)
+    }
+
+    /// Hosts currently holding references.
+    pub fn holder_hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.holders.keys().copied()
+    }
+
+    /// True when references exist on more than one host: the access
+    /// position must then be managed at the I/O server (shadow streams).
+    pub fn is_shadowed(&self) -> bool {
+        self.holders.len() > 1
+    }
+}
+
+/// The network-wide table of streams.
+///
+/// In the real system each kernel has its own stream table with shadow
+/// entries at servers; one logical table with per-host reference counts is
+/// observationally equivalent in a single-address-space simulation and makes
+/// the sharing invariants directly checkable.
+#[derive(Debug, Default)]
+pub struct StreamTable {
+    streams: HashMap<StreamId, Stream>,
+    next: u64,
+}
+
+impl StreamTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StreamTable::default()
+    }
+
+    /// Creates a stream for `host` on `file`.
+    pub fn open(
+        &mut self,
+        file: FileId,
+        server: HostId,
+        kind: FileKind,
+        mode: OpenMode,
+        host: HostId,
+    ) -> StreamId {
+        let id = StreamId::new(self.next);
+        self.next += 1;
+        let mut holders = HashMap::new();
+        holders.insert(host, 1);
+        self.streams.insert(
+            id,
+            Stream {
+                file,
+                server,
+                mode,
+                kind,
+                offset: 0,
+                holders,
+            },
+        );
+        id
+    }
+
+    /// Looks up a stream.
+    pub fn get(&self, id: StreamId) -> Option<&Stream> {
+        self.streams.get(&id)
+    }
+
+    /// Mutable access to a stream.
+    pub fn get_mut(&mut self, id: StreamId) -> Option<&mut Stream> {
+        self.streams.get_mut(&id)
+    }
+
+    /// Number of live streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True if no streams are open.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Adds a reference from `host` (fork duplicating a descriptor).
+    /// Returns false for an unknown stream.
+    pub fn add_ref(&mut self, id: StreamId, host: HostId) -> bool {
+        match self.streams.get_mut(&id) {
+            Some(s) => {
+                *s.holders.entry(host).or_insert(0) += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops one reference from `host`. Returns what remains.
+    pub fn release(&mut self, id: StreamId, host: HostId) -> ReleaseOutcome {
+        let Some(s) = self.streams.get_mut(&id) else {
+            return ReleaseOutcome::UnknownStream;
+        };
+        let Some(count) = s.holders.get_mut(&host) else {
+            return ReleaseOutcome::NotAHolder;
+        };
+        *count -= 1;
+        let host_dropped = *count == 0;
+        if host_dropped {
+            s.holders.remove(&host);
+        }
+        if s.holders.is_empty() {
+            self.streams.remove(&id);
+            ReleaseOutcome::StreamClosed
+        } else {
+            ReleaseOutcome::StillOpen {
+                host_dropped_file_ref: host_dropped,
+                shadowed: self.streams[&id].is_shadowed(),
+            }
+        }
+    }
+
+    /// Moves `n` references from `from` to `to` (process migration).
+    /// Returns the stream's shadowing state after the move, or `None` if the
+    /// stream or references do not exist.
+    pub fn move_refs(
+        &mut self,
+        id: StreamId,
+        from: HostId,
+        to: HostId,
+        n: u32,
+    ) -> Option<MoveOutcome> {
+        let s = self.streams.get_mut(&id)?;
+        let have = s.holders.get_mut(&from)?;
+        if *have < n {
+            return None;
+        }
+        *have -= n;
+        let from_dropped = *have == 0;
+        if from_dropped {
+            s.holders.remove(&from);
+        }
+        *s.holders.entry(to).or_insert(0) += n;
+        Some(MoveOutcome {
+            shadowed: s.is_shadowed(),
+            from_dropped_file_ref: from_dropped,
+        })
+    }
+
+    /// Iterates over all streams (diagnostics, invariant checks).
+    pub fn iter(&self) -> impl Iterator<Item = (StreamId, &Stream)> {
+        self.streams.iter().map(|(id, s)| (*id, s))
+    }
+}
+
+/// Result of dropping a stream reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseOutcome {
+    /// No such stream.
+    UnknownStream,
+    /// The host did not hold a reference.
+    NotAHolder,
+    /// The last reference anywhere disappeared; the file close should
+    /// propagate to the server.
+    StreamClosed,
+    /// References remain.
+    StillOpen {
+        /// This host dropped its last reference (server open-record for the
+        /// host should be released).
+        host_dropped_file_ref: bool,
+        /// Whether the stream is still shadowed after the release.
+        shadowed: bool,
+    },
+}
+
+/// Result of migrating stream references between hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveOutcome {
+    /// True if the stream is now referenced from more than one host and the
+    /// access position must be managed at the I/O server.
+    pub shadowed: bool,
+    /// True if the source host no longer references the stream at all.
+    pub from_dropped_file_ref: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: u32) -> HostId {
+        HostId::new(i)
+    }
+
+    fn table_with_stream() -> (StreamTable, StreamId) {
+        let mut t = StreamTable::new();
+        let id = t.open(
+            FileId::new(1),
+            h(0),
+            FileKind::Regular,
+            OpenMode::ReadWrite,
+            h(1),
+        );
+        (t, id)
+    }
+
+    #[test]
+    fn open_creates_single_holder() {
+        let (t, id) = table_with_stream();
+        let s = t.get(id).unwrap();
+        assert_eq!(s.total_refs(), 1);
+        assert_eq!(s.refs_on(h(1)), 1);
+        assert!(!s.is_shadowed());
+        assert_eq!(s.offset(), 0);
+    }
+
+    #[test]
+    fn fork_shares_offset() {
+        let (mut t, id) = table_with_stream();
+        assert!(t.add_ref(id, h(1)));
+        t.get_mut(id).unwrap().advance(100);
+        let s = t.get(id).unwrap();
+        assert_eq!(s.total_refs(), 2);
+        assert_eq!(s.offset(), 100, "parent and child share one position");
+        assert!(!s.is_shadowed(), "same-host sharing needs no shadow");
+    }
+
+    #[test]
+    fn migration_of_one_ref_creates_shadow() {
+        let (mut t, id) = table_with_stream();
+        t.add_ref(id, h(1)); // forked child stays home
+        let outcome = t.move_refs(id, h(1), h(2), 1).unwrap();
+        assert!(outcome.shadowed, "refs now on two hosts");
+        assert!(!outcome.from_dropped_file_ref);
+        assert!(t.get(id).unwrap().is_shadowed());
+    }
+
+    #[test]
+    fn migration_of_sole_ref_does_not_shadow() {
+        let (mut t, id) = table_with_stream();
+        let outcome = t.move_refs(id, h(1), h(2), 1).unwrap();
+        assert!(!outcome.shadowed);
+        assert!(outcome.from_dropped_file_ref);
+        assert_eq!(t.get(id).unwrap().refs_on(h(2)), 1);
+    }
+
+    #[test]
+    fn move_more_refs_than_held_fails() {
+        let (mut t, id) = table_with_stream();
+        assert!(t.move_refs(id, h(1), h(2), 2).is_none());
+        assert!(t.move_refs(id, h(9), h(2), 1).is_none());
+    }
+
+    #[test]
+    fn release_sequences() {
+        let (mut t, id) = table_with_stream();
+        t.add_ref(id, h(1));
+        t.move_refs(id, h(1), h(2), 1);
+        // Two holders now: h1 x1, h2 x1.
+        match t.release(id, h(1)) {
+            ReleaseOutcome::StillOpen {
+                host_dropped_file_ref,
+                shadowed,
+            } => {
+                assert!(host_dropped_file_ref);
+                assert!(!shadowed, "back to a single host");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(t.release(id, h(2)), ReleaseOutcome::StreamClosed);
+        assert_eq!(t.release(id, h(2)), ReleaseOutcome::UnknownStream);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn release_by_non_holder() {
+        let (mut t, id) = table_with_stream();
+        assert_eq!(t.release(id, h(5)), ReleaseOutcome::NotAHolder);
+    }
+
+    #[test]
+    fn shadow_collapses_when_refs_reunite() {
+        let (mut t, id) = table_with_stream();
+        t.add_ref(id, h(1));
+        t.move_refs(id, h(1), h(2), 1);
+        assert!(t.get(id).unwrap().is_shadowed());
+        // The stay-home process migrates to join the other: one host again.
+        let outcome = t.move_refs(id, h(1), h(2), 1).unwrap();
+        assert!(!outcome.shadowed);
+        assert_eq!(t.get(id).unwrap().refs_on(h(2)), 2);
+    }
+}

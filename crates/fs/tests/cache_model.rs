@@ -1,0 +1,156 @@
+//! Property test: the write-back LRU block cache never loses dirty data,
+//! no matter the interleaving of inserts, lookups, evictions, recalls and
+//! invalidations — checked against a flat reference model.
+//!
+//! "Never loses dirty data" means: at any drain point, (bytes in dirty
+//! cache blocks) ∪ (bytes previously returned for write-back) equals the
+//! reference contents.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sprite_fs::{BlockAddr, BlockCache, FileKind, OpenMode, SpriteFs, SpritePath};
+use sprite_net::HostId;
+use sprite_sim::SimTime;
+
+/// Mint distinct FileIds through a real SpriteFs (the constructor is
+/// intentionally private).
+fn mint_file_ids(n: usize) -> Vec<sprite_fs::FileId> {
+    let mut net = sprite_net::Network::new(sprite_net::CostModel::sun3(), 2);
+    let mut fs = SpriteFs::new(sprite_fs::FsConfig::default(), 2);
+    fs.add_server(HostId::new(0), SpritePath::new("/"));
+    let _ = (FileKind::Regular, OpenMode::Read); // exercised elsewhere
+    (0..n)
+        .map(|i| {
+            fs.create(
+                &mut net,
+                SimTime::ZERO,
+                HostId::new(1),
+                SpritePath::new(format!("/m/{i}")),
+            )
+            .unwrap()
+            .0
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    InsertClean { file: u8, block: u8, byte: u8 },
+    InsertDirty { file: u8, block: u8, byte: u8 },
+    Lookup { file: u8, block: u8 },
+    TakeDirty { file: u8 },
+    Invalidate { file: u8 },
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u8..3, 0u8..6, any::<u8>())
+            .prop_map(|(file, block, byte)| CacheOp::InsertClean { file, block, byte }),
+        (0u8..3, 0u8..6, any::<u8>())
+            .prop_map(|(file, block, byte)| CacheOp::InsertDirty { file, block, byte }),
+        (0u8..3, 0u8..6).prop_map(|(file, block)| CacheOp::Lookup { file, block }),
+        (0u8..3).prop_map(|file| CacheOp::TakeDirty { file }),
+        (0u8..3).prop_map(|file| CacheOp::Invalidate { file }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dirty_data_is_never_lost(ops in prop::collection::vec(cache_op(), 1..80)) {
+        let files = mint_file_ids(3);
+        // Deliberately tiny cache so evictions are constant.
+        let mut cache = BlockCache::new(4);
+        // Reference: latest bytes written per (file, block), and whether the
+        // latest version is safely "at the server" (from eviction/flush) or
+        // must still be dirty in the cache.
+        let mut latest: HashMap<(u8, u8), u8> = HashMap::new();
+        let mut at_server: HashMap<(u8, u8), u8> = HashMap::new();
+        const V: u64 = 1;
+
+        let note_writeback = |addr: BlockAddr, data: &[u8],
+                                  files: &[sprite_fs::FileId],
+                                  at_server: &mut HashMap<(u8, u8), u8>| {
+            let f = files.iter().position(|f| *f == addr.file).unwrap() as u8;
+            at_server.insert((f, addr.block as u8), data[0]);
+        };
+
+        for op in ops {
+            match op {
+                CacheOp::InsertClean { file, block, byte } => {
+                    // A clean insert models a fetch: only allowed if it
+                    // matches the server's copy; use the at_server byte if
+                    // known, else this byte becomes the server truth.
+                    let b = *at_server.entry((file, block)).or_insert(byte);
+                    // Only meaningful if the block is not dirty in cache
+                    // (the real FS never refetches over a dirty block).
+                    if cache.lookup(BlockAddr { file: files[file as usize], block: block as u64 }, V).is_none()
+                        || latest.get(&(file, block)) == at_server.get(&(file, block)) {
+                        if let Some((addr, data)) = cache.insert_clean(
+                            BlockAddr { file: files[file as usize], block: block as u64 },
+                            V,
+                            vec![b; 8],
+                        ) {
+                            note_writeback(addr, &data, &files, &mut at_server);
+                        }
+                        latest.entry((file, block)).or_insert(b);
+                    }
+                }
+                CacheOp::InsertDirty { file, block, byte } => {
+                    if let Some((addr, data)) = cache.insert_dirty(
+                        BlockAddr { file: files[file as usize], block: block as u64 },
+                        V,
+                        vec![byte; 8],
+                    ) {
+                        note_writeback(addr, &data, &files, &mut at_server);
+                    }
+                    latest.insert((file, block), byte);
+                }
+                CacheOp::Lookup { file, block } => {
+                    let got = cache.lookup(
+                        BlockAddr { file: files[file as usize], block: block as u64 },
+                        V,
+                    );
+                    if let Some(data) = got {
+                        // Whatever the cache returns must be either the
+                        // latest write or the server's copy.
+                        let f = latest.get(&(file, block)).copied();
+                        let s = at_server.get(&(file, block)).copied();
+                        prop_assert!(
+                            Some(data[0]) == f || Some(data[0]) == s,
+                            "cache returned {} but latest={:?} server={:?}",
+                            data[0], f, s
+                        );
+                    }
+                }
+                CacheOp::TakeDirty { file } => {
+                    for (addr, data) in cache.take_dirty_blocks(files[file as usize]) {
+                        note_writeback(addr, &data, &files, &mut at_server);
+                    }
+                }
+                CacheOp::Invalidate { file } => {
+                    for (addr, data) in cache.invalidate_file(files[file as usize]) {
+                        note_writeback(addr, &data, &files, &mut at_server);
+                    }
+                }
+            }
+        }
+        // Drain everything; afterwards the server must hold every latest
+        // byte ever written.
+        for f in 0u8..3 {
+            for (addr, data) in cache.take_dirty_blocks(files[f as usize]) {
+                let fi = f;
+                at_server.insert((fi, addr.block as u8), data[0]);
+            }
+        }
+        for ((file, block), byte) in &latest {
+            prop_assert_eq!(
+                at_server.get(&(*file, *block)),
+                Some(byte),
+                "file {} block {}: latest byte lost", file, block
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Idle-host detection and host selection for the Sprite cluster.
+//!
+//! Load sharing needs an answer to "where should this process go?". This
+//! crate provides the load metric ([`LoadAverage`]), the availability rule
+//! ([`AvailabilityPolicy`]) and the four selection architectures the thesis
+//! compares in Chapter 6 — [`CentralServer`] (Sprite's `migd`),
+//! [`SharedFileBoard`] (the original design), [`Probabilistic`]
+//! (MOSIX-style gossip) and [`MulticastQuery`] (Theimer/Lantz-style
+//! stateless queries) — behind one [`HostSelector`] trait so experiment E10
+//! can race them on identical workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod load;
+mod selectors;
+
+pub use load::{AvailabilityPolicy, HostInfo, LoadAverage};
+pub use selectors::{
+    CentralServer, HostSelector, MulticastQuery, Probabilistic, SelectorStats, SharedFileBoard,
+};

@@ -1,0 +1,173 @@
+//! Load metrics and idle-host detection.
+//!
+//! Sprite considered a workstation *available* when its owner had not
+//! touched keyboard or mouse for a while and its runnable-process load was
+//! low. Mutka and Livny's observation \[ML87\] — hosts idle a long time tend
+//! to stay idle — motivates ranking candidates by idle time.
+
+use sprite_net::HostId;
+use sprite_sim::{SimDuration, SimTime};
+
+/// An exponentially-decaying average of the runnable-process count, like the
+/// UNIX one-minute load average.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_hostsel::LoadAverage;
+/// use sprite_sim::{SimDuration, SimTime};
+///
+/// let mut load = LoadAverage::new(SimDuration::from_secs(60));
+/// let mut t = SimTime::ZERO;
+/// for _ in 0..300 {
+///     t += SimDuration::from_secs(1);
+///     load.sample(t, 2.0);
+/// }
+/// assert!((load.value() - 2.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadAverage {
+    tau: f64,
+    value: f64,
+    last: Option<SimTime>,
+}
+
+impl LoadAverage {
+    /// Creates a load average with time constant `tau`.
+    pub fn new(tau: SimDuration) -> Self {
+        LoadAverage {
+            tau: tau.as_secs_f64().max(1e-9),
+            value: 0.0,
+            last: None,
+        }
+    }
+
+    /// Feeds one sample of the instantaneous runnable count.
+    pub fn sample(&mut self, now: SimTime, runnable: f64) {
+        match self.last {
+            None => {
+                self.value = runnable;
+            }
+            Some(prev) => {
+                let dt = now.saturating_elapsed_since(prev).as_secs_f64();
+                let alpha = (-dt / self.tau).exp();
+                self.value = self.value * alpha + runnable * (1.0 - alpha);
+            }
+        }
+        self.last = Some(now);
+    }
+
+    /// The current smoothed load.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Adds anticipated load for processes about to arrive — MOSIX-style
+    /// flood prevention \[BSW89\]: a host that just accepted work reports
+    /// itself busier than it has yet become.
+    pub fn anticipate(&mut self, incoming: f64) {
+        self.value += incoming;
+    }
+}
+
+/// A snapshot of one host's availability-relevant state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostInfo {
+    /// Which host.
+    pub host: HostId,
+    /// Smoothed runnable-process load.
+    pub load: f64,
+    /// Time since the last keyboard/mouse input.
+    pub idle: SimDuration,
+    /// Whether the owner is actively at the console.
+    pub console_active: bool,
+}
+
+impl HostInfo {
+    /// A fully-idle snapshot, for tests and initialization.
+    pub fn idle_host(host: HostId, idle: SimDuration) -> Self {
+        HostInfo {
+            host,
+            load: 0.0,
+            idle,
+            console_active: false,
+        }
+    }
+}
+
+/// When a host counts as an eligible migration target.
+#[derive(Debug, Clone, Copy)]
+pub struct AvailabilityPolicy {
+    /// Minimum input-idle time (Sprite waited on the order of 30 s so a
+    /// briefly-pausing user did not lose the machine).
+    pub min_idle: SimDuration,
+    /// Maximum smoothed load.
+    pub max_load: f64,
+}
+
+impl Default for AvailabilityPolicy {
+    fn default() -> Self {
+        AvailabilityPolicy {
+            min_idle: SimDuration::from_secs(30),
+            max_load: 0.30,
+        }
+    }
+}
+
+impl AvailabilityPolicy {
+    /// Does `info` describe an available host?
+    pub fn is_available(&self, info: &HostInfo) -> bool {
+        !info.console_active && info.idle >= self.min_idle && info.load <= self.max_load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut l = LoadAverage::new(SimDuration::from_secs(60));
+        l.sample(t(0), 3.0);
+        assert_eq!(l.value(), 3.0);
+    }
+
+    #[test]
+    fn decays_toward_new_level() {
+        let mut l = LoadAverage::new(SimDuration::from_secs(60));
+        l.sample(t(0), 4.0);
+        for s in 1..=60 {
+            l.sample(t(s), 0.0);
+        }
+        // After one time constant the old level should have decayed to ~37%.
+        assert!(l.value() < 4.0 * 0.45, "value {}", l.value());
+        assert!(l.value() > 4.0 * 0.25, "value {}", l.value());
+    }
+
+    #[test]
+    fn anticipation_raises_load_immediately() {
+        let mut l = LoadAverage::new(SimDuration::from_secs(60));
+        l.sample(t(0), 0.0);
+        l.anticipate(1.0);
+        assert!(l.value() >= 1.0);
+    }
+
+    #[test]
+    fn availability_policy_thresholds() {
+        let p = AvailabilityPolicy::default();
+        let mut info = HostInfo::idle_host(HostId::new(1), SimDuration::from_secs(60));
+        assert!(p.is_available(&info));
+        info.console_active = true;
+        assert!(!p.is_available(&info));
+        info.console_active = false;
+        info.idle = SimDuration::from_secs(10);
+        assert!(!p.is_available(&info), "recently-touched keyboard");
+        info.idle = SimDuration::from_secs(60);
+        info.load = 1.5;
+        assert!(!p.is_available(&info), "loaded host");
+    }
+}

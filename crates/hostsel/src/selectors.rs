@@ -1,0 +1,904 @@
+//! The four host-selection architectures of Chapter 6.
+//!
+//! Sprite needed to answer "which idle host should take this process?" and
+//! the thesis compares four ways to organize the answer (Table 6.2):
+//!
+//! * **shared file** — the original Sprite design: every host writes its
+//!   status into one file; selectors read the whole file under a lock. The
+//!   file is write-shared, so caching is disabled and every access pounds
+//!   the file server.
+//! * **central server** — the final design (`migd`): a user-level daemon
+//!   reached through a pseudo-device holds the state and the assignment
+//!   table; selection and release are one round trip each (56 ms end to end
+//!   on DECstation-era hardware \[DO91\]).
+//! * **probabilistic distributed** — MOSIX-style \[BS85\]: each host gossips
+//!   its load to a few random peers; selection is purely local but the
+//!   information is stale, so picks conflict.
+//! * **multicast** — Theimer/Lantz-style \[TL88\]: no state at all; ask the
+//!   network and take whoever answers. Cheap selections, but every idle
+//!   host answers every query, so traffic scales with cluster size.
+//!
+//! Every implementation counts its messages, its conflicts (picks that turn
+//! out stale against ground truth) and its selection latency; experiment
+//! E10 tabulates them side by side.
+
+use std::collections::BTreeMap;
+
+use sprite_net::{HostId, Network};
+use sprite_sim::{DetRng, FcfsResource, OnlineStats, SimDuration, SimTime};
+
+use crate::load::{AvailabilityPolicy, HostInfo};
+
+/// Counters every selector keeps.
+#[derive(Debug, Clone, Default)]
+pub struct SelectorStats {
+    /// Selection requests received.
+    pub requests: u64,
+    /// Requests granted a host.
+    pub granted: u64,
+    /// Requests denied (no host available).
+    pub denied: u64,
+    /// Picks that proved stale against ground truth and were retried.
+    pub conflicts: u64,
+    /// Control messages sent (status updates + selection traffic).
+    pub messages: u64,
+    /// End-to-end selection latency.
+    pub select_latency: OnlineStats,
+}
+
+/// A host-selection architecture.
+///
+/// The simulation driver calls [`HostSelector::report`] periodically for
+/// each host (the per-host load daemon), [`HostSelector::select`] when a
+/// process wants an idle host, and [`HostSelector::release`] when it gives
+/// one back. `truth` at selection time is the ground-truth host state the
+/// architecture may only have a stale view of; implementations use it to
+/// detect (and count) conflicts, never to cheat their own view.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_hostsel::{AvailabilityPolicy, CentralServer, HostInfo, HostSelector};
+/// use sprite_net::{CostModel, HostId, Network};
+/// use sprite_sim::{SimDuration, SimTime};
+///
+/// let mut net = Network::new(CostModel::sun3(), 4);
+/// let mut migd = CentralServer::new(HostId::new(0), AvailabilityPolicy::default());
+/// // Load daemons report in...
+/// let world: Vec<HostInfo> = (0..4)
+///     .map(|i| HostInfo::idle_host(HostId::new(i), SimDuration::from_secs(600)))
+///     .collect();
+/// let mut t = SimTime::ZERO;
+/// for info in &world {
+///     t = migd.report(&mut net, t, *info);
+/// }
+/// // ...and a user on host 1 asks for an idle machine.
+/// let (host, _t) = migd.select(&mut net, t, HostId::new(1), &world);
+/// assert!(host.is_some());
+/// ```
+pub trait HostSelector {
+    /// Architecture name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Periodic status report from `info.host`'s load daemon.
+    fn report(&mut self, net: &mut Network, now: SimTime, info: HostInfo) -> SimTime;
+
+    /// Picks one available host for `requester`, or `None`.
+    fn select(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        requester: HostId,
+        truth: &[HostInfo],
+    ) -> (Option<HostId>, SimTime);
+
+    /// Returns `host` to the pool.
+    fn release(&mut self, net: &mut Network, now: SimTime, requester: HostId, host: HostId)
+        -> SimTime;
+
+    /// Counters so far.
+    fn stats(&self) -> &SelectorStats;
+}
+
+fn truth_available(truth: &[HostInfo], policy: &AvailabilityPolicy, host: HostId) -> bool {
+    truth
+        .iter()
+        .find(|i| i.host == host)
+        .map(|i| policy.is_available(i))
+        .unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------------
+// Central server (migd)
+// ---------------------------------------------------------------------------
+
+/// The centralized migration daemon, Sprite's final architecture.
+#[derive(Debug)]
+pub struct CentralServer {
+    server: HostId,
+    policy: AvailabilityPolicy,
+    table: BTreeMap<HostId, HostInfo>,
+    assigned: BTreeMap<HostId, HostId>,
+    /// What each host last told the server, to suppress no-change traffic.
+    last_reported_available: BTreeMap<HostId, bool>,
+    /// Hosts currently held, per requester (for fair allocation).
+    holdings: BTreeMap<HostId, u32>,
+    /// Cap on hosts one requester may hold at once, if fairness is on.
+    fair_share: Option<u32>,
+    cpu: FcfsResource,
+    per_request_service: SimDuration,
+    stats: SelectorStats,
+}
+
+impl CentralServer {
+    /// Creates the daemon on `server`.
+    pub fn new(server: HostId, policy: AvailabilityPolicy) -> Self {
+        CentralServer {
+            server,
+            policy,
+            table: BTreeMap::new(),
+            assigned: BTreeMap::new(),
+            last_reported_available: BTreeMap::new(),
+            holdings: BTreeMap::new(),
+            fair_share: None,
+            cpu: FcfsResource::new(),
+            per_request_service: SimDuration::from_micros(500),
+            stats: SelectorStats::default(),
+        }
+    }
+
+    /// Hosts currently assigned out.
+    pub fn assigned_count(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// Caps how many hosts one requester may hold at once. The thesis's
+    /// `migd` allocated hosts fairly when demand exceeded supply, so one
+    /// user's 100-way pmake could not starve everyone else (Ch. 6).
+    pub fn set_fair_share(&mut self, limit: u32) {
+        self.fair_share = Some(limit);
+    }
+
+    /// Hosts `requester` currently holds.
+    pub fn held_by(&self, requester: HostId) -> u32 {
+        self.holdings.get(&requester).copied().unwrap_or(0)
+    }
+
+    fn round_trip(&mut self, net: &mut Network, now: SimTime, from: HostId) -> SimTime {
+        self.stats.messages += 2;
+        if from == self.server {
+            self.cpu
+                .acquire(now + net.cost().context_switch * 2, self.per_request_service)
+        } else {
+            net.rpc_with_service(
+                now,
+                from,
+                self.server,
+                128,
+                128,
+                self.per_request_service,
+                Some(&mut self.cpu),
+            )
+            .done
+        }
+    }
+}
+
+impl HostSelector for CentralServer {
+    fn name(&self) -> &'static str {
+        "central-server"
+    }
+
+    fn report(&mut self, net: &mut Network, now: SimTime, info: HostInfo) -> SimTime {
+        // Only idle/busy *transitions* are reported — Theimer and Lantz
+        // showed a central server scales to thousands of clients when
+        // updates are limited this way [TL88].
+        let avail = self.policy.is_available(&info);
+        let changed = self
+            .last_reported_available
+            .get(&info.host)
+            .map(|prev| *prev != avail)
+            .unwrap_or(true);
+        if !changed {
+            // Still refresh our own table silently (the daemon's timer
+            // fires locally on the reporting host at no network cost).
+            self.table.insert(info.host, info);
+            return now;
+        }
+        self.last_reported_available.insert(info.host, avail);
+        self.table.insert(info.host, info);
+        if info.host == self.server {
+            return now;
+        }
+        self.stats.messages += 1;
+        net.datagram(now, info.host, self.server, 96).done
+    }
+
+    fn select(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        requester: HostId,
+        truth: &[HostInfo],
+    ) -> (Option<HostId>, SimTime) {
+        self.stats.requests += 1;
+        let t = self.round_trip(net, now, requester);
+        // Fair allocation: a requester at its share gets denied before the
+        // server even searches.
+        if let Some(limit) = self.fair_share {
+            if self.held_by(requester) >= limit {
+                self.stats.denied += 1;
+                self.stats.select_latency.record_duration(t.elapsed_since(now));
+                return (None, t);
+            }
+        }
+        // Longest-idle available host not already assigned out; Mutka and
+        // Livny say long-idle hosts stay idle [ML87].
+        let mut candidates: Vec<HostInfo> = self
+            .table
+            .values()
+            .filter(|i| {
+                i.host != requester
+                    && self.policy.is_available(i)
+                    && !self.assigned.contains_key(&i.host)
+            })
+            .copied()
+            .collect();
+        candidates.sort_by(|a, b| b.idle.cmp(&a.idle).then(a.host.cmp(&b.host)));
+        for c in candidates {
+            if truth_available(truth, &self.policy, c.host) {
+                self.assigned.insert(c.host, requester);
+                *self.holdings.entry(requester).or_insert(0) += 1;
+                // Flood prevention: count the incoming process against the
+                // host's load before it arrives [BSW89].
+                if let Some(e) = self.table.get_mut(&c.host) {
+                    e.load += 1.0;
+                }
+                self.stats.granted += 1;
+                self.stats.select_latency.record_duration(t.elapsed_since(now));
+                return (Some(c.host), t);
+            }
+            // The central table said available but the world moved on.
+            self.stats.conflicts += 1;
+        }
+        self.stats.denied += 1;
+        self.stats.select_latency.record_duration(t.elapsed_since(now));
+        (None, t)
+    }
+
+    fn release(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        requester: HostId,
+        host: HostId,
+    ) -> SimTime {
+        let t = self.round_trip(net, now, requester);
+        self.assigned.remove(&host);
+        if let Some(held) = self.holdings.get_mut(&requester) {
+            *held = held.saturating_sub(1);
+        }
+        if let Some(e) = self.table.get_mut(&host) {
+            e.load = (e.load - 1.0).max(0.0);
+        }
+        t
+    }
+
+    fn stats(&self) -> &SelectorStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared file
+// ---------------------------------------------------------------------------
+
+/// The original Sprite design: host state in one write-shared file.
+#[derive(Debug)]
+pub struct SharedFileBoard {
+    file_server: HostId,
+    policy: AvailabilityPolicy,
+    entries: BTreeMap<HostId, (HostInfo, SimTime)>,
+    assigned: BTreeMap<HostId, HostId>,
+    server_cpu: FcfsResource,
+    entry_bytes: u64,
+    stats: SelectorStats,
+}
+
+impl SharedFileBoard {
+    /// Creates the board stored on `file_server`.
+    pub fn new(file_server: HostId, policy: AvailabilityPolicy) -> Self {
+        SharedFileBoard {
+            file_server,
+            policy,
+            entries: BTreeMap::new(),
+            assigned: BTreeMap::new(),
+            server_cpu: FcfsResource::new(),
+            entry_bytes: 64,
+            stats: SelectorStats::default(),
+        }
+    }
+
+    fn server_rpc(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        from: HostId,
+        req: u64,
+        reply: u64,
+    ) -> SimTime {
+        self.stats.messages += 2;
+        if from == self.file_server {
+            self.server_cpu
+                .acquire(now, net.cost().cache_block_op)
+        } else {
+            net.rpc_with_service(
+                now,
+                from,
+                self.file_server,
+                req,
+                reply,
+                net.cost().cache_block_op,
+                Some(&mut self.server_cpu),
+            )
+            .done
+        }
+    }
+}
+
+impl HostSelector for SharedFileBoard {
+    fn name(&self) -> &'static str {
+        "shared-file"
+    }
+
+    fn report(&mut self, net: &mut Network, now: SimTime, info: HostInfo) -> SimTime {
+        // The file is concurrently write-shared by every host, so client
+        // caching is off and *every* update is a server write.
+        let t = self.server_rpc(net, now, info.host, self.entry_bytes + 64, 64);
+        self.entries.insert(info.host, (info, now));
+        t
+    }
+
+    fn select(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        requester: HostId,
+        truth: &[HostInfo],
+    ) -> (Option<HostId>, SimTime) {
+        self.stats.requests += 1;
+        // Lock the file.
+        let mut t = self.server_rpc(net, now, requester, 64, 64);
+        // Read the whole table, uncached, a block at a time.
+        let total = self.entries.len() as u64 * self.entry_bytes;
+        let blocks = total.div_ceil(sprite_net::PAGE_SIZE).max(1);
+        for _ in 0..blocks {
+            t = self.server_rpc(net, t, requester, 64, sprite_net::PAGE_SIZE);
+        }
+        let mut candidates: Vec<HostInfo> = self
+            .entries
+            .values()
+            .map(|(i, _)| *i)
+            .filter(|i| {
+                i.host != requester
+                    && self.policy.is_available(i)
+                    && !self.assigned.contains_key(&i.host)
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.idle.cmp(&a.idle).then(a.host.cmp(&b.host)));
+        let mut chosen = None;
+        for c in candidates {
+            if truth_available(truth, &self.policy, c.host) {
+                chosen = Some(c.host);
+                break;
+            }
+            self.stats.conflicts += 1;
+        }
+        if let Some(host) = chosen {
+            self.assigned.insert(host, requester);
+            // Write the assignment entry, then unlock.
+            t = self.server_rpc(net, t, requester, self.entry_bytes + 64, 64);
+        }
+        t = self.server_rpc(net, t, requester, 64, 64); // unlock
+        if chosen.is_some() {
+            self.stats.granted += 1;
+        } else {
+            self.stats.denied += 1;
+        }
+        self.stats.select_latency.record_duration(t.elapsed_since(now));
+        (chosen, t)
+    }
+
+    fn release(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        requester: HostId,
+        host: HostId,
+    ) -> SimTime {
+        self.assigned.remove(&host);
+        self.server_rpc(net, now, requester, self.entry_bytes + 64, 64)
+    }
+
+    fn stats(&self) -> &SelectorStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Probabilistic distributed (MOSIX)
+// ---------------------------------------------------------------------------
+
+/// MOSIX-style gossip: each host pushes its load to a few random peers and
+/// selects from its own (stale) table \[BS85\].
+#[derive(Debug)]
+pub struct Probabilistic {
+    policy: AvailabilityPolicy,
+    hosts: usize,
+    fanout: usize,
+    /// tables[h] = what host h believes about its peers.
+    tables: Vec<BTreeMap<HostId, (HostInfo, SimTime)>>,
+    rng: DetRng,
+    /// Entries older than this are distrusted entirely.
+    max_age: SimDuration,
+    stats: SelectorStats,
+}
+
+impl Probabilistic {
+    /// Creates the gossip fabric for `hosts` hosts, each updating `fanout`
+    /// random peers per report.
+    pub fn new(hosts: usize, fanout: usize, policy: AvailabilityPolicy, seed: u64) -> Self {
+        Probabilistic {
+            policy,
+            hosts,
+            fanout: fanout.max(1),
+            tables: vec![BTreeMap::new(); hosts],
+            rng: DetRng::seed_from(seed),
+            max_age: SimDuration::from_secs(20),
+            stats: SelectorStats::default(),
+        }
+    }
+}
+
+impl HostSelector for Probabilistic {
+    fn name(&self) -> &'static str {
+        "probabilistic"
+    }
+
+    fn report(&mut self, net: &mut Network, now: SimTime, info: HostInfo) -> SimTime {
+        let mut t = now;
+        for _ in 0..self.fanout {
+            let peer = HostId::new(self.rng.uniform_u64(self.hosts as u64) as u32);
+            if peer == info.host {
+                continue;
+            }
+            self.stats.messages += 1;
+            t = net.datagram(t, info.host, peer, 96).done;
+            self.tables[peer.index()].insert(info.host, (info, now));
+        }
+        t
+    }
+
+    fn select(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        requester: HostId,
+        truth: &[HostInfo],
+    ) -> (Option<HostId>, SimTime) {
+        let _ = net; // selection is purely local
+        self.stats.requests += 1;
+        let t = now + SimDuration::from_micros(200); // table scan
+        let table = &mut self.tables[requester.index()];
+        let mut candidates: Vec<(HostInfo, SimTime)> = table
+            .values()
+            .filter(|(i, written)| {
+                i.host != requester
+                    && now.saturating_elapsed_since(*written) <= self.max_age
+                    && self.policy.is_available(i)
+            })
+            .map(|(i, w)| (*i, *w))
+            .collect();
+        // Prefer fresher data, then idler hosts: aging gives more weight to
+        // recent reports, exactly as Barak and Shiloh describe [BS85].
+        candidates.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(b.0.idle.cmp(&a.0.idle))
+                .then(a.0.host.cmp(&b.0.host))
+        });
+        for (c, _) in candidates {
+            if truth_available(truth, &self.policy, c.host) {
+                // Anticipate load locally so this requester will not dump
+                // its next process on the same host.
+                if let Some((e, _)) = table.get_mut(&c.host) {
+                    e.load += 1.0;
+                }
+                self.stats.granted += 1;
+                self.stats.select_latency.record_duration(t.elapsed_since(now));
+                return (Some(c.host), t);
+            }
+            self.stats.conflicts += 1;
+        }
+        self.stats.denied += 1;
+        self.stats.select_latency.record_duration(t.elapsed_since(now));
+        (None, t)
+    }
+
+    fn release(
+        &mut self,
+        _net: &mut Network,
+        now: SimTime,
+        requester: HostId,
+        host: HostId,
+    ) -> SimTime {
+        if let Some((e, _)) = self.tables[requester.index()].get_mut(&host) {
+            e.load = (e.load - 1.0).max(0.0);
+        }
+        now
+    }
+
+    fn stats(&self) -> &SelectorStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multicast query
+// ---------------------------------------------------------------------------
+
+/// Stateless multicast: ask everyone, take whoever answers first \[TL88\].
+#[derive(Debug)]
+pub struct MulticastQuery {
+    policy: AvailabilityPolicy,
+    /// Hosts already handed out (the requesters remember; the network does
+    /// not — this mirrors the paper's observation that the querying
+    /// approach has "no global information about previous assignments").
+    claimed: BTreeMap<HostId, HostId>,
+    stats: SelectorStats,
+}
+
+impl MulticastQuery {
+    /// Creates the stateless selector.
+    pub fn new(policy: AvailabilityPolicy) -> Self {
+        MulticastQuery {
+            policy,
+            claimed: BTreeMap::new(),
+            stats: SelectorStats::default(),
+        }
+    }
+}
+
+impl HostSelector for MulticastQuery {
+    fn name(&self) -> &'static str {
+        "multicast"
+    }
+
+    fn report(&mut self, _net: &mut Network, now: SimTime, _info: HostInfo) -> SimTime {
+        // No advance state: nothing to report.
+        now
+    }
+
+    fn select(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        requester: HostId,
+        truth: &[HostInfo],
+    ) -> (Option<HostId>, SimTime) {
+        self.stats.requests += 1;
+        // One query on the wire...
+        self.stats.messages += 1;
+        let mut t = net.multicast(now, requester, 96).done;
+        // ...and every available host replies. This reply implosion is what
+        // limits the design to a few hundred hosts [TL88].
+        let mut responders: Vec<HostId> = truth
+            .iter()
+            .filter(|i| {
+                i.host != requester
+                    && self.policy.is_available(i)
+                    && !self.claimed.contains_key(&i.host)
+            })
+            .map(|i| i.host)
+            .collect();
+        responders.sort();
+        for r in &responders {
+            self.stats.messages += 1;
+            t = net.datagram(t, *r, requester, 64).done;
+        }
+        let chosen = responders.first().copied();
+        match chosen {
+            Some(host) => {
+                self.claimed.insert(host, requester);
+                self.stats.granted += 1;
+            }
+            None => self.stats.denied += 1,
+        }
+        self.stats.select_latency.record_duration(t.elapsed_since(now));
+        (chosen, t)
+    }
+
+    fn release(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        requester: HostId,
+        host: HostId,
+    ) -> SimTime {
+        self.claimed.remove(&host);
+        if requester == host {
+            return now;
+        }
+        self.stats.messages += 1;
+        net.datagram(now, requester, host, 64).done
+    }
+
+    fn stats(&self) -> &SelectorStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprite_net::CostModel;
+
+    fn h(i: u32) -> HostId {
+        HostId::new(i)
+    }
+
+    fn net(hosts: usize) -> Network {
+        Network::new(CostModel::sun3(), hosts)
+    }
+
+    /// Ground truth: hosts 1..n idle for (60 + i) seconds; host 0 busy.
+    fn truth(n: u32) -> Vec<HostInfo> {
+        (0..n)
+            .map(|i| {
+                if i == 0 {
+                    HostInfo {
+                        host: h(0),
+                        load: 2.0,
+                        idle: SimDuration::ZERO,
+                        console_active: true,
+                    }
+                } else {
+                    HostInfo::idle_host(h(i), SimDuration::from_secs(60 + i as u64))
+                }
+            })
+            .collect()
+    }
+
+    fn feed_reports<S: HostSelector + ?Sized>(s: &mut S, net: &mut Network, truth: &[HostInfo]) {
+        let mut t = SimTime::ZERO;
+        for info in truth {
+            t = s.report(net, t, *info);
+        }
+    }
+
+    fn selectors(n: usize) -> Vec<Box<dyn HostSelector>> {
+        let policy = AvailabilityPolicy::default();
+        vec![
+            Box::new(CentralServer::new(h(0), policy)),
+            Box::new(SharedFileBoard::new(h(0), policy)),
+            Box::new(Probabilistic::new(n, 4, policy, 42)),
+            Box::new(MulticastQuery::new(policy)),
+        ]
+    }
+
+    #[test]
+    fn every_architecture_finds_an_idle_host() {
+        let world = truth(8);
+        for mut s in selectors(8) {
+            let mut n = net(8);
+            // Gossip needs several rounds to spread information.
+            for _ in 0..8 {
+                feed_reports(s.as_mut(), &mut n, &world);
+            }
+            let (pick, t) = s.select(&mut n, SimTime::ZERO, h(1), &world);
+            let pick = pick.unwrap_or_else(|| panic!("{} found no host", s.name()));
+            assert_ne!(pick, h(0), "{}: busy host must not be picked", s.name());
+            assert_ne!(pick, h(1), "{}: requester must not self-select", s.name());
+            assert!(t >= SimTime::ZERO);
+            assert_eq!(s.stats().granted, 1, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn no_architecture_double_assigns() {
+        let world = truth(5); // 4 available hosts (2,3,4 + ...), requester h1
+        for mut s in selectors(5) {
+            let mut n = net(5);
+            for _ in 0..8 {
+                feed_reports(s.as_mut(), &mut n, &world);
+            }
+            let mut picked = std::collections::HashSet::new();
+            let mut t = SimTime::ZERO;
+            loop {
+                let (pick, t2) = s.select(&mut n, t, h(1), &world);
+                t = t2;
+                match pick {
+                    Some(p) => assert!(picked.insert(p), "{} double-assigned {p}", s.name()),
+                    None => break,
+                }
+                if picked.len() > 5 {
+                    panic!("{} granted more hosts than exist", s.name());
+                }
+            }
+            assert!(
+                !picked.is_empty(),
+                "{} should grant at least one host",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn released_hosts_become_selectable_again() {
+        let world = truth(3); // only h2 is available
+        for mut s in selectors(3) {
+            let mut n = net(3);
+            for _ in 0..8 {
+                feed_reports(s.as_mut(), &mut n, &world);
+            }
+            let (p1, t) = s.select(&mut n, SimTime::ZERO, h(1), &world);
+            assert_eq!(p1, Some(h(2)), "{}", s.name());
+            let (none, t) = s.select(&mut n, t, h(1), &world);
+            assert_eq!(none, None, "{}: the only host is taken", s.name());
+            let t = s.release(&mut n, t, h(1), h(2));
+            // Refresh state (central server needs no refresh; gossip does).
+            for _ in 0..8 {
+                feed_reports(s.as_mut(), &mut n, &world);
+            }
+            let (p2, _) = s.select(&mut n, t, h(1), &world);
+            assert_eq!(p2, Some(h(2)), "{} must reissue released host", s.name());
+        }
+    }
+
+    #[test]
+    fn stale_information_causes_conflicts_not_bad_grants() {
+        // Tell the selectors the world is idle, then flip ground truth.
+        let idle_world = truth(6);
+        let mut busy_world = idle_world.clone();
+        for i in &mut busy_world {
+            i.console_active = true;
+            i.idle = SimDuration::ZERO;
+        }
+        for mut s in selectors(6) {
+            if s.name() == "multicast" {
+                continue; // stateless: it has no stale view by construction
+            }
+            let mut n = net(6);
+            for _ in 0..8 {
+                feed_reports(s.as_mut(), &mut n, &idle_world);
+            }
+            let (pick, _) = s.select(&mut n, SimTime::ZERO, h(1), &busy_world);
+            assert_eq!(pick, None, "{} granted an unavailable host", s.name());
+            assert!(
+                s.stats().conflicts > 0,
+                "{} should have recorded conflicts",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn multicast_message_count_scales_with_available_hosts() {
+        let world = truth(40);
+        let mut s = MulticastQuery::new(AvailabilityPolicy::default());
+        let mut n = net(40);
+        s.select(&mut n, SimTime::ZERO, h(1), &world);
+        // 1 query + 38 replies (39 idle hosts minus the requester... host 0 busy).
+        assert_eq!(s.stats().messages, 1 + 38);
+    }
+
+    #[test]
+    fn central_server_suppresses_no_change_updates() {
+        let world = truth(10);
+        let mut s = CentralServer::new(h(0), AvailabilityPolicy::default());
+        let mut n = net(10);
+        feed_reports(&mut s, &mut n, &world);
+        let first = s.stats().messages;
+        feed_reports(&mut s, &mut n, &world);
+        assert_eq!(
+            s.stats().messages,
+            first,
+            "identical state must produce no new update traffic"
+        );
+    }
+
+    #[test]
+    fn central_server_prefers_longest_idle() {
+        let world = truth(6);
+        let mut s = CentralServer::new(h(0), AvailabilityPolicy::default());
+        let mut n = net(6);
+        feed_reports(&mut s, &mut n, &world);
+        let (pick, _) = s.select(&mut n, SimTime::ZERO, h(1), &world);
+        assert_eq!(pick, Some(h(5)), "host 5 has been idle longest");
+    }
+
+    #[test]
+    fn burst_of_requests_cannot_flood_one_host() {
+        // Ten requests arrive before any load report could reflect the
+        // earlier grants: anticipation (flood prevention [BSW89]) must
+        // spread them anyway.
+        let world = truth(12);
+        let mut s = CentralServer::new(h(0), AvailabilityPolicy::default());
+        let mut n = net(12);
+        feed_reports(&mut s, &mut n, &world);
+        let mut granted = Vec::new();
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            let (pick, t2) = s.select(&mut n, t, h(1), &world);
+            t = t2;
+            if let Some(p) = pick {
+                granted.push(p);
+            }
+        }
+        let unique: std::collections::HashSet<_> = granted.iter().collect();
+        assert_eq!(unique.len(), granted.len(), "each grant a distinct host");
+        assert!(granted.len() >= 9, "ten idle hosts minus the requester");
+    }
+
+    #[test]
+    fn probabilistic_tables_age_out_stale_entries() {
+        let world = truth(6);
+        let mut s = Probabilistic::new(6, 5, AvailabilityPolicy::default(), 17);
+        let mut n = net(6);
+        for _ in 0..8 {
+            feed_reports(&mut s, &mut n, &world);
+        }
+        // Far in the future every gossip entry is older than max_age: the
+        // selector must refuse rather than act on ancient information.
+        let much_later = SimTime::ZERO + SimDuration::from_secs(3600);
+        let (pick, _) = s.select(&mut n, much_later, h(1), &world);
+        assert_eq!(pick, None, "aged-out entries must not be trusted");
+    }
+
+    #[test]
+    fn fair_share_prevents_host_hogging() {
+        let world = truth(12); // 11 available hosts
+        let mut s = CentralServer::new(h(0), AvailabilityPolicy::default());
+        s.set_fair_share(3);
+        let mut n = net(12);
+        feed_reports(&mut s, &mut n, &world);
+        let mut t = SimTime::ZERO;
+        let mut got = Vec::new();
+        // Requester h1 asks for everything.
+        for _ in 0..6 {
+            let (pick, t2) = s.select(&mut n, t, h(1), &world);
+            t = t2;
+            if let Some(p) = pick {
+                got.push(p);
+            }
+        }
+        assert_eq!(got.len(), 3, "capped at the fair share");
+        assert_eq!(s.held_by(h(1)), 3);
+        // A second requester is unaffected.
+        let (pick, t2) = s.select(&mut n, t, h(2), &world);
+        assert!(pick.is_some());
+        // Releasing makes room under the cap again.
+        let t3 = s.release(&mut n, t2, h(1), got[0]);
+        let (pick2, _) = s.select(&mut n, t3, h(1), &world);
+        assert!(pick2.is_some());
+        assert_eq!(s.held_by(h(1)), 3);
+    }
+
+    #[test]
+    fn shared_file_reads_grow_with_cluster_size() {
+        let small = truth(8);
+        let big = truth(250);
+        let mut msgs = Vec::new();
+        for world in [&small, &big] {
+            let mut s = SharedFileBoard::new(h(0), AvailabilityPolicy::default());
+            let mut n = net(world.len());
+            feed_reports(&mut s, &mut n, world);
+            let before = s.stats().messages;
+            s.select(&mut n, SimTime::ZERO, h(1), world);
+            msgs.push(s.stats().messages - before);
+        }
+        assert!(
+            msgs[1] > msgs[0],
+            "reading a bigger board must cost more messages: {msgs:?}"
+        );
+    }
+}

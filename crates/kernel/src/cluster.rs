@@ -1,0 +1,864 @@
+//! The simulated Sprite cluster: every host's kernel state plus the shared
+//! network and file system.
+//!
+//! "Each host runs a distinct copy of the Sprite kernel, but the kernels
+//! work closely together using a remote-procedure-call mechanism" (Ch. 3.2).
+//! In the simulation all kernels live in one address space — [`Cluster`] —
+//! and their cooperation costs are charged to the shared [`Network`]. The
+//! migration mechanism (the `sprite-core` crate) mutates this structure
+//! through the primitives at the bottom of the impl: freeze/thaw,
+//! relocation, and access to PCBs and hosts.
+
+use std::collections::{BTreeMap, HashMap};
+
+use sprite_fs::{FileId, FsConfig, FsError, OpenMode, SpriteFs, SpritePath};
+use sprite_net::{CostModel, HostId, Network, PAGE_SIZE};
+use sprite_sim::{FcfsResource, SimDuration, SimTime, Trace};
+use sprite_vm::AddressSpace;
+
+use crate::calls::{Disposition, KernelCall};
+use crate::proc::{Pcb, ProcState, Signal};
+use crate::ProcessId;
+
+/// Per-host kernel state.
+#[derive(Debug)]
+pub struct HostState {
+    /// This host's identity.
+    pub id: HostId,
+    /// The host CPU; workload bursts and RPC service queue here.
+    pub cpu: FcfsResource,
+    /// Whether the workstation's owner is at the console (drives idle-host
+    /// detection and eviction policy).
+    pub console_active: bool,
+    resident: Vec<ProcessId>,
+}
+
+impl HostState {
+    fn new(id: HostId) -> Self {
+        HostState {
+            id,
+            cpu: FcfsResource::new(),
+            console_active: false,
+            resident: Vec::new(),
+        }
+    }
+
+    /// Processes currently executing on this host, in PID order.
+    pub fn resident(&self) -> &[ProcessId] {
+        &self.resident
+    }
+
+    fn add(&mut self, pid: ProcessId) {
+        debug_assert!(!self.resident.contains(&pid), "{pid} already resident");
+        self.resident.push(pid);
+        self.resident.sort();
+    }
+
+    fn remove(&mut self, pid: ProcessId) {
+        self.resident.retain(|p| *p != pid);
+    }
+}
+
+/// Why a kernel operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Unknown process.
+    NoSuchProcess(ProcessId),
+    /// The process is in the wrong state for the operation.
+    BadState(ProcessId),
+    /// Unknown program path.
+    NoSuchProgram(SpritePath),
+    /// Descriptor not open.
+    BadFd(usize),
+    /// Underlying file-system failure.
+    Fs(FsError),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::NoSuchProcess(p) => write!(f, "no such process: {p}"),
+            KernelError::BadState(p) => write!(f, "process {p} is in the wrong state"),
+            KernelError::NoSuchProgram(p) => write!(f, "no such program: {p}"),
+            KernelError::BadFd(fd) => write!(f, "bad file descriptor {fd}"),
+            KernelError::Fs(e) => write!(f, "file system: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for KernelError {
+    fn from(e: FsError) -> Self {
+        KernelError::Fs(e)
+    }
+}
+
+/// Result alias for kernel operations.
+pub type KernelResult<T> = Result<T, KernelError>;
+
+/// Aggregate kernel activity counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Processes created (spawn + fork).
+    pub created: u64,
+    /// Forks performed.
+    pub forks: u64,
+    /// Execs performed.
+    pub execs: u64,
+    /// Exits.
+    pub exits: u64,
+    /// Signals delivered.
+    pub signals: u64,
+    /// Kernel calls handled locally.
+    pub calls_local: u64,
+    /// Kernel calls forwarded to home kernels.
+    pub calls_forwarded: u64,
+    /// Kernel calls routed through the file system.
+    pub calls_fs: u64,
+}
+
+/// A registered program: its executable file and text size.
+#[derive(Debug, Clone, Copy)]
+pub struct Program {
+    /// The executable file in the shared FS.
+    pub file: FileId,
+    /// Code pages the program needs.
+    pub code_pages: u64,
+}
+
+/// The whole simulated cluster.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_kernel::Cluster;
+/// use sprite_net::{CostModel, HostId};
+/// use sprite_fs::SpritePath;
+/// use sprite_sim::SimTime;
+///
+/// # fn main() -> Result<(), sprite_kernel::KernelError> {
+/// let mut cluster = Cluster::new(CostModel::sun3(), 4);
+/// cluster.add_file_server(HostId::new(0), SpritePath::new("/"));
+/// let t0 = SimTime::ZERO;
+/// let t1 = cluster.install_program(t0, SpritePath::new("/bin/cc"), 64 * 1024)?;
+/// let (pid, _t2) = cluster.spawn(t1, HostId::new(1), &SpritePath::new("/bin/cc"), 32, 8)?;
+/// assert_eq!(cluster.pcb(pid).unwrap().current, HostId::new(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    /// The shared Ethernet + RPC transport.
+    pub net: Network,
+    /// The shared file system.
+    pub fs: SpriteFs,
+    /// Optional narrative log of cluster events (disabled by default; turn
+    /// on with [`Cluster::enable_trace`] for examples and debugging).
+    pub trace: Trace,
+    hosts: Vec<HostState>,
+    procs: BTreeMap<ProcessId, Pcb>,
+    next_seq: Vec<u32>,
+    /// The home kernels' forwarding tables: where each away-from-home
+    /// process currently runs. Only foreign processes have entries.
+    locations: HashMap<ProcessId, HostId>,
+    programs: HashMap<SpritePath, Program>,
+    stats: KernelStats,
+    next_swap_tag: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `hosts` machines. Add at least one file server
+    /// before creating processes.
+    pub fn new(cost: CostModel, hosts: usize) -> Self {
+        Cluster::with_fs_config(cost, hosts, FsConfig::default())
+    }
+
+    /// Creates a cluster with explicit file-system tunables.
+    pub fn with_fs_config(cost: CostModel, hosts: usize, fs_config: FsConfig) -> Self {
+        Cluster {
+            net: Network::new(cost, hosts),
+            fs: SpriteFs::new(fs_config, hosts),
+            trace: Trace::disabled(),
+            hosts: (0..hosts).map(|i| HostState::new(HostId::new(i as u32))).collect(),
+            procs: BTreeMap::new(),
+            next_seq: vec![1; hosts],
+            locations: HashMap::new(),
+            programs: HashMap::new(),
+            stats: KernelStats::default(),
+            next_swap_tag: 0,
+        }
+    }
+
+    /// Declares `host` a file server for the subtree at `prefix`.
+    pub fn add_file_server(&mut self, host: HostId, prefix: SpritePath) {
+        self.fs.add_server(host, prefix);
+    }
+
+    /// Starts recording a narrative of cluster events (spawns, execs,
+    /// migrations, exits, signals), keeping the most recent `capacity`
+    /// lines.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::enabled(capacity);
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Read access to a host.
+    pub fn host(&self, id: HostId) -> &HostState {
+        &self.hosts[id.index()]
+    }
+
+    /// Mutable access to a host (the migration engine and the host-selection
+    /// daemons use this).
+    pub fn host_mut(&mut self, id: HostId) -> &mut HostState {
+        &mut self.hosts[id.index()]
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> impl Iterator<Item = &HostState> {
+        self.hosts.iter()
+    }
+
+    /// Read access to a PCB.
+    pub fn pcb(&self, pid: ProcessId) -> Option<&Pcb> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable access to a PCB.
+    pub fn pcb_mut(&mut self, pid: ProcessId) -> Option<&mut Pcb> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// All live processes in PID order.
+    pub fn processes(&self) -> impl Iterator<Item = &Pcb> {
+        self.procs.values()
+    }
+
+    /// PIDs of foreign processes on `host` (candidates for eviction).
+    pub fn foreign_on(&self, host: HostId) -> Vec<ProcessId> {
+        self.hosts[host.index()]
+            .resident
+            .iter()
+            .copied()
+            .filter(|pid| pid.home() != host)
+            .collect()
+    }
+
+    /// Where `pid` currently runs, as its home kernel would answer.
+    pub fn locate(&self, pid: ProcessId) -> Option<HostId> {
+        if let Some(h) = self.locations.get(&pid) {
+            return Some(*h);
+        }
+        self.procs.get(&pid).map(|p| p.current)
+    }
+
+    /// Kernel activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// A registered program.
+    pub fn program(&self, path: &SpritePath) -> Option<Program> {
+        self.programs.get(path).copied()
+    }
+
+    fn fresh_swap_tag(&mut self, pid: ProcessId) -> String {
+        self.next_swap_tag += 1;
+        format!("{pid}.{}", self.next_swap_tag)
+    }
+
+    // ----- programs -----------------------------------------------------------
+
+    /// Installs an executable of `text_bytes` at `path` (what a compiler or
+    /// the system installation would have produced). Returns completion.
+    pub fn install_program(
+        &mut self,
+        now: SimTime,
+        path: SpritePath,
+        text_bytes: u64,
+    ) -> KernelResult<SimTime> {
+        let server = self.fs.resolve(&path)?;
+        let (file, t) = self.fs.create(&mut self.net, now, server, path.clone())?;
+        let (stream, t) = self
+            .fs
+            .open(&mut self.net, t, server, path.clone(), OpenMode::Write)?;
+        // Deterministic pseudo-text so code pages have checkable content.
+        let text: Vec<u8> = (0..text_bytes).map(|i| (i % 251) as u8).collect();
+        let t = self.fs.write(&mut self.net, t, server, stream, &text)?;
+        let t = self.fs.close(&mut self.net, t, server, stream)?;
+        self.programs.insert(
+            path,
+            Program {
+                file,
+                code_pages: text_bytes.div_ceil(PAGE_SIZE).max(1),
+            },
+        );
+        Ok(t)
+    }
+
+    // ----- process lifecycle -----------------------------------------------------
+
+    /// Creates a process on `host` running `program`. The new process's
+    /// home is `host`.
+    pub fn spawn(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+        program: &SpritePath,
+        heap_pages: u64,
+        stack_pages: u64,
+    ) -> KernelResult<(ProcessId, SimTime)> {
+        let prog = self
+            .programs
+            .get(program)
+            .copied()
+            .ok_or_else(|| KernelError::NoSuchProgram(program.clone()))?;
+        let seq = self.next_seq[host.index()];
+        self.next_seq[host.index()] += 1;
+        let pid = ProcessId::new(host, seq);
+        let tag = self.fresh_swap_tag(pid);
+        let (space, t) = AddressSpace::create(
+            &mut self.fs,
+            &mut self.net,
+            now,
+            host,
+            &tag,
+            prog.file,
+            prog.code_pages,
+            heap_pages,
+            stack_pages,
+        )?;
+        let mut pcb = Pcb::new(pid, None, host, now);
+        pcb.space = Some(space);
+        pcb.program = Some(program.clone());
+        self.procs.insert(pid, pcb);
+        self.hosts[host.index()].add(pid);
+        self.stats.created += 1;
+        let t = t + self.net.cost().context_switch;
+        self.trace
+            .record(t, "proc", || format!("{pid} spawned on {host} ({program})"));
+        Ok((pid, t))
+    }
+
+    /// Forks `parent`. The child runs on the parent's current host but its
+    /// home is the parent's home — children of foreign processes belong to
+    /// the same user session (Ch. 4.2).
+    pub fn fork(&mut self, now: SimTime, parent: ProcessId) -> KernelResult<(ProcessId, SimTime)> {
+        let (host, home, parent_program, parent_fds) = {
+            let p = self
+                .procs
+                .get(&parent)
+                .ok_or(KernelError::NoSuchProcess(parent))?;
+            if p.state != ProcState::Active {
+                return Err(KernelError::BadState(parent));
+            }
+            (
+                p.current,
+                p.pid.home(),
+                p.program.clone(),
+                p.open_fds().collect::<Vec<_>>(),
+            )
+        };
+        let seq = self.next_seq[home.index()];
+        self.next_seq[home.index()] += 1;
+        let child = ProcessId::new(home, seq);
+        // Copy the address space (take/put-back to appease the borrow rules).
+        let parent_space = self
+            .procs
+            .get_mut(&parent)
+            .expect("checked above")
+            .space
+            .take();
+        let (child_space, mut t) = match parent_space {
+            Some(mut space) => {
+                let tag = self.fresh_swap_tag(child);
+                let r = space.fork_copy(&mut self.fs, &mut self.net, now, host, &tag);
+                self.procs.get_mut(&parent).expect("checked").space = Some(space);
+                let (s, t) = r?;
+                (Some(s), t)
+            }
+            None => (None, now),
+        };
+        // Duplicate the descriptor table; parent and child share streams
+        // (and therefore access positions).
+        let mut child_pcb = Pcb::new(child, Some(parent), host, now);
+        child_pcb.pgrp = self
+            .procs
+            .get(&parent)
+            .map(|p| p.pgrp)
+            .expect("parent checked");
+        for (fd, stream) in &parent_fds {
+            self.fs.dup(*stream, host)?;
+            while child_pcb.fds.len() < *fd {
+                child_pcb.fds.push(None);
+            }
+            child_pcb.fds.push(Some(*stream));
+        }
+        child_pcb.space = child_space;
+        child_pcb.program = parent_program;
+        self.procs.insert(child, child_pcb);
+        self.hosts[host.index()].add(child);
+        self.procs
+            .get_mut(&parent)
+            .expect("checked")
+            .children
+            .push(child);
+        // A foreign parent's fork notifies the home kernel so the family
+        // bookkeeping there stays current.
+        if host != home {
+            t = self.net.rpc(t, host, home, 128, 64, None).done;
+            self.locations.insert(child, host);
+        }
+        t += self.net.cost().context_switch;
+        self.stats.created += 1;
+        self.stats.forks += 1;
+        self.trace
+            .record(t, "proc", || format!("{parent} forked {child} on {host}"));
+        Ok((child, t))
+    }
+
+    /// Replaces `pid`'s image with `program` (exec). Only the executable's
+    /// header is read eagerly; text demand-pages from the file, which is
+    /// why exec-time migration is nearly free (Ch. 4.2.1).
+    pub fn exec(
+        &mut self,
+        now: SimTime,
+        pid: ProcessId,
+        program: &SpritePath,
+        heap_pages: u64,
+        stack_pages: u64,
+    ) -> KernelResult<SimTime> {
+        let prog = self
+            .programs
+            .get(program)
+            .copied()
+            .ok_or_else(|| KernelError::NoSuchProgram(program.clone()))?;
+        let host = {
+            let p = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+            if p.state != ProcState::Active {
+                return Err(KernelError::BadState(pid));
+            }
+            p.current
+        };
+        // Read the executable header.
+        let (stream, t) = self
+            .fs
+            .open(&mut self.net, now, host, program.clone(), OpenMode::Read)?;
+        let (_, t) = self.fs.read(&mut self.net, t, host, stream, 512)?;
+        let t = self.fs.close(&mut self.net, t, host, stream)?;
+        let tag = self.fresh_swap_tag(pid);
+        let (space, t) = AddressSpace::create(
+            &mut self.fs,
+            &mut self.net,
+            t,
+            host,
+            &tag,
+            prog.file,
+            prog.code_pages,
+            heap_pages,
+            stack_pages,
+        )?;
+        let p = self.procs.get_mut(&pid).expect("checked above");
+        p.space = Some(space);
+        p.program = Some(program.clone());
+        self.stats.execs += 1;
+        let t = t + self.net.cost().context_switch;
+        self.trace
+            .record(t, "proc", || format!("{pid} exec {program} on {host}"));
+        Ok(t)
+    }
+
+    /// Terminates `pid` with `status`. Streams close, the image is
+    /// discarded, and the PCB lingers as a zombie until the parent waits
+    /// (or is reaped immediately if no parent remains).
+    pub fn exit(&mut self, now: SimTime, pid: ProcessId, status: i32) -> KernelResult<SimTime> {
+        let (host, home, parent, fds) = {
+            let p = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+            if p.state == ProcState::Zombie {
+                return Err(KernelError::BadState(pid));
+            }
+            (
+                p.current,
+                p.pid.home(),
+                p.parent,
+                p.open_fds().map(|(_, s)| s).collect::<Vec<_>>(),
+            )
+        };
+        let mut t = now;
+        for stream in fds {
+            t = self.fs.close(&mut self.net, t, host, stream)?;
+        }
+        {
+            let p = self.procs.get_mut(&pid).expect("checked above");
+            p.fds.clear();
+            p.space = None;
+            p.state = ProcState::Zombie;
+            p.exit_status = Some(status);
+        }
+        self.hosts[host.index()].remove(pid);
+        // A foreign exit reports home: the home kernel owns the family state
+        // and drops its forwarding entry.
+        if host != home {
+            t = self.net.rpc(t, host, home, 128, 64, None).done;
+            self.locations.remove(&pid);
+        }
+        self.stats.exits += 1;
+        self.trace
+            .record(t, "proc", || format!("{pid} exited ({status}) on {host}"));
+        let parent_alive = parent
+            .map(|pp| self.procs.contains_key(&pp))
+            .unwrap_or(false);
+        if !parent_alive {
+            self.reap(pid);
+        }
+        Ok(t)
+    }
+
+    /// Waits for any zombie child of `parent`; returns the reaped child and
+    /// its status, or `None` if no child is ready. Waiting is a
+    /// family operation, so a foreign parent forwards it home.
+    #[allow(clippy::type_complexity)]
+    pub fn wait(
+        &mut self,
+        now: SimTime,
+        parent: ProcessId,
+    ) -> KernelResult<(Option<(ProcessId, i32)>, SimTime)> {
+        let (host, home, children) = {
+            let p = self
+                .procs
+                .get(&parent)
+                .ok_or(KernelError::NoSuchProcess(parent))?;
+            (p.current, p.pid.home(), p.children.clone())
+        };
+        let mut t = now + self.net.cost().local_kernel_call;
+        if host != home {
+            t = self.net.rpc(t, host, home, 64, 64, None).done;
+            self.stats.calls_forwarded += 1;
+        }
+        let ready = children.into_iter().find(|c| {
+            self.procs
+                .get(c)
+                .map(|p| p.state == ProcState::Zombie)
+                .unwrap_or(false)
+        });
+        match ready {
+            Some(child) => {
+                let status = self
+                    .procs
+                    .get(&child)
+                    .and_then(|p| p.exit_status)
+                    .unwrap_or(0);
+                self.reap(child);
+                self.procs
+                    .get_mut(&parent)
+                    .expect("parent checked")
+                    .children
+                    .retain(|c| *c != child);
+                Ok((Some((child, status)), t))
+            }
+            None => Ok((None, t)),
+        }
+    }
+
+    fn reap(&mut self, pid: ProcessId) {
+        if let Some(p) = self.procs.remove(&pid) {
+            debug_assert_eq!(p.state, ProcState::Zombie, "reaping a live process");
+            // Orphan any remaining children (init-style).
+            for c in p.children {
+                if let Some(cp) = self.procs.get_mut(&c) {
+                    cp.parent = None;
+                    if cp.state == ProcState::Zombie {
+                        self.reap(c);
+                    }
+                }
+            }
+        }
+        self.locations.remove(&pid);
+    }
+
+    /// Sends `signal` from `from_host` to `target`. Delivery resolves the
+    /// target's location through its home kernel — the signal reaches the
+    /// process wherever it has migrated, which is exactly the transparency
+    /// obligation (Ch. 4.3).
+    pub fn kill(
+        &mut self,
+        now: SimTime,
+        from_host: HostId,
+        target: ProcessId,
+        signal: Signal,
+    ) -> KernelResult<SimTime> {
+        let home = target.home();
+        let current = {
+            let p = self
+                .procs
+                .get(&target)
+                .ok_or(KernelError::NoSuchProcess(target))?;
+            if p.state == ProcState::Zombie {
+                return Err(KernelError::BadState(target));
+            }
+            p.current
+        };
+        let mut t = now + self.net.cost().local_kernel_call;
+        // Hop 1: to the home kernel (which knows the current location).
+        if from_host != home {
+            t = self.net.rpc(t, from_host, home, 64, 64, None).done;
+        }
+        // Hop 2: home forwards to wherever the process runs.
+        if home != current {
+            t = self.net.rpc(t, home, current, 64, 64, None).done;
+        }
+        self.procs
+            .get_mut(&target)
+            .expect("checked above")
+            .pending_signals
+            .push(signal);
+        self.stats.signals += 1;
+        if signal == Signal::Kill {
+            t = self.exit(t, target, 128 + 9)?;
+        }
+        Ok(t)
+    }
+
+    /// Sends `signal` to every live member of process group `pgrp` rooted
+    /// at `home`. The home kernel owns the family state, so delivery always
+    /// routes through it: one RPC to home, then one hop per remote member —
+    /// a process group scattered by migration still receives its signals
+    /// exactly once each.
+    pub fn kill_pgrp(
+        &mut self,
+        now: SimTime,
+        from_host: HostId,
+        home: HostId,
+        pgrp: u32,
+        signal: Signal,
+    ) -> KernelResult<SimTime> {
+        let mut t = now + self.net.cost().local_kernel_call;
+        if from_host != home {
+            t = self.net.rpc(t, from_host, home, 64, 64, None).done;
+        }
+        let members: Vec<ProcessId> = self
+            .procs
+            .values()
+            .filter(|p| {
+                p.pid.home() == home && p.pgrp == pgrp && p.state != ProcState::Zombie
+            })
+            .map(|p| p.pid)
+            .collect();
+        for pid in members {
+            // An earlier member's exit may have cascade-reaped this one.
+            let Some(p) = self.procs.get_mut(&pid) else {
+                continue;
+            };
+            let current = p.current;
+            p.pending_signals.push(signal);
+            if current != home {
+                t = self.net.rpc(t, home, current, 64, 64, None).done;
+            }
+            self.stats.signals += 1;
+            if signal == Signal::Kill {
+                t = self.exit(t, pid, 128 + 9)?;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Drains `pid`'s pending signals.
+    pub fn take_signals(&mut self, pid: ProcessId) -> Vec<Signal> {
+        self.procs
+            .get_mut(&pid)
+            .map(|p| std::mem::take(&mut p.pending_signals))
+            .unwrap_or_default()
+    }
+
+    // ----- kernel calls & CPU ----------------------------------------------------
+
+    /// Services one kernel call for `pid`, charging the Appendix-A
+    /// disposition: local calls cost a kernel crossing; forwarded calls add
+    /// a round trip to the home kernel when the process is foreign.
+    pub fn kernel_call(
+        &mut self,
+        now: SimTime,
+        pid: ProcessId,
+        call: KernelCall,
+    ) -> KernelResult<SimTime> {
+        let (current, home) = {
+            let p = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+            (p.current, p.pid.home())
+        };
+        let local = self.net.cost().local_kernel_call;
+        match call.disposition() {
+            Disposition::Local => {
+                self.stats.calls_local += 1;
+                Ok(now + local)
+            }
+            Disposition::ForwardHome => {
+                if current == home {
+                    self.stats.calls_local += 1;
+                    Ok(now + local)
+                } else {
+                    self.stats.calls_forwarded += 1;
+                    Ok(self.net.rpc(now + local, current, home, 64, 64, None).done)
+                }
+            }
+            Disposition::FileSystem => {
+                // The caller performs the real FS operation through
+                // `Cluster::fs`; this entry point only accounts the trap.
+                self.stats.calls_fs += 1;
+                Ok(now + local)
+            }
+        }
+    }
+
+    /// Runs `pid` on its current host's CPU for `demand`; returns when the
+    /// burst completes (queueing behind other work on that host).
+    pub fn run_cpu(
+        &mut self,
+        now: SimTime,
+        pid: ProcessId,
+        demand: SimDuration,
+    ) -> KernelResult<SimTime> {
+        let host = {
+            let p = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+            if p.state != ProcState::Active {
+                return Err(KernelError::BadState(pid));
+            }
+            p.current
+        };
+        let done = self.hosts[host.index()].cpu.acquire(now, demand);
+        let p = self.procs.get_mut(&pid).expect("checked above");
+        p.cpu_used += demand;
+        Ok(done)
+    }
+
+    // ----- descriptor-level FS convenience ----------------------------------------
+
+    /// Opens `path` for `pid`, installing a descriptor.
+    pub fn open_fd(
+        &mut self,
+        now: SimTime,
+        pid: ProcessId,
+        path: SpritePath,
+        mode: OpenMode,
+    ) -> KernelResult<(usize, SimTime)> {
+        let host = self.current_of(pid)?;
+        let (stream, t) = self.fs.open(&mut self.net, now, host, path, mode)?;
+        let p = self.procs.get_mut(&pid).expect("looked up");
+        Ok((p.install_fd(stream), t))
+    }
+
+    /// Reads from a descriptor.
+    pub fn read_fd(
+        &mut self,
+        now: SimTime,
+        pid: ProcessId,
+        fd: usize,
+        len: u64,
+    ) -> KernelResult<(Vec<u8>, SimTime)> {
+        let host = self.current_of(pid)?;
+        let stream = self
+            .procs
+            .get(&pid)
+            .and_then(|p| p.fd(fd))
+            .ok_or(KernelError::BadFd(fd))?;
+        Ok(self.fs.read(&mut self.net, now, host, stream, len)?)
+    }
+
+    /// Writes to a descriptor.
+    pub fn write_fd(
+        &mut self,
+        now: SimTime,
+        pid: ProcessId,
+        fd: usize,
+        bytes: &[u8],
+    ) -> KernelResult<SimTime> {
+        let host = self.current_of(pid)?;
+        let stream = self
+            .procs
+            .get(&pid)
+            .and_then(|p| p.fd(fd))
+            .ok_or(KernelError::BadFd(fd))?;
+        Ok(self.fs.write(&mut self.net, now, host, stream, bytes)?)
+    }
+
+    /// Closes a descriptor.
+    pub fn close_fd(&mut self, now: SimTime, pid: ProcessId, fd: usize) -> KernelResult<SimTime> {
+        let host = self.current_of(pid)?;
+        let stream = self
+            .procs
+            .get_mut(&pid)
+            .and_then(|p| p.clear_fd(fd))
+            .ok_or(KernelError::BadFd(fd))?;
+        Ok(self.fs.close(&mut self.net, now, host, stream)?)
+    }
+
+    fn current_of(&self, pid: ProcessId) -> KernelResult<HostId> {
+        self.procs
+            .get(&pid)
+            .map(|p| p.current)
+            .ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    // ----- migration primitives (used by sprite-core) -------------------------------
+
+    /// Freezes a process at a migration-safe point.
+    pub fn freeze(&mut self, pid: ProcessId) -> KernelResult<()> {
+        let p = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state != ProcState::Active {
+            return Err(KernelError::BadState(pid));
+        }
+        p.state = ProcState::Frozen;
+        Ok(())
+    }
+
+    /// Resumes a frozen process.
+    pub fn thaw(&mut self, pid: ProcessId) -> KernelResult<()> {
+        let p = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state != ProcState::Frozen {
+            return Err(KernelError::BadState(pid));
+        }
+        p.state = ProcState::Active;
+        Ok(())
+    }
+
+    /// Rebinds a frozen process to `to`: host resident lists, the PCB's
+    /// current host, and the home kernel's forwarding entry all update
+    /// together. The caller (the migration protocol) charges the network
+    /// costs; this is the state change the protocol's final RPC commits.
+    pub fn relocate(&mut self, pid: ProcessId, to: HostId) -> KernelResult<()> {
+        let p = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        if p.state != ProcState::Frozen {
+            return Err(KernelError::BadState(pid));
+        }
+        let from = p.current;
+        p.current = to;
+        p.migrations += 1;
+        self.hosts[from.index()].remove(pid);
+        self.hosts[to.index()].add(pid);
+        if to == pid.home() {
+            self.locations.remove(&pid);
+        } else {
+            self.locations.insert(pid, to);
+        }
+        Ok(())
+    }
+}

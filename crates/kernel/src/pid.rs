@@ -1,0 +1,71 @@
+//! Process identifiers.
+
+use std::fmt;
+
+use sprite_net::HostId;
+
+/// A network-wide process identifier.
+///
+/// Sprite encodes the *home* host in every PID: IDs stay unique without
+/// global coordination, any kernel can tell where a process's home is by
+/// looking at its PID, and a migrated process keeps its identifier — which
+/// is much of what makes migration transparent (Ch. 4.3).
+///
+/// # Examples
+///
+/// ```
+/// use sprite_kernel::ProcessId;
+/// use sprite_net::HostId;
+///
+/// let pid = ProcessId::new(HostId::new(3), 17);
+/// assert_eq!(pid.home(), HostId::new(3));
+/// assert_eq!(pid.to_string(), "pid3.17");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId {
+    home: HostId,
+    seq: u32,
+}
+
+impl ProcessId {
+    /// Creates a PID for a process whose home is `home`.
+    pub const fn new(home: HostId, seq: u32) -> Self {
+        ProcessId { home, seq }
+    }
+
+    /// The home host encoded in the identifier.
+    pub const fn home(self) -> HostId {
+        self.home
+    }
+
+    /// The per-home sequence number.
+    pub const fn seq(self) -> u32 {
+        self.seq
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}.{}", self.home.index(), self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pids_order_by_home_then_seq() {
+        let a = ProcessId::new(HostId::new(0), 5);
+        let b = ProcessId::new(HostId::new(1), 1);
+        let c = ProcessId::new(HostId::new(1), 2);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn home_is_recoverable() {
+        let pid = ProcessId::new(HostId::new(9), 1234);
+        assert_eq!(pid.home().index(), 9);
+        assert_eq!(pid.seq(), 1234);
+    }
+}

@@ -1,0 +1,49 @@
+//! Host identity.
+
+use std::fmt;
+
+/// Identifies one machine on the simulated network.
+///
+/// Sprite named hosts after their workstation hostnames; we use dense small
+/// integers so per-host state can live in plain vectors.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_net::HostId;
+///
+/// let server = HostId::new(0);
+/// assert_eq!(server.index(), 0);
+/// assert_eq!(server.to_string(), "host0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(u32);
+
+impl HostId {
+    /// Creates a host identifier from a dense index.
+    pub const fn new(index: u32) -> Self {
+        HostId(index)
+    }
+
+    /// The dense index, suitable for `Vec` addressing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(HostId::new(1) < HostId::new(2));
+        assert_eq!(HostId::new(3).index(), 3);
+    }
+}

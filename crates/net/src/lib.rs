@@ -1,0 +1,33 @@
+//! Simulated hardware substrate: the shared 10 Mbit Ethernet, the Sprite
+//! kernel-to-kernel RPC transport, and the era-calibrated [`CostModel`].
+//!
+//! Sprite's kernels "work closely together using a remote-procedure-call
+//! mechanism" \[Wel86\]; every higher layer of this reproduction (file system,
+//! virtual memory, migration, host selection) moves data exclusively through
+//! [`Network`]. The network is a *contended* resource — transfers serialize
+//! on the wire and busy server CPUs queue — because contention is where the
+//! paper's most interesting performance shapes come from.
+//!
+//! # Examples
+//!
+//! ```
+//! use sprite_net::{CostModel, HostId, Network};
+//! use sprite_sim::SimTime;
+//!
+//! let mut net = Network::new(CostModel::sun3(), 8);
+//! let client = HostId::new(3);
+//! let server = HostId::new(0);
+//! let reply = net.rpc(SimTime::ZERO, client, server, 128, 1024, None);
+//! println!("RPC took {}", reply.elapsed(SimTime::ZERO));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod host;
+mod network;
+
+pub use cost::{CostModel, PAGE_SIZE};
+pub use host::HostId;
+pub use network::{Delivery, MessageKind, NetStats, Network};

@@ -1,0 +1,240 @@
+//! The discrete-event engine.
+//!
+//! Simulated kernels execute their protocols *synchronously* on shared
+//! cluster state (mirroring Sprite's synchronous kernel-to-kernel RPCs) and
+//! merely account for simulated time; the engine interleaves *workload-level*
+//! activities — jobs finishing CPU bursts, users returning to workstations,
+//! load daemons ticking. An event is a boxed closure over the simulation
+//! state `S`; handlers may schedule further events.
+//!
+//! Ties are broken by insertion order, which together with the seeded RNG
+//! makes whole simulations deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{SimDuration, SimTime};
+
+/// An event handler: runs at its scheduled time with exclusive access to the
+/// simulation state and the engine (to schedule follow-on events).
+pub type Handler<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    run: Handler<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event (lowest
+        // time, then lowest sequence number) is popped first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event simulation engine over state `S`.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_sim::{Engine, SimDuration, SimTime};
+///
+/// let mut engine = Engine::new();
+/// engine.schedule_in(SimDuration::from_secs(1), |count: &mut u32, eng| {
+///     *count += 1;
+///     eng.schedule_in(SimDuration::from_secs(2), |count, _| *count += 10);
+/// });
+/// let mut count = 0;
+/// engine.run(&mut count);
+/// assert_eq!(count, 11);
+/// assert_eq!(engine.now(), SimTime::ZERO + SimDuration::from_secs(3));
+/// ```
+pub struct Engine<S> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<S>>,
+    executed: u64,
+    deadline: Option<SimTime>,
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine with the clock at time zero and an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+            deadline: None,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// The number of events still waiting to run.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops the run loop once the clock would pass `at`; events scheduled
+    /// later stay in the queue (useful for warm-up/measure phases).
+    pub fn set_deadline(&mut self, at: SimTime) {
+        self.deadline = Some(at);
+    }
+
+    /// Schedules `handler` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, handler: F)
+    where
+        F: FnOnce(&mut S, &mut Engine<S>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(handler),
+        });
+    }
+
+    /// Schedules `handler` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, handler: F)
+    where
+        F: FnOnce(&mut S, &mut Engine<S>) + 'static,
+    {
+        self.schedule_at(self.now + delay, handler);
+    }
+
+    /// Runs events until the queue is empty (or the deadline passes).
+    pub fn run(&mut self, state: &mut S) {
+        while self.step(state) {}
+    }
+
+    /// Runs a single event. Returns `false` when there is nothing left to do
+    /// (or the next event lies beyond the deadline).
+    pub fn step(&mut self, state: &mut S) -> bool {
+        let Some(next) = self.queue.peek() else {
+            return false;
+        };
+        if let Some(deadline) = self.deadline {
+            if next.at > deadline {
+                // Leave the event queued; the clock parks at the deadline.
+                self.now = self.now.max_of(deadline);
+                return false;
+            }
+        }
+        let event = self.queue.pop().expect("peeked event vanished");
+        debug_assert!(event.at >= self.now, "event queue went backwards");
+        self.now = event.at;
+        self.executed += 1;
+        (event.run)(state, self);
+        true
+    }
+}
+
+impl<S> std::fmt::Debug for Engine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_in_time_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        engine.schedule_in(SimDuration::from_secs(3), |log, _| log.push(3));
+        engine.schedule_in(SimDuration::from_secs(1), |log, _| log.push(1));
+        engine.schedule_in(SimDuration::from_secs(2), |log, _| log.push(2));
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        for i in 0..10 {
+            engine.schedule_at(SimTime::from_micros(500), move |log, _| log.push(i));
+        }
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_recursively() {
+        let mut engine: Engine<u64> = Engine::new();
+        fn tick(countdown: &mut u64, engine: &mut Engine<u64>) {
+            if *countdown > 0 {
+                *countdown -= 1;
+                engine.schedule_in(SimDuration::from_millis(10), tick);
+            }
+        }
+        engine.schedule_in(SimDuration::ZERO, tick);
+        let mut countdown = 100;
+        engine.run(&mut countdown);
+        assert_eq!(countdown, 0);
+        assert_eq!(engine.now().as_micros(), 100 * 10_000);
+        assert_eq!(engine.events_executed(), 101);
+    }
+
+    #[test]
+    fn deadline_parks_the_clock() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(SimDuration::from_secs(1), |c: &mut u32, _| *c += 1);
+        engine.schedule_in(SimDuration::from_secs(10), |c: &mut u32, _| *c += 100);
+        engine.set_deadline(SimTime::ZERO + SimDuration::from_secs(5));
+        let mut count = 0;
+        engine.run(&mut count);
+        assert_eq!(count, 1);
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.now(), SimTime::ZERO + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(SimDuration::from_secs(1), |_, eng| {
+            eng.schedule_at(SimTime::ZERO, |_, _| {});
+        });
+        engine.run(&mut 0);
+    }
+}

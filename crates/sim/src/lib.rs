@@ -1,0 +1,73 @@
+//! Deterministic discrete-event simulation substrate for the Sprite
+//! process-migration reproduction.
+//!
+//! The original system ran on Sun-3-class workstations attached to a 10 Mbit
+//! Ethernet; this crate stands in for real time on that hardware. It
+//! provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution simulated clock;
+//! * [`Engine`] — a discrete-event loop whose events are closures over the
+//!   simulation state, with deterministic tie-breaking;
+//! * [`DetRng`] — a seeded RNG plus the samplers the paper's workloads need
+//!   (exponential inter-arrivals, heavy-tailed process lifetimes);
+//! * [`FcfsResource`] — first-come-first-served service for modelling CPU and
+//!   network contention (what bends the pmake speedup curve);
+//! * [`OnlineStats`] / [`Samples`] / [`Counter`] — the aggregates the
+//!   benchmark tables report;
+//! * [`Trace`] — an optional bounded narrative log for examples and debugging.
+//!
+//! Nothing in this crate (or anything built on it) consults the wall clock or
+//! spawns threads: a simulation run is a pure function of its inputs and
+//! seed, so every benchmark table is reproducible bit for bit.
+//!
+//! # Examples
+//!
+//! A tiny M/D/1-style simulation — exponential arrivals to a serial resource:
+//!
+//! ```
+//! use sprite_sim::{DetRng, Engine, FcfsResource, OnlineStats, SimDuration};
+//!
+//! struct World {
+//!     rng: DetRng,
+//!     server: FcfsResource,
+//!     waits: OnlineStats,
+//! }
+//!
+//! fn arrival(world: &mut World, engine: &mut Engine<World>) {
+//!     let now = engine.now();
+//!     world.waits.record_duration(world.server.wait_at(now));
+//!     world.server.acquire(now, SimDuration::from_millis(5));
+//!     if world.waits.count() < 1000 {
+//!         let gap = world.rng.exponential(SimDuration::from_millis(8));
+//!         engine.schedule_in(gap, arrival);
+//!     }
+//! }
+//!
+//! let mut world = World {
+//!     rng: DetRng::seed_from(42),
+//!     server: FcfsResource::new(),
+//!     waits: OnlineStats::new(),
+//! };
+//! let mut engine = Engine::new();
+//! engine.schedule_in(SimDuration::ZERO, arrival);
+//! engine.run(&mut world);
+//! assert_eq!(world.waits.count(), 1000);
+//! assert!(world.waits.mean() > 0.0); // 5/8 utilization => real queueing
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod resource;
+mod rng;
+mod stats;
+mod time;
+mod trace;
+
+pub use event::{Engine, Handler};
+pub use resource::FcfsResource;
+pub use rng::DetRng;
+pub use stats::{Counter, OnlineStats, Samples};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEntry};

@@ -1,0 +1,144 @@
+//! Simulated contended resources.
+//!
+//! The evaluation's most important *shape* — the pmake speedup curve bending
+//! over as hosts are added (E5) — comes from contention for serial resources:
+//! the file server's CPU and the shared Ethernet. [`FcfsResource`] models a
+//! single server with first-come-first-served service: a request arriving at
+//! time `t` with demand `d` completes at `max(t, busy_until) + d`. That is
+//! exactly the queueing behaviour of a non-preemptive uniprocessor serving
+//! kernel RPCs, and it composes: each simulated host has one for its CPU, the
+//! network has one for the wire.
+
+use crate::{SimDuration, SimTime};
+
+/// A first-come-first-served serial resource (a CPU, a disk, the Ethernet).
+///
+/// # Examples
+///
+/// ```
+/// use sprite_sim::{FcfsResource, SimDuration, SimTime};
+///
+/// let mut cpu = FcfsResource::new();
+/// let t0 = SimTime::ZERO;
+/// // Two 10ms demands arriving together serialize.
+/// let first = cpu.acquire(t0, SimDuration::from_millis(10));
+/// let second = cpu.acquire(t0, SimDuration::from_millis(10));
+/// assert_eq!(first.as_micros(), 10_000);
+/// assert_eq!(second.as_micros(), 20_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FcfsResource {
+    busy_until: SimTime,
+    busy_time: SimDuration,
+    requests: u64,
+}
+
+impl FcfsResource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        FcfsResource::default()
+    }
+
+    /// Submits a demand of `d` at time `now`; returns the completion time.
+    pub fn acquire(&mut self, now: SimTime, d: SimDuration) -> SimTime {
+        let start = self.busy_until.max_of(now);
+        self.busy_until = start + d;
+        self.busy_time += d;
+        self.requests += 1;
+        self.busy_until
+    }
+
+    /// The time at which the resource next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Queueing delay a demand submitted at `now` would experience before
+    /// service starts.
+    pub fn wait_at(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_elapsed_since(now)
+    }
+
+    /// Total busy (service) time accumulated.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Number of demands served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Utilization over the window ending at `now` (assumes the resource
+    /// existed since time zero). Clamped to `[0, 1]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_time.as_secs_f64() / now.as_secs_f64()).clamp(0.0, 1.0)
+    }
+
+    /// Forgets accumulated accounting but keeps the busy horizon; used when a
+    /// measurement phase starts after warm-up.
+    pub fn reset_accounting(&mut self) {
+        self.busy_time = SimDuration::ZERO;
+        self.requests = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut r = FcfsResource::new();
+        let t = SimTime::from_micros(5_000);
+        let done = r.acquire(t, SimDuration::from_millis(3));
+        assert_eq!(done, SimTime::from_micros(8_000));
+        assert_eq!(r.wait_at(SimTime::from_micros(8_000)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overlapping_demands_queue() {
+        let mut r = FcfsResource::new();
+        let t = SimTime::ZERO;
+        let a = r.acquire(t, SimDuration::from_millis(10));
+        assert_eq!(
+            r.wait_at(t + SimDuration::from_millis(4)),
+            SimDuration::from_millis(6)
+        );
+        let b = r.acquire(t + SimDuration::from_millis(4), SimDuration::from_millis(10));
+        assert_eq!(a.as_micros(), 10_000);
+        assert_eq!(b.as_micros(), 20_000);
+    }
+
+    #[test]
+    fn gaps_leave_the_resource_idle() {
+        let mut r = FcfsResource::new();
+        r.acquire(SimTime::ZERO, SimDuration::from_millis(1));
+        let done = r.acquire(SimTime::from_micros(100_000), SimDuration::from_millis(1));
+        assert_eq!(done.as_micros(), 101_000);
+        assert_eq!(r.busy_time(), SimDuration::from_millis(2));
+        assert_eq!(r.requests(), 2);
+    }
+
+    #[test]
+    fn utilization_accounts_busy_fraction() {
+        let mut r = FcfsResource::new();
+        r.acquire(SimTime::ZERO, SimDuration::from_secs(1));
+        let u = r.utilization(SimTime::from_micros(4_000_000));
+        assert!((u - 0.25).abs() < 1e-9);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_accounting_keeps_horizon() {
+        let mut r = FcfsResource::new();
+        r.acquire(SimTime::ZERO, SimDuration::from_secs(2));
+        r.reset_accounting();
+        assert_eq!(r.busy_time(), SimDuration::ZERO);
+        assert_eq!(r.requests(), 0);
+        assert_eq!(r.busy_until(), SimTime::from_micros(2_000_000));
+    }
+}

@@ -1,0 +1,196 @@
+//! Deterministic random number generation.
+//!
+//! Every simulation owns exactly one [`DetRng`], seeded explicitly, so that a
+//! benchmark run with the same seed reproduces the same tables bit for bit.
+//! The samplers provided here cover the distributions the paper's workloads
+//! need: exponential inter-arrival times, heavy-tailed (Pareto-like) process
+//! lifetimes matching Zhou's trace statistics, and simple uniform choices.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SimDuration;
+
+/// A seeded, reproducible random number generator for simulations.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_sim::DetRng;
+///
+/// let mut a = DetRng::seed_from(42);
+/// let mut b = DetRng::seed_from(42);
+/// assert_eq!(a.uniform_u64(100), b.uniform_u64(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each simulated
+    /// host its own stream without coupling their sequences.
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::seed_from(self.inner.random::<u64>())
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn uniform_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "uniform_u64 bound must be positive");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p
+    }
+
+    /// Picks a uniformly random element index for a slice of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn pick_index(&mut self, len: usize) -> usize {
+        self.uniform_u64(len as u64) as usize
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
+        let u: f64 = loop {
+            let v = self.uniform_f64();
+            if v > 0.0 {
+                break v;
+            }
+        };
+        SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+
+    /// A bounded Pareto duration: heavy-tailed lifetimes like the process
+    /// traces Zhou measured (mean ~1.5 s, standard deviation ~19 s — a huge
+    /// coefficient of variation that only a heavy tail reproduces).
+    ///
+    /// `alpha` is the tail index (smaller = heavier tail); samples fall in
+    /// `[min, max]`.
+    pub fn bounded_pareto(
+        &mut self,
+        min: SimDuration,
+        max: SimDuration,
+        alpha: f64,
+    ) -> SimDuration {
+        assert!(min < max, "bounded_pareto requires min < max");
+        assert!(alpha > 0.0, "bounded_pareto requires positive alpha");
+        let l = min.as_secs_f64();
+        let h = max.as_secs_f64();
+        let u = self.uniform_f64();
+        // Inverse-CDF of the bounded Pareto distribution.
+        let la = l.powf(alpha);
+        let ha = h.powf(alpha);
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+        SimDuration::from_secs_f64(x.clamp(l, h))
+    }
+
+    /// Normal-ish sample via the Irwin–Hall approximation (sum of 12
+    /// uniforms), clamped to be non-negative. Good enough for jittering
+    /// service times; we never rely on exact tails.
+    pub fn jittered(&mut self, mean: SimDuration, sigma: SimDuration) -> SimDuration {
+        let z: f64 = (0..12).map(|_| self.uniform_f64()).sum::<f64>() - 6.0;
+        SimDuration::from_secs_f64(mean.as_secs_f64() + z * sigma.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from(7);
+        let mut b = DetRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(1_000_000), b.uniform_u64(1_000_000));
+        }
+    }
+
+    #[test]
+    fn forked_streams_diverge() {
+        let mut root = DetRng::seed_from(7);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        let same = (0..32).filter(|_| a.uniform_u64(1 << 30) == b.uniform_u64(1 << 30)).count();
+        assert!(same < 4, "forked streams should be effectively independent");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = DetRng::seed_from(1);
+        let mean = SimDuration::from_millis(100);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| rng.exponential(mean).as_secs_f64())
+            .sum();
+        let observed = total / n as f64;
+        assert!((observed - 0.1).abs() < 0.005, "observed mean {observed}");
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut rng = DetRng::seed_from(2);
+        let min = SimDuration::from_millis(50);
+        let max = SimDuration::from_secs(600);
+        for _ in 0..10_000 {
+            let d = rng.bounded_pareto(min, max, 1.1);
+            assert!(d >= min && d <= max, "sample {d} out of bounds");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        // With a heavy tail most samples are short but the mean is dominated
+        // by rare long ones, echoing Zhou's 1.5s mean / 19.1s sigma finding.
+        let mut rng = DetRng::seed_from(3);
+        let min = SimDuration::from_millis(20);
+        let max = SimDuration::from_secs(3600);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| rng.bounded_pareto(min, max, 1.05).as_secs_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let below_mean = samples.iter().filter(|&&s| s < mean).count() as f64
+            / samples.len() as f64;
+        assert!(
+            below_mean > 0.78,
+            "expected most processes shorter than the mean, got {below_mean}"
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::seed_from(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.1));
+    }
+
+    #[test]
+    fn jittered_stays_nonnegative() {
+        let mut rng = DetRng::seed_from(5);
+        for _ in 0..1_000 {
+            // Mean smaller than sigma forces occasional clamping to zero.
+            let _ = rng.jittered(SimDuration::from_micros(10), SimDuration::from_millis(5));
+        }
+    }
+}

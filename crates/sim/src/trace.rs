@@ -1,0 +1,140 @@
+//! Lightweight simulation tracing.
+//!
+//! Examples and debugging sessions want a readable narrative of what the
+//! simulated cluster did ("pid 12.4 migrated from sabertooth to murder at
+//! 14.2s"). [`Trace`] is an optional, bounded log of timestamped lines; when
+//! disabled (the default) recording is a no-op so hot paths pay almost
+//! nothing.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::SimTime;
+
+/// One recorded trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened on the simulated clock.
+    pub at: SimTime,
+    /// Subsystem tag, e.g. `"migrate"`, `"fs"`, `"hostsel"`.
+    pub tag: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:<8} {}", self.at.to_string(), self.tag, self.message)
+    }
+}
+
+/// A bounded, optionally-enabled event log.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_sim::{SimTime, Trace};
+///
+/// let mut trace = Trace::enabled(16);
+/// trace.record(SimTime::ZERO, "migrate", || "pid 12 leaves host 3".into());
+/// assert_eq!(trace.entries().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a disabled trace; recording is a no-op.
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an enabled trace keeping at most `capacity` recent entries.
+    pub fn enabled(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Whether entries are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a line; the message closure only runs when enabled.
+    pub fn record<F>(&mut self, at: SimTime, tag: &'static str, message: F)
+    where
+        F: FnOnce() -> String,
+    {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            tag,
+            message: message(),
+        });
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of entries evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_skips_message_construction() {
+        let mut trace = Trace::disabled();
+        let mut built = false;
+        trace.record(SimTime::ZERO, "t", || {
+            built = true;
+            String::new()
+        });
+        assert!(!built);
+        assert_eq!(trace.entries().count(), 0);
+    }
+
+    #[test]
+    fn bounded_buffer_drops_oldest() {
+        let mut trace = Trace::enabled(2);
+        for i in 0..5 {
+            trace.record(SimTime::from_micros(i), "t", || format!("e{i}"));
+        }
+        let kept: Vec<_> = trace.entries().map(|e| e.message.clone()).collect();
+        assert_eq!(kept, vec!["e3", "e4"]);
+        assert_eq!(trace.dropped(), 3);
+    }
+
+    #[test]
+    fn display_includes_time_and_tag() {
+        let entry = TraceEntry {
+            at: SimTime::from_micros(2_500),
+            tag: "fs",
+            message: "open /a/b".into(),
+        };
+        let line = entry.to_string();
+        assert!(line.contains("2.500ms"));
+        assert!(line.contains("fs"));
+        assert!(line.contains("open /a/b"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the simulation substrate: the event engine's
+//! execution order is a pure function of (time, insertion order), and the
+//! statistics accumulators agree with naive reference computations.
+
+use proptest::prelude::*;
+use sprite_sim::{Engine, OnlineStats, Samples, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events run in (time, insertion) order regardless of the order the
+    /// heap happens to hold them — determinism is the whole foundation of
+    /// reproducible experiments.
+    #[test]
+    fn engine_orders_by_time_then_insertion(delays in prop::collection::vec(0u64..1000, 1..50)) {
+        let mut engine: Engine<Vec<(u64, usize)>> = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            engine.schedule_at(SimTime::from_micros(d), move |log, _| log.push((d, i)));
+        }
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        let mut expected: Vec<(u64, usize)> =
+            delays.iter().copied().enumerate().map(|(i, d)| (d, i)).collect();
+        expected.sort_by_key(|&(d, i)| (d, i));
+        prop_assert_eq!(log, expected);
+        prop_assert_eq!(engine.events_executed(), delays.len() as u64);
+    }
+
+    /// Cascading events observe a monotone clock.
+    #[test]
+    fn engine_clock_is_monotone_under_cascades(seeds in prop::collection::vec(1u64..500, 1..20)) {
+        struct S {
+            last: SimTime,
+            violations: usize,
+            budget: usize,
+        }
+        let mut engine: Engine<S> = Engine::new();
+        fn fire(extra: u64) -> impl FnOnce(&mut S, &mut Engine<S>) + 'static {
+            move |s: &mut S, eng: &mut Engine<S>| {
+                if eng.now() < s.last {
+                    s.violations += 1;
+                }
+                s.last = eng.now();
+                if s.budget > 0 {
+                    s.budget -= 1;
+                    eng.schedule_in(SimDuration::from_micros(extra % 97 + 1), fire(extra / 2 + 1));
+                }
+            }
+        }
+        for &d in &seeds {
+            engine.schedule_in(SimDuration::from_micros(d), fire(d));
+        }
+        let mut state = S { last: SimTime::ZERO, violations: 0, budget: 200 };
+        engine.run(&mut state);
+        prop_assert_eq!(state.violations, 0);
+    }
+
+    /// Welford accumulation matches the naive two-pass mean/stddev.
+    #[test]
+    fn online_stats_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.std_dev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()));
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+    }
+
+    /// Merging partitions of a sample stream equals accumulating it whole.
+    #[test]
+    fn online_stats_merge_is_partition_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        split in 0usize..100,
+    ) {
+        let cut = split % xs.len().max(1);
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..cut] {
+            left.record(x);
+        }
+        for &x in &xs[cut..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.std_dev() - whole.std_dev()).abs() < 1e-7);
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentiles_are_monotone(xs in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let mut s = Samples::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let ps = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0];
+        let values: Vec<f64> = ps.iter().map(|&p| s.percentile(p)).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "percentiles not monotone: {values:?}");
+        }
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(*values.first().unwrap() >= min);
+        prop_assert!((*values.last().unwrap() - max).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,822 @@
+//! Address spaces, segments and demand paging.
+//!
+//! A Sprite process has three segments — code, heap and stack. Code is
+//! read-only and demand-paged from the executable file itself; heap and
+//! stack page to *backing files* in the shared file system. "Paging via the
+//! file system simplifies migration because the functionality to demand-page
+//! a process over the network already exists" (Ch. 3.2) — Sprite's whole VM
+//! transfer strategy falls out of this design, and so does ours.
+//!
+//! Pages hold real bytes. Migration, flushing and demand paging move those
+//! bytes through the simulated file system, so tests can check that a
+//! process observes byte-identical memory before and after any sequence of
+//! migrations.
+
+use std::fmt;
+
+use sprite_fs::{FileId, FsResult, SpriteFs};
+use sprite_net::{HostId, Network, PAGE_SIZE};
+use sprite_sim::SimTime;
+
+/// The three segments of a Sprite process image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// Read-only program text, paged from the executable file.
+    Code,
+    /// The data/heap segment.
+    Heap,
+    /// The stack segment.
+    Stack,
+}
+
+impl SegmentKind {
+    /// All segment kinds, in layout order.
+    pub const ALL: [SegmentKind; 3] = [SegmentKind::Code, SegmentKind::Heap, SegmentKind::Stack];
+
+    /// Code pages are never dirty; they can always be re-fetched from the
+    /// executable file.
+    pub fn writable(self) -> bool {
+        !matches!(self, SegmentKind::Code)
+    }
+}
+
+impl fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SegmentKind::Code => "code",
+            SegmentKind::Heap => "heap",
+            SegmentKind::Stack => "stack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A segment-relative virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtAddr {
+    /// Which segment.
+    pub segment: SegmentKind,
+    /// Byte offset within the segment.
+    pub offset: u64,
+}
+
+impl VirtAddr {
+    /// Convenience constructor.
+    pub fn new(segment: SegmentKind, offset: u64) -> Self {
+        VirtAddr { segment, offset }
+    }
+}
+
+/// Where a non-resident page's current bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageHome {
+    /// In this address space's `data` (page is resident in local memory).
+    Resident,
+    /// In the segment's backing file on a file server.
+    BackingFile,
+    /// Still in memory on a previous host (copy-on-reference migration).
+    RemoteSource(HostId),
+    /// Never touched: reads fault in a zero page without I/O cost beyond
+    /// the fault itself.
+    Zero,
+}
+
+#[derive(Debug, Clone)]
+struct PageState {
+    home: PageHome,
+    dirty: bool,
+    data: Vec<u8>,
+}
+
+impl PageState {
+    fn zero() -> Self {
+        PageState {
+            home: PageHome::Zero,
+            dirty: false,
+            data: Vec::new(),
+        }
+    }
+}
+
+/// One segment's pages plus its backing file.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    kind: SegmentKind,
+    backing: FileId,
+    pages: Vec<PageState>,
+}
+
+impl Segment {
+    /// Which segment this is.
+    pub fn kind(&self) -> SegmentKind {
+        self.kind
+    }
+
+    /// Number of pages in the segment.
+    pub fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Pages currently resident in memory.
+    pub fn resident_pages(&self) -> u64 {
+        self.pages
+            .iter()
+            .filter(|p| p.home == PageHome::Resident)
+            .count() as u64
+    }
+
+    /// Resident pages with modifications not yet in the backing file.
+    pub fn dirty_pages(&self) -> u64 {
+        self.pages.iter().filter(|p| p.dirty).count() as u64
+    }
+
+    /// The backing file.
+    pub fn backing(&self) -> FileId {
+        self.backing
+    }
+}
+
+/// Statistics for one address space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Page faults taken.
+    pub faults: u64,
+    /// Faults satisfied from a backing file.
+    pub pageins: u64,
+    /// Faults satisfied from a remote source host (copy-on-reference).
+    pub remote_fetches: u64,
+    /// Dirty pages written to backing files.
+    pub pageouts: u64,
+}
+
+/// A process's virtual memory image.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_fs::{FsConfig, SpriteFs, SpritePath};
+/// use sprite_net::{CostModel, HostId, Network};
+/// use sprite_sim::SimTime;
+/// use sprite_vm::{AddressSpace, SegmentKind, VirtAddr};
+///
+/// # fn main() -> Result<(), sprite_fs::FsError> {
+/// let mut net = Network::new(CostModel::sun3(), 2);
+/// let mut fs = SpriteFs::new(FsConfig::default(), 2);
+/// fs.add_server(HostId::new(0), SpritePath::new("/"));
+/// let host = HostId::new(1);
+/// let (program, t) = fs.create(&mut net, SimTime::ZERO, host, SpritePath::new("/bin/a.out"))?;
+/// let (mut space, t) = AddressSpace::create(
+///     &mut fs, &mut net, t, host, "pid1", program, 4, 16, 4,
+/// )?;
+/// let addr = VirtAddr::new(SegmentKind::Heap, 100);
+/// let t = space.write(&mut fs, &mut net, t, host, addr, b"hello")?;
+/// let (data, _) = space.read(&mut fs, &mut net, t, host, addr, 5)?;
+/// assert_eq!(data, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    code: Segment,
+    heap: Segment,
+    stack: Segment,
+    stats: VmStats,
+}
+
+impl AddressSpace {
+    /// Creates an address space. Heap and stack get fresh backing files
+    /// under `/swap/<tag>.*`; code pages demand-page from `code_file`, the
+    /// executable itself — which is why Sprite never has to transfer code
+    /// pages during migration: any kernel can fetch them from the shared
+    /// file system.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        fs: &mut SpriteFs,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        tag: &str,
+        code_file: FileId,
+        code_pages: u64,
+        heap_pages: u64,
+        stack_pages: u64,
+    ) -> FsResult<(AddressSpace, SimTime)> {
+        let (heap_file, t1) = fs.create_backing(
+            net,
+            now,
+            host,
+            sprite_fs::SpritePath::new(format!("/swap/{tag}.heap")),
+        )?;
+        let (stack_file, t2) = fs.create_backing(
+            net,
+            t1,
+            host,
+            sprite_fs::SpritePath::new(format!("/swap/{tag}.stack")),
+        )?;
+        let segment = |kind: SegmentKind, backing: FileId, pages: u64, home: PageHome| Segment {
+            kind,
+            backing,
+            pages: (0..pages)
+                .map(|_| PageState {
+                    home,
+                    dirty: false,
+                    data: Vec::new(),
+                })
+                .collect(),
+        };
+        Ok((
+            AddressSpace {
+                code: segment(SegmentKind::Code, code_file, code_pages, PageHome::BackingFile),
+                heap: segment(SegmentKind::Heap, heap_file, heap_pages, PageHome::Zero),
+                stack: segment(SegmentKind::Stack, stack_file, stack_pages, PageHome::Zero),
+                stats: VmStats::default(),
+            },
+            t2,
+        ))
+    }
+
+    /// Copies this address space for a forked child: heap and stack get
+    /// fresh backing files and deep-copied contents; code pages keep
+    /// demand-paging from the same executable. Pages the parent holds only
+    /// in a backing file are paged in first (fork must capture a snapshot).
+    ///
+    /// Sprite used copy-on-write where hardware allowed; an eager copy has
+    /// identical semantics and a cost model matching the Sun-3 port, which
+    /// also copied eagerly.
+    pub fn fork_copy(
+        &mut self,
+        fs: &mut SpriteFs,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        tag: &str,
+    ) -> FsResult<(AddressSpace, SimTime)> {
+        let (heap_file, t1) = fs.create_backing(
+            net,
+            now,
+            host,
+            sprite_fs::SpritePath::new(format!("/swap/{tag}.heap")),
+        )?;
+        let (stack_file, t2) = fs.create_backing(
+            net,
+            t1,
+            host,
+            sprite_fs::SpritePath::new(format!("/swap/{tag}.stack")),
+        )?;
+        let mut t = t2;
+        let mut copied_pages = 0u64;
+        let mut copy_segment = |this: &mut AddressSpace,
+                                kind: SegmentKind,
+                                backing: FileId,
+                                t_in: SimTime|
+         -> FsResult<(Segment, SimTime)> {
+            let mut t = t_in;
+            let count = this.segment(kind).pages.len();
+            let mut pages = Vec::with_capacity(count);
+            for i in 0..count {
+                let home = this.segment(kind).pages[i].home;
+                match home {
+                    PageHome::Zero => pages.push(PageState::zero()),
+                    _ => {
+                        t = this.fault_in(fs, net, t, host, kind, i as u64)?;
+                        let data = this.segment(kind).pages[i].data.clone();
+                        copied_pages += 1;
+                        pages.push(PageState {
+                            home: PageHome::Resident,
+                            // The child's backing file is empty, so its
+                            // copied pages are dirty with respect to it.
+                            dirty: kind.writable(),
+                            data,
+                        });
+                    }
+                }
+            }
+            Ok((
+                Segment {
+                    kind,
+                    backing,
+                    pages,
+                },
+                t,
+            ))
+        };
+        let (heap, t3) = copy_segment(self, SegmentKind::Heap, heap_file, t)?;
+        let (stack, t4) = copy_segment(self, SegmentKind::Stack, stack_file, t3)?;
+        t = t4;
+        // Code: share the executable; copy residency state only.
+        let code = Segment {
+            kind: SegmentKind::Code,
+            backing: self.code.backing,
+            pages: self
+                .code
+                .pages
+                .iter()
+                .map(|p| PageState {
+                    home: p.home,
+                    dirty: false,
+                    data: p.data.clone(),
+                })
+                .collect(),
+        };
+        t += net.cost().copy_time(copied_pages * PAGE_SIZE);
+        Ok((
+            AddressSpace {
+                code,
+                heap,
+                stack,
+                stats: VmStats::default(),
+            },
+            t,
+        ))
+    }
+
+    /// Access a segment.
+    pub fn segment(&self, kind: SegmentKind) -> &Segment {
+        match kind {
+            SegmentKind::Code => &self.code,
+            SegmentKind::Heap => &self.heap,
+            SegmentKind::Stack => &self.stack,
+        }
+    }
+
+    fn segment_mut(&mut self, kind: SegmentKind) -> &mut Segment {
+        match kind {
+            SegmentKind::Code => &mut self.code,
+            SegmentKind::Heap => &mut self.heap,
+            SegmentKind::Stack => &mut self.stack,
+        }
+    }
+
+    /// Fault/paging statistics.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// Total pages across all segments.
+    pub fn total_pages(&self) -> u64 {
+        SegmentKind::ALL
+            .iter()
+            .map(|&k| self.segment(k).page_count())
+            .sum()
+    }
+
+    /// Total resident pages.
+    pub fn resident_pages(&self) -> u64 {
+        SegmentKind::ALL
+            .iter()
+            .map(|&k| self.segment(k).resident_pages())
+            .sum()
+    }
+
+    /// Total dirty pages.
+    pub fn dirty_pages(&self) -> u64 {
+        SegmentKind::ALL
+            .iter()
+            .map(|&k| self.segment(k).dirty_pages())
+            .sum()
+    }
+
+    /// Resident bytes (what a monolithic transfer must move).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_pages() * PAGE_SIZE
+    }
+
+    /// Ensures the page containing `addr` is resident, paying fault costs.
+    fn fault_in(
+        &mut self,
+        fs: &mut SpriteFs,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        segment: SegmentKind,
+        page: u64,
+    ) -> FsResult<SimTime> {
+        let backing = self.segment(segment).backing;
+        let seg = self.segment_mut(segment);
+        assert!(
+            (page as usize) < seg.pages.len(),
+            "page {page} out of range for {segment} segment"
+        );
+        let home = seg.pages[page as usize].home;
+        match home {
+            PageHome::Resident => Ok(now),
+            PageHome::Zero => {
+                self.stats.faults += 1;
+                let seg = self.segment_mut(segment);
+                let p = &mut seg.pages[page as usize];
+                p.data = vec![0; PAGE_SIZE as usize];
+                p.home = PageHome::Resident;
+                // Zero-fill costs a page of copying plus the fault trap.
+                Ok(now + net.cost().context_switch + net.cost().page_copy)
+            }
+            PageHome::BackingFile => {
+                self.stats.faults += 1;
+                self.stats.pageins += 1;
+                let t = now + net.cost().context_switch;
+                let (data, t) = fs.page_in(net, t, host, backing, page)?;
+                let seg = self.segment_mut(segment);
+                let p = &mut seg.pages[page as usize];
+                p.data = data;
+                p.home = PageHome::Resident;
+                Ok(t)
+            }
+            PageHome::RemoteSource(source) => {
+                self.stats.faults += 1;
+                let t = now + net.cost().context_switch;
+                // Fetch the page from the previous host's memory — unless
+                // the process has come back to the source, in which case
+                // its pages are sitting right here.
+                let t = if source == host {
+                    t + net.cost().page_copy
+                } else {
+                    self.stats.remote_fetches += 1;
+                    net.rpc(t, host, source, 64, PAGE_SIZE + 64, None).done
+                };
+                let seg = self.segment_mut(segment);
+                let p = &mut seg.pages[page as usize];
+                // Bytes were kept in `data` when the page was left behind.
+                if p.data.is_empty() {
+                    p.data = vec![0; PAGE_SIZE as usize];
+                }
+                p.home = PageHome::Resident;
+                Ok(t)
+            }
+        }
+    }
+
+    /// Reads `len` bytes at `addr` from `host`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors from demand paging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of the segment.
+    pub fn read(
+        &mut self,
+        fs: &mut SpriteFs,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        addr: VirtAddr,
+        len: u64,
+    ) -> FsResult<(Vec<u8>, SimTime)> {
+        let mut t = now;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut pos = addr.offset;
+        let end = addr.offset + len;
+        while pos < end {
+            let page = pos / PAGE_SIZE;
+            t = self.fault_in(fs, net, t, host, addr.segment, page)?;
+            let seg = self.segment(addr.segment);
+            let p = &seg.pages[page as usize];
+            let within = (pos % PAGE_SIZE) as usize;
+            let upto = ((end - page * PAGE_SIZE).min(PAGE_SIZE)) as usize;
+            out.extend_from_slice(&p.data[within..upto]);
+            pos = page * PAGE_SIZE + upto as u64;
+        }
+        Ok((out, t))
+    }
+
+    /// Writes `bytes` at `addr` from `host`, marking pages dirty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors from demand paging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of the segment, or if the
+    /// segment is read-only (code).
+    pub fn write(
+        &mut self,
+        fs: &mut SpriteFs,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+        addr: VirtAddr,
+        bytes: &[u8],
+    ) -> FsResult<SimTime> {
+        assert!(
+            addr.segment.writable(),
+            "write to read-only {} segment",
+            addr.segment
+        );
+        let mut t = now;
+        let mut pos = addr.offset;
+        let end = addr.offset + bytes.len() as u64;
+        while pos < end {
+            let page = pos / PAGE_SIZE;
+            t = self.fault_in(fs, net, t, host, addr.segment, page)?;
+            let seg = self.segment_mut(addr.segment);
+            let p = &mut seg.pages[page as usize];
+            let within = (pos % PAGE_SIZE) as usize;
+            let upto = ((end - page * PAGE_SIZE).min(PAGE_SIZE)) as usize;
+            let src_from = (pos - addr.offset) as usize;
+            p.data[within..upto].copy_from_slice(&bytes[src_from..src_from + (upto - within)]);
+            p.dirty = true;
+            pos = page * PAGE_SIZE + upto as u64;
+        }
+        Ok(t)
+    }
+
+    /// Flushes all dirty pages to backing files (Sprite's migration VM
+    /// strategy, also used by eviction). Pages stay resident but clean.
+    pub fn flush_dirty(
+        &mut self,
+        fs: &mut SpriteFs,
+        net: &mut Network,
+        now: SimTime,
+        host: HostId,
+    ) -> FsResult<SimTime> {
+        let mut t = now;
+        for kind in SegmentKind::ALL {
+            let backing = self.segment(kind).backing;
+            let dirty: Vec<u64> = {
+                let seg = self.segment(kind);
+                seg.pages
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.dirty)
+                    .map(|(i, _)| i as u64)
+                    .collect()
+            };
+            for page in dirty {
+                let data = self.segment(kind).pages[page as usize].data.clone();
+                t = fs.page_out(net, t, host, backing, page, &data)?;
+                self.segment_mut(kind).pages[page as usize].dirty = false;
+                self.stats.pageouts += 1;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Discards residency for every page: clean pages revert to their
+    /// backing file (or zero-fill if never written there), so future touches
+    /// demand-page. Used after a flush-based migration: the *target* host
+    /// starts with nothing resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page is still dirty — callers must flush first, or
+    /// bytes would be lost. This is the invariant the migration protocol
+    /// depends on.
+    pub fn drop_residency(&mut self) {
+        for kind in SegmentKind::ALL {
+            for p in &mut self.segment_mut(kind).pages {
+                assert!(!p.dirty, "drop_residency with dirty pages would lose data");
+                if p.home == PageHome::Resident {
+                    p.home = PageHome::BackingFile;
+                    // Keep a copy in the backing file semantics: the bytes
+                    // were flushed there already (clean), or the page was
+                    // never written (code from executable).
+                    p.data = Vec::new();
+                }
+            }
+        }
+    }
+
+    /// Marks all resident pages as left behind on `source` (copy-on-
+    /// reference migration): bytes stay in place, future touches fetch them
+    /// across the network.
+    pub fn leave_at_source(&mut self, source: HostId) {
+        for kind in SegmentKind::ALL {
+            for p in &mut self.segment_mut(kind).pages {
+                if p.home == PageHome::Resident {
+                    p.home = PageHome::RemoteSource(source);
+                    p.dirty = false;
+                }
+            }
+        }
+    }
+
+    /// Count of pages still owed to this space by a remote source.
+    pub fn pages_at_remote_source(&self) -> u64 {
+        SegmentKind::ALL
+            .iter()
+            .map(|&k| {
+                self.segment(k)
+                    .pages
+                    .iter()
+                    .filter(|p| matches!(p.home, PageHome::RemoteSource(_)))
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// The residual-dependency failure Zayas's design risks \[Zay87a\]: the
+    /// host still holding this space's copy-on-reference pages crashes.
+    /// Every page owed by `dead` is lost — "if the host with the process's
+    /// memory image later fails at any time during the process's lifetime,
+    /// the process might be unable to execute" (Ch. 2.3). We model the
+    /// damage as those pages reverting to zero-fill; the returned count
+    /// tells the caller how much state evaporated (a real kernel would have
+    /// to kill the process). Sprite's flush strategy never has such pages,
+    /// so the same event costs it nothing.
+    pub fn source_host_failed(&mut self, dead: HostId) -> u64 {
+        let mut lost = 0;
+        for kind in SegmentKind::ALL {
+            for p in &mut self.segment_mut(kind).pages {
+                if p.home == PageHome::RemoteSource(dead) {
+                    p.home = PageHome::Zero;
+                    p.data = Vec::new();
+                    p.dirty = false;
+                    lost += 1;
+                }
+            }
+        }
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprite_fs::{FsConfig, SpritePath};
+    use sprite_net::CostModel;
+
+    fn setup() -> (Network, SpriteFs) {
+        let net = Network::new(CostModel::sun3(), 3);
+        let mut fs = SpriteFs::new(FsConfig::default(), 3);
+        fs.add_server(HostId::new(0), SpritePath::new("/"));
+        (net, fs)
+    }
+
+    fn h(i: u32) -> HostId {
+        HostId::new(i)
+    }
+
+    /// Creates a four-page "program" file plus an address space over it.
+    fn space(fs: &mut SpriteFs, net: &mut Network, tag: &str) -> (AddressSpace, SimTime) {
+        let (prog, t) = fs
+            .create(net, SimTime::ZERO, h(1), SpritePath::new(format!("/bin/{tag}")))
+            .unwrap();
+        AddressSpace::create(fs, net, t, h(1), tag, prog, 4, 32, 8).unwrap()
+    }
+
+    #[test]
+    fn zero_fill_then_read_back() {
+        let (mut net, mut fs) = setup();
+        let (mut s, t) = space(&mut fs, &mut net, "p1");
+        let a = VirtAddr::new(SegmentKind::Heap, 5000);
+        let (zeros, t1) = s.read(&mut fs, &mut net, t, h(1), a, 16).unwrap();
+        assert_eq!(zeros, vec![0; 16]);
+        let t2 = s.write(&mut fs, &mut net, t1, h(1), a, b"abcd").unwrap();
+        let (data, _) = s.read(&mut fs, &mut net, t2, h(1), a, 4).unwrap();
+        assert_eq!(data, b"abcd");
+        assert_eq!(s.stats().faults, 1, "one zero-fill fault for page 1");
+        assert_eq!(s.dirty_pages(), 1);
+    }
+
+    #[test]
+    fn writes_spanning_pages_dirty_both() {
+        let (mut net, mut fs) = setup();
+        let (mut s, t) = space(&mut fs, &mut net, "p2");
+        let a = VirtAddr::new(SegmentKind::Heap, PAGE_SIZE - 2);
+        s.write(&mut fs, &mut net, t, h(1), a, b"wxyz").unwrap();
+        assert_eq!(s.dirty_pages(), 2);
+        let (mut net2, mut fs2) = setup();
+        let (mut s2, t2) = space(&mut fs2, &mut net2, "p2");
+        let (back, _) = s2.read(&mut fs2, &mut net2, t2, h(1), a, 4).unwrap();
+        assert_eq!(back, vec![0; 4], "fresh space is zeroed");
+        let (back2, _) = s.read(&mut fs, &mut net, t2, h(1), a, 4).unwrap();
+        assert_eq!(back2, b"wxyz");
+    }
+
+    #[test]
+    fn flush_and_drop_then_demand_page_round_trip() {
+        let (mut net, mut fs) = setup();
+        let (mut s, t) = space(&mut fs, &mut net, "p3");
+        let a = VirtAddr::new(SegmentKind::Heap, 0);
+        let payload: Vec<u8> = (0..3 * PAGE_SIZE).map(|i| (i % 255) as u8).collect();
+        let t1 = s.write(&mut fs, &mut net, t, h(1), a, &payload).unwrap();
+        assert_eq!(s.dirty_pages(), 3);
+        let t2 = s.flush_dirty(&mut fs, &mut net, t1, h(1)).unwrap();
+        assert_eq!(s.dirty_pages(), 0);
+        assert!(t2 > t1, "flushing three pages takes time");
+        s.drop_residency();
+        assert_eq!(s.resident_pages(), 0);
+        // Demand paging (as if on a new host) restores identical bytes.
+        let (back, t3) = s.read(&mut fs, &mut net, t2, h(2), a, payload.len() as u64).unwrap();
+        assert_eq!(back, payload);
+        assert!(t3 > t2);
+        assert_eq!(s.stats().pageins, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_residency with dirty pages")]
+    fn drop_residency_refuses_dirty_pages() {
+        let (mut net, mut fs) = setup();
+        let (mut s, t) = space(&mut fs, &mut net, "p4");
+        s.write(
+            &mut fs,
+            &mut net,
+            t,
+            h(1),
+            VirtAddr::new(SegmentKind::Heap, 0),
+            b"x",
+        )
+        .unwrap();
+        s.drop_residency();
+    }
+
+    #[test]
+    fn copy_on_reference_fetches_remotely() {
+        let (mut net, mut fs) = setup();
+        let (mut s, t) = space(&mut fs, &mut net, "p5");
+        let a = VirtAddr::new(SegmentKind::Stack, 100);
+        let t1 = s.write(&mut fs, &mut net, t, h(1), a, b"stackdata").unwrap();
+        s.leave_at_source(h(1));
+        assert_eq!(s.resident_pages(), 0);
+        assert_eq!(s.pages_at_remote_source(), 1);
+        let (back, t2) = s.read(&mut fs, &mut net, t1, h(2), a, 9).unwrap();
+        assert_eq!(back, b"stackdata");
+        assert!(t2.elapsed_since(t1) >= net.cost().small_rpc_round_trip());
+        assert_eq!(s.stats().remote_fetches, 1);
+        assert_eq!(s.pages_at_remote_source(), 0);
+    }
+
+    #[test]
+    fn code_pages_demand_page_from_the_executable() {
+        let (mut net, mut fs) = setup();
+        // Write program text into the executable file, then run it.
+        let (prog, t) = fs
+            .create(&mut net, SimTime::ZERO, h(1), SpritePath::new("/bin/p6"))
+            .unwrap();
+        let (ps, t) = fs
+            .open(&mut net, t, h(1), SpritePath::new("/bin/p6"), sprite_fs::OpenMode::Write)
+            .unwrap();
+        let t = fs.write(&mut net, t, h(1), ps, &[0x90u8; 128]).unwrap();
+        let t = fs.close(&mut net, t, h(1), ps).unwrap();
+        let (mut s, t) =
+            AddressSpace::create(&mut fs, &mut net, t, h(1), "p6", prog, 4, 8, 4).unwrap();
+        let (text, _) = s
+            .read(
+                &mut fs,
+                &mut net,
+                t,
+                h(1),
+                VirtAddr::new(SegmentKind::Code, 0),
+                128,
+            )
+            .unwrap();
+        assert_eq!(text, vec![0x90; 128]);
+        assert_eq!(s.segment(SegmentKind::Code).dirty_pages(), 0);
+        assert_eq!(s.stats().pageins, 1);
+    }
+
+    #[test]
+    fn fork_copy_duplicates_contents_independently() {
+        let (mut net, mut fs) = setup();
+        let (mut parent, t) = space(&mut fs, &mut net, "pf");
+        let a = VirtAddr::new(SegmentKind::Heap, 64);
+        let t = parent.write(&mut fs, &mut net, t, h(1), a, b"shared?").unwrap();
+        let (mut child, t) = parent.fork_copy(&mut fs, &mut net, t, h(1), "pf.child").unwrap();
+        let (c, t) = child.read(&mut fs, &mut net, t, h(1), a, 7).unwrap();
+        assert_eq!(c, b"shared?");
+        // Diverge: the child's writes must not leak into the parent.
+        let t = child.write(&mut fs, &mut net, t, h(1), a, b"childs!").unwrap();
+        let (p, _) = parent.read(&mut fs, &mut net, t, h(1), a, 7).unwrap();
+        assert_eq!(p, b"shared?");
+        // And the child's pages flush to its own backing files.
+        let t = child.flush_dirty(&mut fs, &mut net, t, h(1)).unwrap();
+        child.drop_residency();
+        let (c2, _) = child.read(&mut fs, &mut net, t, h(2), a, 7).unwrap();
+        assert_eq!(c2, b"childs!");
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn writing_code_panics() {
+        let (mut net, mut fs) = setup();
+        let (mut s, t) = space(&mut fs, &mut net, "p7");
+        let _ = s.write(
+            &mut fs,
+            &mut net,
+            t,
+            h(1),
+            VirtAddr::new(SegmentKind::Code, 0),
+            b"x",
+        );
+    }
+
+    #[test]
+    fn accounting_totals() {
+        let (mut net, mut fs) = setup();
+        let (mut s, t) = space(&mut fs, &mut net, "p8");
+        assert_eq!(s.total_pages(), 4 + 32 + 8);
+        assert_eq!(s.resident_pages(), 0);
+        s.write(
+            &mut fs,
+            &mut net,
+            t,
+            h(1),
+            VirtAddr::new(SegmentKind::Heap, 0),
+            &vec![1; 2 * PAGE_SIZE as usize],
+        )
+        .unwrap();
+        assert_eq!(s.resident_pages(), 2);
+        assert_eq!(s.resident_bytes(), 2 * PAGE_SIZE);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property test: an address space driven by arbitrary writes, flushes,
+//! residency drops and copy-on-reference hand-offs always reads back the
+//! bytes a flat reference model predicts — no matter which host touches it
+//! next. This is the memory-integrity half of migration transparency,
+//! exercised harder than any single protocol run does.
+
+use proptest::prelude::*;
+use sprite_fs::{FsConfig, SpriteFs, SpritePath};
+use sprite_net::{CostModel, HostId, Network, PAGE_SIZE};
+use sprite_sim::SimTime;
+use sprite_vm::{AddressSpace, SegmentKind, VirtAddr};
+
+const HEAP_PAGES: u64 = 12;
+
+#[derive(Debug, Clone)]
+enum VmOp {
+    Write { page: u8, off: u16, byte: u8, len: u8 },
+    FlushDirty,
+    FlushAndDrop,
+    LeaveAtSource,
+    HopHost,
+}
+
+fn vm_op() -> impl Strategy<Value = VmOp> {
+    prop_oneof![
+        4 => (0u8..HEAP_PAGES as u8, 0u16..4000, any::<u8>(), 1u8..200)
+            .prop_map(|(page, off, byte, len)| VmOp::Write { page, off, byte, len }),
+        1 => Just(VmOp::FlushDirty),
+        1 => Just(VmOp::FlushAndDrop),
+        1 => Just(VmOp::LeaveAtSource),
+        1 => Just(VmOp::HopHost),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memory_matches_flat_model_under_any_transfer_mix(
+        ops in prop::collection::vec(vm_op(), 1..40),
+    ) {
+        let mut net = Network::new(CostModel::sun3(), 4);
+        let mut fs = SpriteFs::new(FsConfig::default(), 4);
+        fs.add_server(HostId::new(0), SpritePath::new("/"));
+        let (prog, t0) = fs
+            .create(&mut net, SimTime::ZERO, HostId::new(1), SpritePath::new("/bin/pm"))
+            .unwrap();
+        let (mut space, mut t) = AddressSpace::create(
+            &mut fs, &mut net, t0, HostId::new(1), "pm", prog, 2, HEAP_PAGES, 4,
+        )
+        .unwrap();
+        let mut model = vec![0u8; (HEAP_PAGES * PAGE_SIZE) as usize];
+        let mut host = HostId::new(1);
+
+        for op in ops {
+            match op {
+                VmOp::Write { page, off, byte, len } => {
+                    let offset = page as u64 * PAGE_SIZE + off as u64;
+                    let len = (len as u64).min(HEAP_PAGES * PAGE_SIZE - offset);
+                    let data = vec![byte; len as usize];
+                    t = space
+                        .write(&mut fs, &mut net, t, host,
+                               VirtAddr::new(SegmentKind::Heap, offset), &data)
+                        .unwrap();
+                    model[offset as usize..(offset + len) as usize].fill(byte);
+                }
+                VmOp::FlushDirty => {
+                    t = space.flush_dirty(&mut fs, &mut net, t, host).unwrap();
+                }
+                VmOp::FlushAndDrop => {
+                    // A Sprite-flush migration: flush, drop, hop.
+                    t = space.flush_dirty(&mut fs, &mut net, t, host).unwrap();
+                    space.drop_residency();
+                    host = HostId::new(1 + (host.index() as u32) % 3);
+                }
+                VmOp::LeaveAtSource => {
+                    // Copy-on-reference migration away from `host`.
+                    // Dirty pages travel as COR pages too (Accent kept them
+                    // at the source); our model keeps bytes, so only the
+                    // location bookkeeping changes.
+                    let old = host;
+                    space.leave_at_source(old);
+                    host = HostId::new(1 + (host.index() as u32) % 3);
+                }
+                VmOp::HopHost => {
+                    // Full-copy-style migration: resident pages travel in
+                    // memory; nothing changes but the host.
+                    host = HostId::new(1 + (host.index() as u32) % 3);
+                }
+            }
+        }
+        // Final read-back of the whole heap from wherever we ended up.
+        let (mem, _) = space
+            .read(&mut fs, &mut net, t, host,
+                  VirtAddr::new(SegmentKind::Heap, 0), HEAP_PAGES * PAGE_SIZE)
+            .unwrap();
+        prop_assert_eq!(mem, model);
+    }
+}

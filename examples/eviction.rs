@@ -1,0 +1,86 @@
+//! Workstation autonomy: foreign processes are evicted the moment the
+//! owner returns, and land back on their home machines still running.
+//!
+//! ```text
+//! cargo run --example eviction
+//! ```
+
+use sprite::fs::SpritePath;
+use sprite::kernel::Cluster;
+use sprite::migration::{MigrationConfig, Migrator};
+use sprite::net::{CostModel, HostId};
+use sprite::sim::SimTime;
+use sprite::vm::{SegmentKind, VirtAddr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // host0: file server; host1: the idle workstation everyone borrows;
+    // hosts 2-4: the owners' machines.
+    let mut cluster = Cluster::new(CostModel::sun3(), 5);
+    cluster.add_file_server(HostId::new(0), SpritePath::new("/"));
+    let borrowed = HostId::new(1);
+    let t = cluster.install_program(SimTime::ZERO, SpritePath::new("/bin/longjob"), 24 * 1024)?;
+
+    let mut migrator = Migrator::new(MigrationConfig::default(), cluster.host_count());
+
+    // Three users park long-running jobs on the idle machine.
+    let mut clock = t;
+    let mut pids = Vec::new();
+    for owner in 2..5u32 {
+        let home = HostId::new(owner);
+        let (pid, t1) = cluster.spawn(clock, home, &SpritePath::new("/bin/longjob"), 256, 16)?;
+        let report = migrator.migrate(&mut cluster, t1, pid, borrowed)?;
+        // The job computes: dirty a megabyte of heap.
+        let mut space = cluster.pcb_mut(pid).unwrap().space.take().unwrap();
+        let t2 = space.write(
+            &mut cluster.fs,
+            &mut cluster.net,
+            report.resumed_at,
+            borrowed,
+            VirtAddr::new(SegmentKind::Heap, 0),
+            &vec![0xAB; 1 << 20],
+        )?;
+        cluster.pcb_mut(pid).unwrap().space = Some(space);
+        clock = t2;
+        pids.push(pid);
+        println!("{pid} (home {home}) now running as a guest on {borrowed}");
+    }
+    println!(
+        "\n{} foreign processes on {borrowed}; each holds ~1MB of dirty memory",
+        cluster.foreign_on(borrowed).len()
+    );
+
+    // The owner of the borrowed machine comes back and touches the keyboard.
+    println!("\n*** owner returns to {borrowed} at {clock} ***\n");
+    cluster.host_mut(borrowed).console_active = true;
+    let reports = migrator.evict_all(&mut cluster, clock, borrowed)?;
+    for r in &reports {
+        println!(
+            "evicted {} back to {} in {} (froze {})",
+            r.pid, r.to, r.total_time, r.freeze_time
+        );
+    }
+    let last = reports.last().unwrap().resumed_at;
+    println!(
+        "\nworkstation reclaimed in {} total; {} foreign processes remain",
+        last.elapsed_since(clock),
+        cluster.foreign_on(borrowed).len()
+    );
+
+    // The evicted jobs keep running at home — prove the memory survived.
+    for pid in pids {
+        let home = cluster.pcb(pid).unwrap().current;
+        let mut space = cluster.pcb_mut(pid).unwrap().space.take().unwrap();
+        let (bytes, _) = space.read(
+            &mut cluster.fs,
+            &mut cluster.net,
+            last,
+            home,
+            VirtAddr::new(SegmentKind::Heap, 0),
+            4,
+        )?;
+        cluster.pcb_mut(pid).unwrap().space = Some(space);
+        assert_eq!(bytes, vec![0xAB; 4]);
+        println!("{pid} resumed on {home} with its memory intact");
+    }
+    Ok(())
+}

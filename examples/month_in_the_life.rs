@@ -1,0 +1,103 @@
+//! A compressed "day in the life" of the cluster, narrated by the kernel's
+//! trace: users come and go, jobs exec-migrate to idle machines, owners
+//! return and evict. The month-long statistics version is experiment E11
+//! (`cargo run -p sprite-bench --release --bin experiments -- e11`).
+//!
+//! ```text
+//! cargo run --release --example month_in_the_life
+//! ```
+
+use sprite::fs::SpritePath;
+use sprite::hostsel::{AvailabilityPolicy, CentralServer, HostInfo, HostSelector};
+use sprite::kernel::Cluster;
+use sprite::migration::{MigrationConfig, Migrator};
+use sprite::net::{CostModel, HostId};
+use sprite::sim::{DetRng, SimDuration, SimTime};
+
+fn h(i: u32) -> HostId {
+    HostId::new(i)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hosts = 6;
+    let mut cluster = Cluster::new(CostModel::sun3(), hosts);
+    cluster.add_file_server(h(0), SpritePath::new("/"));
+    cluster.enable_trace(64);
+    let t = cluster.install_program(SimTime::ZERO, SpritePath::new("/bin/sim"), 32 * 1024)?;
+    let mut migrator = Migrator::new(MigrationConfig::default(), hosts);
+    let mut selector = CentralServer::new(h(0), AvailabilityPolicy::default());
+    let mut rng = DetRng::seed_from(2026);
+
+    // Morning: hosts 4 and 5 are idle, their owners away.
+    let world = |active: &[u32]| -> Vec<HostInfo> {
+        (0..hosts as u32)
+            .map(|i| HostInfo {
+                host: h(i),
+                load: 0.0,
+                idle: if active.contains(&i) {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_secs(1200)
+                },
+                console_active: active.contains(&i),
+            })
+            .collect()
+    };
+    let morning = world(&[0, 1, 2, 3]);
+    for info in &morning {
+        cluster.host_mut(info.host).console_active = info.console_active;
+        selector.report(&mut cluster.net, t, *info);
+    }
+
+    // Users on hosts 1-3 submit simulation jobs; the central server places
+    // them on the idle machines.
+    let mut t = t;
+    let mut jobs = Vec::new();
+    for owner in 1..4u32 {
+        for _ in 0..2 {
+            let (pid, t1) = cluster.spawn(t, h(owner), &SpritePath::new("/bin/sim"), 32, 8)?;
+            let (choice, t2) = selector.select(&mut cluster.net, t1, h(owner), &morning);
+            t = match choice {
+                Some(target) => {
+                    let r = migrator.exec_migrate(
+                        &mut cluster,
+                        t2,
+                        pid,
+                        target,
+                        &SpritePath::new("/bin/sim"),
+                        32,
+                        8,
+                    )?;
+                    r.resumed_at
+                }
+                None => t2,
+            };
+            let cpu = rng.jittered(SimDuration::from_secs(120), SimDuration::from_secs(30));
+            let done = cluster.run_cpu(t, pid, cpu)?;
+            jobs.push((pid, done));
+        }
+    }
+
+    // Lunchtime: the owner of host 4 comes back — eviction.
+    let lunch = t + SimDuration::from_secs(60);
+    cluster.host_mut(h(4)).console_active = true;
+    let evicted = migrator.evict_all(&mut cluster, lunch, h(4))?;
+    let mut t = evicted.last().map(|r| r.resumed_at).unwrap_or(lunch);
+
+    // Afternoon: jobs finish and exit.
+    for (pid, done) in jobs {
+        t = cluster.exit(t.max_of(done), pid, 0)?;
+    }
+
+    println!("=== cluster narrative ===");
+    for line in cluster.trace.entries() {
+        println!("{line}");
+    }
+    let totals = migrator.totals();
+    println!("\n=== totals ===");
+    println!(
+        "migrations {} (exec-time {}, evictions {}), total freeze {}",
+        totals.migrations, totals.exec_migrations, totals.evictions, totals.total_freeze
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! The four virtual-memory transfer strategies, side by side: watch a
+//! process with a multi-megabyte image migrate under each design and see
+//! where the time (and the risk) goes. The full sweep is experiment E2.
+//!
+//! ```text
+//! cargo run --release --example vm_strategies
+//! ```
+
+use sprite::fs::SpritePath;
+use sprite::kernel::ClusterBuilder;
+use sprite::migration::{MigrationConfig, Migrator};
+use sprite::net::{HostId, PAGE_SIZE};
+use sprite::sim::SimTime;
+use sprite::vm::{SegmentKind, VirtAddr, VmStrategy};
+
+fn h(i: u32) -> HostId {
+    HostId::new(i)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image_mb = 4.0_f64;
+    println!("migrating a process with a {image_mb} MB image (25% dirty), per strategy:\n");
+    println!(
+        "{:<14} {:>11} {:>11} {:>10} {:>14} {:>20}",
+        "strategy", "freeze", "total", "MB moved", "touch-25%", "survives src crash?"
+    );
+
+    for strategy in VmStrategy::ALL {
+        let (mut cluster, t) = ClusterBuilder::new(4)
+            .program("/bin/bigjob", 32 * 1024)
+            .build()?;
+        let mut migrator = Migrator::new(MigrationConfig::default(), 4);
+        migrator.set_vm_strategy(strategy);
+
+        // Build the image: touch everything, flush (normal paging would
+        // have), then re-dirty a quarter.
+        let pages = ((image_mb * 1024.0 * 1024.0) as u64) / PAGE_SIZE;
+        let (pid, t) = cluster.spawn(t, h(1), &SpritePath::new("/bin/bigjob"), pages + 8, 8)?;
+        let full = vec![0xaau8; (pages * PAGE_SIZE) as usize];
+        let quarter = vec![0xbbu8; (pages / 4 * PAGE_SIZE) as usize];
+        let mut space = cluster.pcb_mut(pid).unwrap().space.take().unwrap();
+        let t = space.write(&mut cluster.fs, &mut cluster.net, t, h(1), VirtAddr::new(SegmentKind::Heap, 0), &full)?;
+        let t = space.flush_dirty(&mut cluster.fs, &mut cluster.net, t, h(1))?;
+        let t = space.write(&mut cluster.fs, &mut cluster.net, t, h(1), VirtAddr::new(SegmentKind::Heap, 0), &quarter)?;
+        cluster.pcb_mut(pid).unwrap().space = Some(space);
+
+        let report = migrator.migrate(&mut cluster, t, pid, h(2))?;
+        let vm = report.vm.expect("vm report");
+
+        // Touch a quarter of the image on the target.
+        let mut space = cluster.pcb_mut(pid).unwrap().space.take().unwrap();
+        let t0 = report.resumed_at;
+        let (_, t1) = space.read(
+            &mut cluster.fs,
+            &mut cluster.net,
+            t0,
+            h(2),
+            VirtAddr::new(SegmentKind::Heap, 0),
+            pages / 4 * PAGE_SIZE,
+        )?;
+        // Then the source host "crashes".
+        let lost = space.source_host_failed(h(1));
+        cluster.pcb_mut(pid).unwrap().space = Some(space);
+
+        println!(
+            "{:<14} {:>11} {:>11} {:>10.2} {:>14} {:>20}",
+            strategy.to_string(),
+            report.freeze_time.to_string(),
+            report.total_time.to_string(),
+            vm.bytes_moved as f64 / (1024.0 * 1024.0),
+            t1.elapsed_since(t0).to_string(),
+            if lost == 0 {
+                "yes".to_string()
+            } else {
+                format!("NO ({lost} pages lost)")
+            },
+        );
+        let _ = SimTime::ZERO;
+    }
+
+    println!("\nSprite chose flush-to-backing-file: freeze scales with dirty pages,");
+    println!("and the only machine the process still depends on is the file server —");
+    println!("which it depended on anyway.");
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! IPC transparency: Sprite processes communicate through pseudo-devices
+//! [WO88] — file-like channels to user-level servers, which is also how
+//! Internet sockets reach the IP server [Che87]. "The migration of a
+//! process is transparent to the processes with which it communicates,
+//! because only the operating system stores the location of the processes
+//! that use the pseudo-device" (Ch. 3.2). These tests migrate one end of
+//! such a channel and check that nothing but latency changes.
+
+use sprite::fs::{OpenMode, SpritePath};
+use sprite::kernel::Cluster;
+use sprite::migration::{MigrationConfig, Migrator};
+use sprite::net::{CostModel, HostId};
+use sprite::sim::{SimDuration, SimTime};
+
+fn h(i: u32) -> HostId {
+    HostId::new(i)
+}
+
+#[test]
+fn pseudo_device_channel_survives_client_migration() {
+    let mut c = Cluster::new(CostModel::sun3(), 4);
+    c.add_file_server(h(0), SpritePath::new("/"));
+    let t = c
+        .install_program(SimTime::ZERO, SpritePath::new("/bin/app"), 16 * 1024)
+        .unwrap();
+    // An IP-server-style daemon lives on host 3; its service rendezvous is
+    // the pseudo-device /dev/ipServer.
+    c.fs
+        .create_pseudo_device(&mut c.net, t, h(3), SpritePath::new("/dev/ipServer"), h(3))
+        .unwrap();
+
+    // A client process on host 1 opens the channel.
+    let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4).unwrap();
+    let (fd, t) = c
+        .open_fd(t, pid, SpritePath::new("/dev/ipServer"), OpenMode::ReadWrite)
+        .unwrap();
+    let stream = c.pcb(pid).unwrap().fd(fd).unwrap();
+
+    // Round trip before migration.
+    let before = c
+        .fs
+        .pseudo_request(&mut c.net, t, h(1), stream, 256, 256, SimDuration::from_micros(300))
+        .unwrap();
+    let cost_before = before.elapsed_since(t);
+
+    // The client migrates; the daemon neither knows nor cares.
+    let mut m = Migrator::new(MigrationConfig::default(), 4);
+    let r = m.migrate(&mut c, before, pid, h(2)).unwrap();
+    assert_eq!(r.streams_moved, 1);
+
+    // Same descriptor, same protocol, new location.
+    let stream2 = c.pcb(pid).unwrap().fd(fd).unwrap();
+    assert_eq!(stream, stream2, "the descriptor did not change identity");
+    let after = c
+        .fs
+        .pseudo_request(&mut c.net, r.resumed_at, h(2), stream2, 256, 256, SimDuration::from_micros(300))
+        .unwrap();
+    let cost_after = after.elapsed_since(r.resumed_at);
+    // Still an RPC-scale cost — communication works, latency comparable.
+    let ratio = cost_after.as_secs_f64() / cost_before.as_secs_f64();
+    assert!((0.5..2.0).contains(&ratio), "latency ratio {ratio}");
+}
+
+#[test]
+fn migrating_onto_the_servers_host_makes_ipc_local() {
+    let mut c = Cluster::new(CostModel::sun3(), 4);
+    c.add_file_server(h(0), SpritePath::new("/"));
+    let t = c
+        .install_program(SimTime::ZERO, SpritePath::new("/bin/app"), 16 * 1024)
+        .unwrap();
+    c.fs
+        .create_pseudo_device(&mut c.net, t, h(3), SpritePath::new("/dev/chan"), h(3))
+        .unwrap();
+    let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4).unwrap();
+    let (fd, t) = c
+        .open_fd(t, pid, SpritePath::new("/dev/chan"), OpenMode::ReadWrite)
+        .unwrap();
+    let stream = c.pcb(pid).unwrap().fd(fd).unwrap();
+    let remote = c
+        .fs
+        .pseudo_request(&mut c.net, t, h(1), stream, 64, 64, SimDuration::ZERO)
+        .unwrap()
+        .elapsed_since(t);
+    // Migrate the client onto the server's own host: IPC becomes two
+    // context switches instead of a network round trip.
+    let mut m = Migrator::new(MigrationConfig::default(), 4);
+    let r = m.migrate(&mut c, t, pid, h(3)).unwrap();
+    let local = c
+        .fs
+        .pseudo_request(&mut c.net, r.resumed_at, h(3), stream, 64, 64, SimDuration::ZERO)
+        .unwrap()
+        .elapsed_since(r.resumed_at);
+    assert!(
+        local < remote / 2,
+        "co-located IPC {local} should beat cross-network {remote}"
+    );
+}
