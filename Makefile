@@ -1,0 +1,24 @@
+# Convenience targets; scripts/ci.sh is the canonical offline CI gate.
+
+.PHONY: ci ci-quick test bench experiments fmt clippy
+
+ci:
+	scripts/ci.sh
+
+ci-quick:
+	scripts/ci.sh --quick
+
+test:
+	cargo test --workspace
+
+bench:
+	cargo bench -p sprite-bench
+
+experiments:
+	cargo run -p sprite-bench --release --bin experiments
+
+fmt:
+	cargo fmt
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings

@@ -1,42 +1,150 @@
 //! Prints the reproduction tables for every experiment (or a subset).
 //!
 //! ```text
-//! cargo run -p sprite-bench --release --bin experiments          # all
-//! cargo run -p sprite-bench --release --bin experiments -- e05   # one
-//! cargo run -p sprite-bench --release --bin experiments -- list  # index
+//! cargo run -p sprite-bench --release --bin experiments             # all
+//! cargo run -p sprite-bench --release --bin experiments -- e05      # one
+//! cargo run -p sprite-bench --release --bin experiments -- list     # index
+//! cargo run -p sprite-bench --release --bin experiments -- --jobs 4 # parallel
+//! cargo run -p sprite-bench --release --bin experiments -- --json   # sidecar
 //! ```
+//!
+//! Tables go to stdout and are byte-identical for every `--jobs` value
+//! (see `runner`'s determinism contract); wall-clock timings go to stderr
+//! and, with `--json`, to `BENCH_experiments.json`.
 
 use std::time::Instant;
 
+use sprite_bench::runner;
+
+struct Options {
+    ids: Vec<String>,
+    jobs: usize,
+    json: bool,
+    list: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        ids: Vec::new(),
+        jobs: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        json: false,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => opts.jobs = n,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => opts.json = true,
+            "list" => opts.list = true,
+            _ if arg.starts_with("--jobs=") => match arg["--jobs=".len()..].parse::<usize>() {
+                Ok(n) if n >= 1 => opts.jobs = n,
+                _ => {
+                    eprintln!("bad {arg:?}");
+                    std::process::exit(2);
+                }
+            },
+            _ if arg.starts_with('-') => {
+                eprintln!("unknown flag {arg:?}; flags: --jobs N, --json, list");
+                std::process::exit(2);
+            }
+            _ => opts.ids.push(arg),
+        }
+    }
+    opts
+}
+
+/// Minimal JSON string escape (ids and descriptions are plain ASCII, but
+/// stay correct anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let suite = sprite_bench::experiments::all();
-    if args.first().map(String::as_str) == Some("list") {
-        for (id, desc, _) in &suite {
-            println!("{id}  {desc}");
+    let opts = parse_args();
+    let suite = sprite_bench::experiments::suite();
+    if opts.list {
+        for exp in &suite {
+            println!("{}  {}", exp.id, exp.desc);
         }
         return;
     }
-    let selected: Vec<_> = if args.is_empty() {
+    let selected: Vec<runner::Experiment> = if opts.ids.is_empty() {
         suite
     } else {
         suite
             .into_iter()
-            .filter(|(id, _, _)| args.iter().any(|a| a == id))
+            .filter(|exp| opts.ids.iter().any(|a| a == exp.id))
             .collect()
     };
     if selected.is_empty() {
         eprintln!("no matching experiments; try `list`");
         std::process::exit(1);
     }
+
+    let wall = Instant::now();
+    let results = runner::run_suite(selected, opts.jobs);
+    let total_wall = wall.elapsed().as_secs_f64();
+
     println!("# Sprite process migration — reproduction tables\n");
-    for (id, desc, table) in selected {
-        let wall = Instant::now();
-        let rendered = table();
-        println!("{rendered}");
-        println!(
-            "  [{id}: {desc}; generated in {:.1}s wall]\n",
-            wall.elapsed().as_secs_f64()
+    for r in &results {
+        println!("{}", r.rendered);
+        println!("  [{}: {}]\n", r.id, r.desc);
+    }
+    for r in &results {
+        eprintln!(
+            "[timing] {}: {:.2}s cpu across {} unit{}",
+            r.id,
+            r.cpu.as_secs_f64(),
+            r.units,
+            if r.units == 1 { "" } else { "s" }
         );
+    }
+    eprintln!(
+        "[timing] total: {total_wall:.2}s wall with {} job{}",
+        opts.jobs,
+        if opts.jobs == 1 { "" } else { "s" }
+    );
+
+    if opts.json {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
+        json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.3},\n"));
+        json.push_str("  \"experiments\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"description\": \"{}\", \"units\": {}, \"cpu_seconds\": {:.3}}}{}\n",
+                json_escape(r.id),
+                json_escape(r.desc),
+                r.units,
+                r.cpu.as_secs_f64(),
+                if i + 1 == results.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let path = "BENCH_experiments.json";
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[timing] wrote {path}");
     }
 }

@@ -72,8 +72,7 @@ fn one(hosts: usize, name_caching: bool, seed: u64) -> NameCacheRow {
         makespan: report.makespan,
         lookups: stats.lookups,
         cache_hits: stats.name_cache_hits,
-        server_utilization: server.cpu.busy_time().as_secs_f64()
-            / report.makespan.as_secs_f64(),
+        server_utilization: server.cpu.busy_time().as_secs_f64() / report.makespan.as_secs_f64(),
     }
 }
 
@@ -92,7 +91,14 @@ pub fn table() -> String {
     let rows = run(&[6, 12, 16], 61);
     let mut t = TableWriter::new(
         "A1 (ablation): client name caching during a 24-file pmake",
-        &["hosts", "name-cache", "makespan(s)", "lookups", "hits", "srv-util"],
+        &[
+            "hosts",
+            "name-cache",
+            "makespan(s)",
+            "lookups",
+            "hits",
+            "srv-util",
+        ],
     );
     for r in &rows {
         t.row(&[

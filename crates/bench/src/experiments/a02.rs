@@ -12,7 +12,9 @@ use sprite_kernel::KernelCall;
 use sprite_net::CostModel;
 use sprite_sim::SimDuration;
 
-use crate::support::{cluster_with, dirty_heap, h, ms, pages_for_mb, standard_migrator, TableWriter};
+use crate::support::{
+    cluster_with, dirty_heap, h, ms, pages_for_mb, standard_migrator, TableWriter,
+};
 
 /// Measurements for one hardware generation.
 #[derive(Debug, Clone)]
@@ -38,7 +40,9 @@ fn measure(cost: CostModel, label: &'static str) -> GenerationRow {
     let (pid, t) = cluster
         .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
         .expect("spawn");
-    let r1 = migrator.migrate(&mut cluster, t, pid, h(2)).expect("migrate");
+    let r1 = migrator
+        .migrate(&mut cluster, t, pid, h(2))
+        .expect("migrate");
     // Kernel calls: local (at home h2? pid foreign now) — measure on a
     // fresh home process for the local number.
     let (home_pid, t2) = cluster
@@ -54,10 +58,18 @@ fn measure(cost: CostModel, label: &'static str) -> GenerationRow {
     let forwarded_call = fwd_done.elapsed_since(local_done);
     // 1MB-dirty migration.
     let (big, t3) = cluster
-        .spawn(fwd_done, h(1), &SpritePath::new("/bin/sim"), pages_for_mb(1.0), 4)
+        .spawn(
+            fwd_done,
+            h(1),
+            &SpritePath::new("/bin/sim"),
+            pages_for_mb(1.0),
+            4,
+        )
         .expect("spawn");
     let t3 = dirty_heap(&mut cluster, t3, big, 1.0);
-    let r2 = migrator.migrate(&mut cluster, t3, big, h(3)).expect("migrate");
+    let r2 = migrator
+        .migrate(&mut cluster, t3, big, h(3))
+        .expect("migrate");
     GenerationRow {
         generation: label,
         trivial_migration: r1.total_time,
@@ -126,7 +138,8 @@ mod tests {
             dec.forwarding_ratio
         );
         // And the 1MB migration improves less than the trivial one.
-        let trivial_gain = sun.trivial_migration.as_secs_f64() / dec.trivial_migration.as_secs_f64();
+        let trivial_gain =
+            sun.trivial_migration.as_secs_f64() / dec.trivial_migration.as_secs_f64();
         let big_gain = sun.migration_1mb.as_secs_f64() / dec.migration_1mb.as_secs_f64();
         assert!(big_gain < trivial_gain);
     }

@@ -9,7 +9,9 @@ use sprite_fs::SpritePath;
 use sprite_sim::SimDuration;
 use sprite_vm::{transfer, TransferParams, VmStrategy};
 
-use crate::support::{dirty_heap, h, pages_for_mb, secs, standard_cluster, standard_migrator, TableWriter};
+use crate::support::{
+    dirty_heap, h, pages_for_mb, secs, standard_cluster, standard_migrator, TableWriter,
+};
 
 /// One dirty-rate measurement.
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +36,13 @@ pub fn run(rates: &[f64]) -> Vec<PrecopyRow> {
         let (mut cluster, t) = standard_cluster(4);
         let _ = standard_migrator(4);
         let (pid, t) = cluster
-            .spawn(t, h(1), &SpritePath::new("/bin/sim"), pages_for_mb(image_mb), 8)
+            .spawn(
+                t,
+                h(1),
+                &SpritePath::new("/bin/sim"),
+                pages_for_mb(image_mb),
+                8,
+            )
             .expect("spawn");
         let t = dirty_heap(&mut cluster, t, pid, image_mb);
         let mut space = cluster.pcb_mut(pid).unwrap().space.take().unwrap();
@@ -69,7 +77,12 @@ pub fn table() -> String {
     let rows = run(&[2.0, 10.0, 20.0, 50.0, 90.0, 110.0, 150.0]);
     let mut t = TableWriter::new(
         "A3 (ablation): pre-copy vs dirtying rate (4MB image, wire ~120 pages/s)",
-        &["dirty pages/s", "freeze(s)", "total(s)", "copy amplification"],
+        &[
+            "dirty pages/s",
+            "freeze(s)",
+            "total(s)",
+            "copy amplification",
+        ],
     );
     for r in &rows {
         t.row(&[

@@ -67,7 +67,11 @@ fn one(split_swap: bool, hosts: usize, seed: u64) -> ServerSplitRow {
         0.0
     };
     ServerSplitRow {
-        topology: if split_swap { "root + swap server" } else { "single server" },
+        topology: if split_swap {
+            "root + swap server"
+        } else {
+            "single server"
+        },
         makespan: report.makespan,
         root_util,
         swap_util,
@@ -108,8 +112,12 @@ mod tests {
         let rows = run(12, 5);
         let single = &rows[0];
         let split = &rows[1];
-        assert!(split.root_util < single.root_util,
-            "root util should drop: {} vs {}", split.root_util, single.root_util);
+        assert!(
+            split.root_util < single.root_util,
+            "root util should drop: {} vs {}",
+            split.root_util,
+            single.root_util
+        );
         assert!(split.swap_util > 0.0);
         assert!(split.makespan <= single.makespan + SimDuration::from_secs(1));
     }

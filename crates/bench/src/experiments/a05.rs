@@ -87,7 +87,14 @@ pub fn table() -> String {
     let rows = run(&[0.25, 1.0, 4.0]);
     let mut t = TableWriter::new(
         "A5 (ablation): checkpoint/restart vs transparent migration",
-        &["imageMB", "migration(s)", "checkpoint(s)", "ratio", "fds lost", "pid kept"],
+        &[
+            "imageMB",
+            "migration(s)",
+            "checkpoint(s)",
+            "ratio",
+            "fds lost",
+            "pid kept",
+        ],
     );
     for r in &rows {
         t.row(&[

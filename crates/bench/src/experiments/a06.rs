@@ -11,7 +11,9 @@ use sprite_fs::SpritePath;
 
 use sprite_sim::SimDuration;
 
-use crate::support::{dirty_heap, h, pages_for_mb, secs, standard_cluster, standard_migrator, TableWriter};
+use crate::support::{
+    dirty_heap, h, pages_for_mb, secs, standard_cluster, standard_migrator, TableWriter,
+};
 
 /// One policy's outcome.
 #[derive(Debug, Clone)]
@@ -39,9 +41,17 @@ pub fn run(dirty_mb: f64) -> Vec<EvictionPolicyRow> {
         let mut pids = Vec::new();
         for owner in 2..5u32 {
             let (pid, t1) = cluster
-                .spawn(t, h(owner), &SpritePath::new("/bin/sim"), pages_for_mb(dirty_mb), 8)
+                .spawn(
+                    t,
+                    h(owner),
+                    &SpritePath::new("/bin/sim"),
+                    pages_for_mb(dirty_mb),
+                    8,
+                )
                 .expect("spawn");
-            let r = migrator.migrate(&mut cluster, t1, pid, victim).expect("migrate");
+            let r = migrator
+                .migrate(&mut cluster, t1, pid, victim)
+                .expect("migrate");
             t = dirty_heap(&mut cluster, r.resumed_at, pid, dirty_mb);
             pids.push(pid);
         }
@@ -59,7 +69,10 @@ pub fn run(dirty_mb: f64) -> Vec<EvictionPolicyRow> {
                 .evict_all_reselecting(&mut cluster, t, victim, &[h(5), h(6), h(7)])
                 .expect("evict")
         } else {
-            (migrator.evict_all(&mut cluster, t, victim).expect("evict"), 0)
+            (
+                migrator.evict_all(&mut cluster, t, victim).expect("evict"),
+                0,
+            )
         };
         let reclaim = reports
             .last()
@@ -74,7 +87,11 @@ pub fn run(dirty_mb: f64) -> Vec<EvictionPolicyRow> {
             last_done = last_done.max_of(done);
         }
         out.push(EvictionPolicyRow {
-            policy: if resettle { "re-select idle host" } else { "straight home" },
+            policy: if resettle {
+                "re-select idle host"
+            } else {
+                "straight home"
+            },
             reclaim,
             resettled,
             work_completion: last_done.elapsed_since(t),
@@ -120,12 +137,10 @@ mod tests {
         // But the evicted jobs' work completes much sooner when resettled
         // (the home machines had 10-minute backlogs).
         assert!(
-            resettle.work_completion.as_secs_f64() * 3.0
-                < home.work_completion.as_secs_f64(),
+            resettle.work_completion.as_secs_f64() * 3.0 < home.work_completion.as_secs_f64(),
             "resettled {} vs home {}",
             resettle.work_completion,
             home.work_completion
         );
-
     }
 }

@@ -45,7 +45,9 @@ pub fn run(foreign_jobs: usize) -> Vec<AutonomyRow> {
             let (pid, t1) = cluster
                 .spawn(t, home, &SpritePath::new("/bin/sim"), 16, 4)
                 .expect("spawn");
-            let r = migrator.migrate(&mut cluster, t1, pid, owner_host).expect("migrate");
+            let r = migrator
+                .migrate(&mut cluster, t1, pid, owner_host)
+                .expect("migrate");
             t = r.resumed_at;
             guests.push(pid);
         }
@@ -53,7 +55,9 @@ pub fn run(foreign_jobs: usize) -> Vec<AutonomyRow> {
         cluster.host_mut(owner_host).console_active = true;
         let returned = t;
         let reclaim = if evict {
-            let reports = migrator.evict_all(&mut cluster, t, owner_host).expect("evict");
+            let reports = migrator
+                .evict_all(&mut cluster, t, owner_host)
+                .expect("evict");
             let done = reports.last().map(|r| r.resumed_at).unwrap_or(t);
             done.elapsed_since(returned)
         } else {
@@ -74,8 +78,7 @@ pub fn run(foreign_jobs: usize) -> Vec<AutonomyRow> {
                     .expect("burst");
                 responses.push(done.elapsed_since(issue));
             }
-            let mean =
-                responses.iter().copied().sum::<SimDuration>() / responses.len() as u64;
+            let mean = responses.iter().copied().sum::<SimDuration>() / responses.len() as u64;
             (mean, responses.into_iter().max().unwrap())
         } else {
             // Guests stay and the CPU round-robins (our FCFS resource
@@ -88,7 +91,11 @@ pub fn run(foreign_jobs: usize) -> Vec<AutonomyRow> {
             (mean, mean + quantum)
         };
         out.push(AutonomyRow {
-            policy: if evict { "sprite (evict)" } else { "rsh-style (squat)" },
+            policy: if evict {
+                "sprite (evict)"
+            } else {
+                "rsh-style (squat)"
+            },
             foreign_jobs,
             reclaim,
             mean_response: mean,
@@ -102,7 +109,13 @@ pub fn run(foreign_jobs: usize) -> Vec<AutonomyRow> {
 pub fn table() -> String {
     let mut t = TableWriter::new(
         "A7 (ablation): owner's interactive response after returning",
-        &["policy", "guests", "reclaim(s)", "mean response(ms)", "worst(ms)"],
+        &[
+            "policy",
+            "guests",
+            "reclaim(s)",
+            "mean response(ms)",
+            "worst(ms)",
+        ],
     );
     for n in [1usize, 2, 4] {
         for r in run(n) {

@@ -35,7 +35,13 @@ fn spawn_with_files(
     tag: usize,
 ) -> (ProcessId, SimTime) {
     let (pid, mut t) = cluster
-        .spawn(t, h(1), &SpritePath::new("/bin/sim"), pages_for_mb(dirty_mb), 8)
+        .spawn(
+            t,
+            h(1),
+            &SpritePath::new("/bin/sim"),
+            pages_for_mb(dirty_mb),
+            8,
+        )
         .expect("spawn");
     for i in 0..files {
         let path = SpritePath::new(format!("/data/e01.{tag}.{i}"));
@@ -72,7 +78,9 @@ pub fn run() -> Vec<BreakdownRow> {
         let (mut cluster, t) = standard_cluster(4);
         let mut migrator = standard_migrator(4);
         let (pid, t) = spawn_with_files(&mut cluster, t, files, dirty_mb, tag);
-        let report = migrator.migrate(&mut cluster, t, pid, h(2)).expect("migrate");
+        let report = migrator
+            .migrate(&mut cluster, t, pid, h(2))
+            .expect("migrate");
         rows.push(BreakdownRow {
             open_files: files,
             dirty_mb,
@@ -88,7 +96,15 @@ pub fn run_exec_row() -> sprite_core::MigrationReport {
     let mut migrator = standard_migrator(4);
     let (pid, t) = spawn_with_files(&mut cluster, t, 2, 1.0, 99);
     migrator
-        .exec_migrate(&mut cluster, t, pid, h(2), &SpritePath::new("/bin/sim"), 64, 8)
+        .exec_migrate(
+            &mut cluster,
+            t,
+            pid,
+            h(2),
+            &SpritePath::new("/bin/sim"),
+            64,
+            8,
+        )
         .expect("exec migrate")
 }
 
@@ -99,7 +115,14 @@ pub fn table() -> String {
     let mut t = TableWriter::new(
         "E1: migration cost breakdown (ms)",
         &[
-            "files", "dirtyMB", "negotiate", "vm", "streams", "state", "commit", "total",
+            "files",
+            "dirtyMB",
+            "negotiate",
+            "vm",
+            "streams",
+            "state",
+            "commit",
+            "total",
             "freeze",
         ],
     );

@@ -12,7 +12,9 @@ use sprite_net::PAGE_SIZE;
 use sprite_sim::SimDuration;
 use sprite_vm::{SegmentKind, VirtAddr, VmStrategy};
 
-use crate::support::{dirty_heap, h, ms, pages_for_mb, secs, standard_cluster, standard_migrator, TableWriter};
+use crate::support::{
+    dirty_heap, h, ms, pages_for_mb, secs, standard_cluster, standard_migrator, TableWriter,
+};
 
 /// One (size, strategy) measurement.
 #[derive(Debug, Clone)]
@@ -64,7 +66,9 @@ pub fn run(sizes_mb: &[f64]) -> Vec<StrategyRow> {
                 t2
             };
             let t = dirty_heap(&mut cluster, t, pid, size * DIRTY_FRACTION);
-            let report = migrator.migrate(&mut cluster, t, pid, h(2)).expect("migrate");
+            let report = migrator
+                .migrate(&mut cluster, t, pid, h(2))
+                .expect("migrate");
             let vm = report.vm.expect("vm report");
             // Touch a quarter of the image on the target and measure the
             // lazy strategies' deferred cost.
@@ -107,7 +111,13 @@ pub fn table() -> String {
     let mut t = TableWriter::new(
         "E2: VM transfer strategies vs image size (25% of pages dirty)",
         &[
-            "imageMB", "strategy", "freeze(s)", "total(s)", "MBmoved", "touch25%(ms)", "residual",
+            "imageMB",
+            "strategy",
+            "freeze(s)",
+            "total(s)",
+            "MBmoved",
+            "touch25%(ms)",
+            "residual",
         ],
     );
     for r in &rows {
@@ -176,6 +186,9 @@ mod tests {
         let full = get(VmStrategy::FullCopy);
         let pre = get(VmStrategy::PreCopy);
         let cor = get(VmStrategy::CopyOnReference);
-        assert!(cor < pre && pre < full, "cor {cor} < pre {pre} < full {full}");
+        assert!(
+            cor < pre && pre < full,
+            "cor {cor} < pre {pre} < full {full}"
+        );
     }
 }

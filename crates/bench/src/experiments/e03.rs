@@ -45,12 +45,12 @@ pub fn run(counts: &[usize]) -> Vec<FilesRow> {
                     .expect("open");
                 t = t2;
                 if dirty {
-                    t = cluster
-                        .write_fd(t, pid, fd, &[3u8; 4096])
-                        .expect("write");
+                    t = cluster.write_fd(t, pid, fd, &[3u8; 4096]).expect("write");
                 }
             }
-            let report = migrator.migrate(&mut cluster, t, pid, h(2)).expect("migrate");
+            let report = migrator
+                .migrate(&mut cluster, t, pid, h(2))
+                .expect("migrate");
             rows.push(FilesRow {
                 files,
                 dirty,
@@ -67,7 +67,13 @@ pub fn table() -> String {
     let rows = run(&[0, 1, 2, 4, 8, 16, 32, 64]);
     let mut t = TableWriter::new(
         "E3: migration cost vs open files",
-        &["files", "cached-dirty", "streams(ms)", "total(ms)", "ms/file"],
+        &[
+            "files",
+            "cached-dirty",
+            "streams(ms)",
+            "total(ms)",
+            "ms/file",
+        ],
     );
     for r in &rows {
         let per_file = if r.files == 0 {

@@ -46,7 +46,9 @@ pub fn run() -> Vec<CallRow> {
         at_home.push(done.elapsed_since(clock));
         clock = done;
     }
-    let report = migrator.migrate(&mut cluster, clock, pid, h(2)).expect("migrate");
+    let report = migrator
+        .migrate(&mut cluster, clock, pid, h(2))
+        .expect("migrate");
     let mut clock = report.resumed_at;
     let mut rows = Vec::new();
     for (i, call) in KernelCall::ALL.into_iter().enumerate() {

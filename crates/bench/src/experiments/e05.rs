@@ -30,7 +30,12 @@ pub struct SpeedupRow {
     pub server_utilization: f64,
 }
 
-fn one_build(hosts: usize, files: usize, use_migration: bool, seed: u64) -> (SimDuration, f64, usize) {
+fn one_build(
+    hosts: usize,
+    files: usize,
+    use_migration: bool,
+    seed: u64,
+) -> (SimDuration, f64, usize) {
     let (mut cluster, t0) = standard_cluster(hosts);
     let mut migrator = standard_migrator(hosts);
     // Hosts 0 (server) and 1 (home) are busy; the rest are idle targets.
@@ -89,7 +94,14 @@ pub fn table() -> String {
     let rows = run(&[2, 3, 4, 6, 8, 10, 12, 16], 24, 5);
     let mut t = TableWriter::new(
         "E5: pmake speedup vs hosts (24 compilations, 10s each, 6s link)",
-        &["hosts", "makespan(s)", "speedup", "eff-par", "remote", "srv-util"],
+        &[
+            "hosts",
+            "makespan(s)",
+            "speedup",
+            "eff-par",
+            "remote",
+            "srv-util",
+        ],
     );
     for r in &rows {
         t.row(&[

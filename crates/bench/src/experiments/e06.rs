@@ -75,8 +75,8 @@ fn run_graph(graph: &DepGraph, hosts: usize, label: &'static str) -> Utilization
 /// Runs both workloads on a cluster with `idle_hosts` borrowed machines.
 pub fn run(idle_hosts: usize, seed: u64) -> Vec<UtilizationRow> {
     let hosts = idle_hosts + 2; // server + home
-    // Short compiles relative to their I/O and launch overheads — the
-    // regime in which the thesis measured ~300% for a 12-way build.
+                                // Short compiles relative to their I/O and launch overheads — the
+                                // regime in which the thesis measured ~300% for a 12-way build.
     let pmake_graph = DepGraph::from_workload(
         &CompileWorkload {
             files: 24,

@@ -100,7 +100,11 @@ mod tests {
             "daytime idle {:.2}",
             s.working_hours_avg
         );
-        assert!(s.off_hours_avg > 0.74, "off-hours idle {:.2}", s.off_hours_avg);
+        assert!(
+            s.off_hours_avg > 0.74,
+            "off-hours idle {:.2}",
+            s.off_hours_avg
+        );
         assert!(s.off_hours_avg > s.working_hours_avg);
     }
 

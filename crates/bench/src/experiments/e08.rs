@@ -41,7 +41,9 @@ pub fn run(foreign_counts: &[usize], dirty_mbs: &[f64]) -> Vec<EvictionRow> {
                 let (pid, t1) = cluster
                     .spawn(t, home, &SpritePath::new("/bin/sim"), pages_for_mb(mb), 8)
                     .expect("spawn");
-                let r = migrator.migrate(&mut cluster, t1, pid, victim).expect("migrate");
+                let r = migrator
+                    .migrate(&mut cluster, t1, pid, victim)
+                    .expect("migrate");
                 let t2 = dirty_heap(&mut cluster, r.resumed_at, pid, mb);
                 t = t2;
             }
@@ -54,7 +56,11 @@ pub fn run(foreign_counts: &[usize], dirty_mbs: &[f64]) -> Vec<EvictionRow> {
                 .last()
                 .map(|r| r.resumed_at.elapsed_since(t))
                 .unwrap_or(SimDuration::ZERO);
-            let per = if n == 0 { SimDuration::ZERO } else { reclaim / n as u64 };
+            let per = if n == 0 {
+                SimDuration::ZERO
+            } else {
+                reclaim / n as u64
+            };
             rows.push(EvictionRow {
                 foreign: n,
                 dirty_mb: mb,

@@ -50,8 +50,7 @@ pub fn lifetimes(samples: usize, seed: u64) -> (LifetimeSummary, Vec<f64>) {
         .collect();
     xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-    let var =
-        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
     let summary = LifetimeSummary {
         mean,
         std_dev: var.sqrt(),
@@ -101,7 +100,10 @@ pub fn table() -> String {
     t.row(&["std dev (s)".into(), format!("{:.2}", summary.std_dev)]);
     t.row(&["median (s)".into(), format!("{:.2}", summary.median)]);
     t.row(&["95th pct (s)".into(), format!("{:.2}", summary.p95)]);
-    t.row(&["under 1 s".into(), format!("{:.0}%", summary.under_1s * 100.0)]);
+    t.row(&[
+        "under 1 s".into(),
+        format!("{:.0}%", summary.under_1s * 100.0),
+    ]);
     t.note("Zhou's traces: mean 1.5s, sd 19.1s, >78% of processes under one second");
     let mut out = t.render();
 

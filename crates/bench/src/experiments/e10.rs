@@ -121,27 +121,62 @@ pub fn drive(
     }
 }
 
-/// Runs the full matrix.
-pub fn run(host_counts: &[usize], duration: SimDuration, seed: u64) -> Vec<ArchRow> {
+/// The four architectures, in the table's canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchKind {
+    /// Central availability server (Sprite's winner).
+    Central,
+    /// Shared-file bulletin board.
+    SharedFile,
+    /// Probabilistic gossip.
+    Probabilistic,
+    /// Multicast query.
+    Multicast,
+}
+
+/// Canonical architecture order for the matrix.
+pub const ARCHS: [ArchKind; 4] = [
+    ArchKind::Central,
+    ArchKind::SharedFile,
+    ArchKind::Probabilistic,
+    ArchKind::Multicast,
+];
+
+/// Drives one `(architecture, cluster size)` cell. Each cell builds its own
+/// selector and network from the seed, so cells are independent — the
+/// parallel experiment runner executes them on separate threads and the
+/// result is identical to the serial sweep.
+pub fn drive_kind(kind: ArchKind, hosts: usize, duration: SimDuration, seed: u64) -> ArchRow {
     let policy = AvailabilityPolicy::default();
+    let mut selector: Box<dyn HostSelector> = match kind {
+        ArchKind::Central => Box::new(CentralServer::new(HostId::new(0), policy)),
+        ArchKind::SharedFile => Box::new(SharedFileBoard::new(HostId::new(0), policy)),
+        ArchKind::Probabilistic => Box::new(Probabilistic::new(hosts, 4, policy, seed ^ 0x9e37)),
+        ArchKind::Multicast => Box::new(MulticastQuery::new(policy)),
+    };
+    drive(selector.as_mut(), hosts, duration, seed)
+}
+
+/// Runs the full matrix serially.
+pub fn run(host_counts: &[usize], duration: SimDuration, seed: u64) -> Vec<ArchRow> {
     let mut rows = Vec::new();
     for &n in host_counts {
-        let mut selectors: Vec<Box<dyn HostSelector>> = vec![
-            Box::new(CentralServer::new(HostId::new(0), policy)),
-            Box::new(SharedFileBoard::new(HostId::new(0), policy)),
-            Box::new(Probabilistic::new(n, 4, policy, seed ^ 0x9e37)),
-            Box::new(MulticastQuery::new(policy)),
-        ];
-        for s in &mut selectors {
-            rows.push(drive(s.as_mut(), n, duration, seed));
+        for kind in ARCHS {
+            rows.push(drive_kind(kind, n, duration, seed));
         }
     }
     rows
 }
 
-/// Renders the table.
-pub fn table() -> String {
-    let rows = run(&[10, 50, 100, 200], SimDuration::from_secs(1800), 31);
+/// Cluster sizes in the full table.
+pub const FULL_SIZES: [usize; 4] = [10, 50, 100, 200];
+/// Simulated duration of each cell in the full table.
+pub const FULL_DURATION_SECS: u64 = 1800;
+/// Seed for the full table.
+pub const FULL_SEED: u64 = 31;
+
+/// Renders the table from the matrix rows (in canonical order).
+pub fn render(rows: &[ArchRow]) -> String {
     let mut t = TableWriter::new(
         "E10: host-selection architectures (30 simulated minutes each)",
         &[
@@ -154,7 +189,7 @@ pub fn table() -> String {
             "msgs/req",
         ],
     );
-    for r in &rows {
+    for r in rows {
         t.row(&[
             r.name.to_string(),
             r.hosts.to_string(),
@@ -171,6 +206,16 @@ pub fn table() -> String {
     t.render()
 }
 
+/// Renders the table (serial path).
+pub fn table() -> String {
+    let rows = run(
+        &FULL_SIZES,
+        SimDuration::from_secs(FULL_DURATION_SECS),
+        FULL_SEED,
+    );
+    render(&rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,12 +223,15 @@ mod tests {
     #[test]
     fn central_server_is_fast_and_scales() {
         let rows = run(&[20, 80], SimDuration::from_secs(300), 3);
-        let central: Vec<&ArchRow> =
-            rows.iter().filter(|r| r.name == "central-server").collect();
+        let central: Vec<&ArchRow> = rows.iter().filter(|r| r.name == "central-server").collect();
         let shared: Vec<&ArchRow> = rows.iter().filter(|r| r.name == "shared-file").collect();
         // Central select latency is tens of ms and roughly size-independent.
         for c in &central {
-            assert!(c.mean_latency_ms < 60.0, "central latency {}", c.mean_latency_ms);
+            assert!(
+                c.mean_latency_ms < 60.0,
+                "central latency {}",
+                c.mean_latency_ms
+            );
         }
         // The shared file slows down with cluster size and is slower than
         // the central server at scale.

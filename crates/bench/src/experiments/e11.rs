@@ -10,21 +10,27 @@
 //!
 //! Jobs execute as one-minute CPU bursts so eviction can interrupt them —
 //! the remaining bursts simply continue on the home machine.
+//!
+//! The driver is the event engine: one `schedule_periodic` minute tick
+//! carries the whole study (the periodic path re-arms a single boxed
+//! handler instead of allocating one closure per simulated minute). The
+//! month is split into independent replications with [`DetRng::fork`]ed
+//! seeds so the experiment runner can execute them on separate threads and
+//! [`merge`] the reports deterministically.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-
 use sprite_fs::SpritePath;
 use sprite_hostsel::{AvailabilityPolicy, CentralServer, HostInfo, HostSelector};
-use sprite_kernel::ProcessId;
+use sprite_kernel::{Cluster, ProcessId};
 use sprite_net::HostId;
-use sprite_sim::{DetRng, SimDuration, SimTime};
+use sprite_sim::{DetRng, Engine, SimDuration, SimTime};
 use sprite_workloads::{ActivityModel, ActivityTrace, DAY};
 
 use crate::support::{h, standard_cluster, standard_migrator, TableWriter};
 
-/// Outcome of the month-long run.
+/// Outcome of the month-long run (or of one replication of it).
 #[derive(Debug, Clone, Default)]
 pub struct MonthReport {
     /// Hosts simulated.
@@ -45,6 +51,8 @@ pub struct MonthReport {
     pub utilization: f64,
     /// Migrations of every kind (from the migration engine).
     pub migrations: u64,
+    /// Events the simulation engine executed to drive this run.
+    pub sim_events: u64,
 }
 
 struct ActiveJob {
@@ -53,143 +61,230 @@ struct ActiveJob {
     granted_host: Option<HostId>,
 }
 
-/// Runs the study. Keep `hosts`/`days` small in tests; the full table uses
-/// 50 hosts for 30 days.
-pub fn run(hosts: usize, days: u64, seed: u64) -> MonthReport {
-    let burst = SimDuration::from_secs(60);
-    let (mut cluster, setup_done) = standard_cluster(hosts);
-    let mut migrator = standard_migrator(hosts);
-    let mut selector = CentralServer::new(h(0), AvailabilityPolicy::default());
-    let mut rng = DetRng::seed_from(seed);
+/// Everything a replication mutates, owned by the event engine's state.
+struct World {
+    cluster: Cluster,
+    migrator: sprite_core::Migrator,
+    selector: CentralServer,
+    rng: DetRng,
+    traces: Vec<ActivityTrace>,
+    jobs: Vec<ActiveJob>,
+    // (completion, job index) for in-flight bursts.
+    bursts: BinaryHeap<Reverse<(SimTime, usize)>>,
+    was_active: Vec<bool>,
+    burst: SimDuration,
+    report: MonthReport,
+    eviction_latency_total: f64,
+}
+
+/// One simulated minute: selector reports, owner-return evictions, burst
+/// completions, and new job launches — the same order the thesis's trace
+/// replay applies them.
+fn minute_tick(w: &mut World, t: SimTime) {
+    // Console state + selector reports.
+    let world: Vec<HostInfo> = w
+        .traces
+        .iter()
+        .map(|tr| HostInfo {
+            host: tr.host,
+            load: w.cluster.host(tr.host).resident().len() as f64,
+            idle: tr.idle_duration_at(t),
+            console_active: tr.active_at(t),
+        })
+        .collect();
+    for info in &world {
+        w.cluster.host_mut(info.host).console_active = info.console_active;
+        w.selector.report(&mut w.cluster.net, t, *info);
+    }
+    // Owners returning to hosts with foreign processes trigger eviction.
+    for i in 0..w.traces.len() {
+        let active = w.traces[i].active_at(t);
+        if active && !w.was_active[i] && !w.cluster.foreign_on(h(i as u32)).is_empty() {
+            let reports = w
+                .migrator
+                .evict_all(&mut w.cluster, t, h(i as u32))
+                .expect("evict");
+            for r in &reports {
+                w.eviction_latency_total += r.total_time.as_secs_f64();
+                w.report.evictions += 1;
+            }
+        }
+        w.was_active[i] = active;
+    }
+    // Burst completions due by now.
+    while let Some(&Reverse((done, idx))) = w.bursts.peek() {
+        if done > t {
+            break;
+        }
+        w.bursts.pop();
+        let job = &mut w.jobs[idx];
+        if job.remaining.is_zero() {
+            // Job finished: exit and release its host.
+            let t2 = w.cluster.exit(done, job.pid, 0).expect("exit");
+            if let Some(gh) = job.granted_host.take() {
+                w.selector
+                    .release(&mut w.cluster.net, t2, job.pid.home(), gh);
+            }
+        } else {
+            let chunk = job.remaining.min(w.burst);
+            job.remaining -= chunk;
+            w.report.cpu_seconds += chunk.as_secs_f64();
+            let done2 = w.cluster.run_cpu(done, job.pid, chunk).expect("burst");
+            w.bursts.push(Reverse((done2, idx)));
+        }
+    }
+    // Active users launch jobs now and then (~a few per hour).
+    for ti in 0..w.traces.len() {
+        if w.traces[ti].active_at(t) && w.rng.chance(0.04) {
+            let home = w.traces[ti].host;
+            let (pid, t1) = w
+                .cluster
+                .spawn(t, home, &SpritePath::new("/bin/sim"), 32, 8)
+                .expect("spawn");
+            w.report.jobs += 1;
+            // Exec-time placement through the central server.
+            let (choice, t2) = w.selector.select(&mut w.cluster.net, t1, home, &world);
+            let (start_at, granted) = match choice {
+                Some(target) => {
+                    let r = w
+                        .migrator
+                        .exec_migrate(
+                            &mut w.cluster,
+                            t2,
+                            pid,
+                            target,
+                            &SpritePath::new("/bin/sim"),
+                            32,
+                            8,
+                        )
+                        .expect("exec migrate");
+                    w.report.remote_jobs += 1;
+                    (r.resumed_at, Some(target))
+                }
+                None => (t2, None),
+            };
+            let cpu = w
+                .rng
+                .jittered(SimDuration::from_secs(100), SimDuration::from_secs(40))
+                .max(SimDuration::from_secs(10));
+            w.jobs.push(ActiveJob {
+                pid,
+                remaining: cpu,
+                granted_host: granted,
+            });
+            let idx = w.jobs.len() - 1;
+            w.bursts.push(Reverse((start_at, idx)));
+        }
+    }
+}
+
+/// Runs one replication from an explicit RNG (forked by the caller for
+/// parallel replications). Keep `hosts`/`days` small in tests; the full
+/// table merges five 6-day replications over 50 hosts.
+pub fn run_seeded(hosts: usize, days: u64, mut rng: DetRng) -> MonthReport {
+    let (cluster, setup_done) = standard_cluster(hosts);
     let model = ActivityModel::default();
     let horizon = SimDuration::from_secs(days * DAY);
     let traces: Vec<ActivityTrace> = (0..hosts)
         .map(|i| ActivityTrace::generate(&mut rng, &model, h(i as u32), horizon))
         .collect();
 
-    let mut report = MonthReport {
-        hosts,
-        days,
-        ..MonthReport::default()
+    let mut world = World {
+        cluster,
+        migrator: standard_migrator(hosts),
+        selector: CentralServer::new(h(0), AvailabilityPolicy::default()),
+        rng,
+        traces,
+        jobs: Vec::new(),
+        bursts: BinaryHeap::new(),
+        was_active: vec![false; hosts],
+        burst: SimDuration::from_secs(60),
+        report: MonthReport {
+            hosts,
+            days,
+            ..MonthReport::default()
+        },
+        eviction_latency_total: 0.0,
     };
-    let mut jobs: Vec<ActiveJob> = Vec::new();
-    // (completion, job index) for in-flight bursts.
-    let mut bursts: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::new();
-    let mut eviction_latency_total = 0.0f64;
 
     let step = SimDuration::from_secs(60);
-    let mut t = SimTime::ZERO.max_of(setup_done);
+    let start = SimTime::ZERO.max_of(setup_done);
     let end = SimTime::ZERO + horizon;
-    let mut was_active = vec![false; hosts];
+    let mut engine: Engine<World> = Engine::new();
+    engine.schedule_periodic_at(start, step, move |w: &mut World, e: &mut Engine<World>| {
+        let t = e.now();
+        minute_tick(w, t);
+        t + step < end
+    });
+    engine.run(&mut world);
 
-    while t < end {
-        // Console state + selector reports.
-        let world: Vec<HostInfo> = traces
-            .iter()
-            .map(|tr| HostInfo {
-                host: tr.host,
-                load: cluster.host(tr.host).resident().len() as f64,
-                idle: tr.idle_duration_at(t),
-                console_active: tr.active_at(t),
-            })
-            .collect();
-        for info in &world {
-            cluster.host_mut(info.host).console_active = info.console_active;
-            selector.report(&mut cluster.net, t, *info);
-        }
-        // Owners returning to hosts with foreign processes trigger eviction.
-        for (i, tr) in traces.iter().enumerate() {
-            let active = tr.active_at(t);
-            if active && !was_active[i] && !cluster.foreign_on(h(i as u32)).is_empty() {
-                let reports = migrator
-                    .evict_all(&mut cluster, t, h(i as u32))
-                    .expect("evict");
-                for r in &reports {
-                    eviction_latency_total += r.total_time.as_secs_f64();
-                    report.evictions += 1;
-                }
-            }
-            was_active[i] = active;
-        }
-        // Burst completions due by now.
-        while let Some(&Reverse((done, idx))) = bursts.peek() {
-            if done > t {
-                break;
-            }
-            bursts.pop();
-            let job = &mut jobs[idx];
-            if job.remaining.is_zero() {
-                // Job finished: exit and release its host.
-                let t2 = cluster.exit(done, job.pid, 0).expect("exit");
-                if let Some(gh) = job.granted_host.take() {
-                    selector.release(&mut cluster.net, t2, job.pid.home(), gh);
-                }
-            } else {
-                let chunk = job.remaining.min(burst);
-                job.remaining -= chunk;
-                report.cpu_seconds += chunk.as_secs_f64();
-                let done2 = cluster.run_cpu(done, job.pid, chunk).expect("burst");
-                bursts.push(Reverse((done2, idx)));
-            }
-        }
-        // Active users launch jobs now and then (~a few per hour).
-        for tr in &traces {
-            if tr.active_at(t) && rng.chance(0.04) {
-                let home = tr.host;
-                let (pid, t1) = cluster
-                    .spawn(t, home, &SpritePath::new("/bin/sim"), 32, 8)
-                    .expect("spawn");
-                report.jobs += 1;
-                // Exec-time placement through the central server.
-                let (choice, t2) = selector.select(&mut cluster.net, t1, home, &world);
-                let (start_at, granted) = match choice {
-                    Some(target) => {
-                        let r = migrator
-                            .exec_migrate(
-                                &mut cluster,
-                                t2,
-                                pid,
-                                target,
-                                &SpritePath::new("/bin/sim"),
-                                32,
-                                8,
-                            )
-                            .expect("exec migrate");
-                        report.remote_jobs += 1;
-                        (r.resumed_at, Some(target))
-                    }
-                    None => (t2, None),
-                };
-                let cpu = rng
-                    .jittered(SimDuration::from_secs(100), SimDuration::from_secs(40))
-                    .max(SimDuration::from_secs(10));
-                jobs.push(ActiveJob {
-                    pid,
-                    remaining: cpu,
-                    granted_host: granted,
-                });
-                let idx = jobs.len() - 1;
-                bursts.push(Reverse((start_at, idx)));
-            }
-        }
-        t += step;
-    }
-    report.utilization =
-        report.cpu_seconds / (hosts as f64 * horizon.as_secs_f64());
+    let mut report = world.report;
+    report.utilization = report.cpu_seconds / (hosts as f64 * horizon.as_secs_f64());
     report.mean_eviction_secs = if report.evictions == 0 {
         0.0
     } else {
-        eviction_latency_total / report.evictions as f64
+        world.eviction_latency_total / report.evictions as f64
     };
-    report.migrations = migrator.totals().migrations;
+    report.migrations = world.migrator.totals().migrations;
+    report.sim_events = engine.events_executed();
     report
 }
 
-/// Renders the table.
-pub fn table() -> String {
-    let r = run(50, 30, 41);
+/// Runs the study from a bare seed (single replication).
+pub fn run(hosts: usize, days: u64, seed: u64) -> MonthReport {
+    run_seeded(hosts, days, DetRng::seed_from(seed))
+}
+
+/// Per-replication RNGs, forked *serially* from the master seed so the set
+/// of replication streams is identical no matter how many threads later
+/// execute them — this is the determinism contract of the parallel runner.
+pub fn replication_rngs(seed: u64, reps: usize) -> Vec<DetRng> {
+    let mut master = DetRng::seed_from(seed);
+    (0..reps).map(|_| master.fork()).collect()
+}
+
+/// Merges replication reports: counts add, latency averages weight by
+/// eviction count, and utilization renormalizes over the combined horizon.
+pub fn merge(reports: &[MonthReport]) -> MonthReport {
+    let mut out = MonthReport::default();
+    let mut latency_total = 0.0;
+    for r in reports {
+        out.hosts = r.hosts;
+        out.days += r.days;
+        out.jobs += r.jobs;
+        out.remote_jobs += r.remote_jobs;
+        out.evictions += r.evictions;
+        out.cpu_seconds += r.cpu_seconds;
+        out.migrations += r.migrations;
+        out.sim_events += r.sim_events;
+        latency_total += r.mean_eviction_secs * r.evictions as f64;
+    }
+    out.utilization =
+        out.cpu_seconds / (out.hosts.max(1) as f64 * (out.days * DAY) as f64).max(1.0);
+    out.mean_eviction_secs = if out.evictions == 0 {
+        0.0
+    } else {
+        latency_total / out.evictions as f64
+    };
+    out
+}
+
+/// Replication plan for the full table: 5 × 6 days = 30 simulated days.
+pub const FULL_HOSTS: usize = 50;
+/// Days per replication in the full table.
+pub const FULL_REP_DAYS: u64 = 6;
+/// Replications in the full table.
+pub const FULL_REPS: usize = 5;
+/// Master seed for the full table.
+pub const FULL_SEED: u64 = 41;
+
+/// Renders the table from a report merged over `reps` replications.
+pub fn render(r: &MonthReport, reps: usize) -> String {
     let mut t = TableWriter::new(
-        "E11: a month in the life (50 hosts, 30 days)",
+        &format!(
+            "E11: a month in the life ({} hosts, {} days; {} replications)",
+            r.hosts, r.days, reps
+        ),
         &["metric", "value"],
     );
     t.row(&["jobs launched".into(), r.jobs.to_string()]);
@@ -216,6 +311,15 @@ pub fn table() -> String {
     t.render()
 }
 
+/// Renders the table (serial path: runs every replication in order).
+pub fn table() -> String {
+    let reports: Vec<MonthReport> = replication_rngs(FULL_SEED, FULL_REPS)
+        .into_iter()
+        .map(|rng| run_seeded(FULL_HOSTS, FULL_REP_DAYS, rng))
+        .collect();
+    render(&merge(&reports), FULL_REPS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +342,8 @@ mod tests {
             r.utilization
         );
         assert_eq!(r.migrations, r.remote_jobs + r.evictions);
+        // The engine drove one tick per simulated minute.
+        assert!(r.sim_events >= 2 * 24 * 60 - 2, "events {}", r.sim_events);
     }
 
     #[test]
@@ -249,6 +355,41 @@ mod tests {
                 "evictions should be fast: {}s",
                 r.mean_eviction_secs
             );
+        }
+    }
+
+    #[test]
+    fn merged_replications_preserve_invariants() {
+        let reports: Vec<MonthReport> = replication_rngs(7, 3)
+            .into_iter()
+            .map(|rng| run_seeded(6, 1, rng))
+            .collect();
+        let m = merge(&reports);
+        assert_eq!(m.days, 3);
+        assert_eq!(m.jobs, reports.iter().map(|r| r.jobs).sum::<u64>());
+        assert_eq!(m.migrations, m.remote_jobs + m.evictions);
+        let cpu: f64 = reports.iter().map(|r| r.cpu_seconds).sum();
+        assert!((m.cpu_seconds - cpu).abs() < 1e-9);
+        assert!(m.utilization > 0.0);
+    }
+
+    #[test]
+    fn replication_rngs_are_independent_of_thread_count() {
+        // Forking is serial on the master stream: calling it twice gives the
+        // same streams, which is what makes parallel execution repeatable.
+        let a: Vec<MonthReport> = replication_rngs(41, 3)
+            .into_iter()
+            .map(|rng| run_seeded(4, 1, rng))
+            .collect();
+        let b: Vec<MonthReport> = replication_rngs(41, 3)
+            .into_iter()
+            .map(|rng| run_seeded(4, 1, rng))
+            .collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.jobs, y.jobs);
+            assert_eq!(x.remote_jobs, y.remote_jobs);
+            assert_eq!(x.evictions, y.evictions);
+            assert_eq!(x.sim_events, y.sim_events);
         }
     }
 }

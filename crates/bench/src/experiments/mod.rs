@@ -23,16 +23,30 @@ pub mod e10;
 pub mod e11;
 pub mod e12;
 
+use crate::runner::{merge_e10, merge_e11, merge_single, Experiment, Partial, Unit};
+use sprite_sim::SimDuration;
+
+/// An experiment index entry: id, one-line description, table renderer.
+pub type IndexEntry = (&'static str, &'static str, fn() -> String);
+
 /// Experiment IDs in order, with their table renderers and one-line
 /// descriptions.
-pub fn all() -> Vec<(&'static str, &'static str, fn() -> String)> {
+pub fn all() -> Vec<IndexEntry> {
     vec![
-        ("e01", "migration cost breakdown", e01::table as fn() -> String),
+        (
+            "e01",
+            "migration cost breakdown",
+            e01::table as fn() -> String,
+        ),
         ("e02", "VM transfer strategies vs size", e02::table),
         ("e03", "migration cost vs open files", e03::table),
         ("e04", "kernel-call forwarding costs", e04::table),
         ("e05", "pmake speedup vs hosts", e05::table),
-        ("e06", "effective utilization: pmake vs simulations", e06::table),
+        (
+            "e06",
+            "effective utilization: pmake vs simulations",
+            e06::table,
+        ),
         ("e07", "idle hosts by time of day", e07::table),
         ("e08", "eviction / workstation reclaim", e08::table),
         ("e09", "process lifetimes and placement policy", e09::table),
@@ -47,4 +61,68 @@ pub fn all() -> Vec<(&'static str, &'static str, fn() -> String)> {
         ("a06", "ablation: eviction policy", a06::table),
         ("a07", "ablation: workstation autonomy", a07::table),
     ]
+}
+
+/// The suite decomposed into parallel-runner experiments: E10 splits into
+/// one unit per (size, architecture) cell and E11 into one unit per
+/// replication; everything else runs as a single unit. Cost hints reflect
+/// measured relative runtimes so longest-first dispatch keeps workers busy.
+pub fn suite() -> Vec<Experiment> {
+    all()
+        .into_iter()
+        .map(|(id, desc, table)| match id {
+            "e10" => Experiment {
+                id,
+                desc,
+                units: e10::FULL_SIZES
+                    .iter()
+                    .flat_map(|&hosts| {
+                        e10::ARCHS.map(move |kind| Unit {
+                            cost: hosts as u64,
+                            run: Box::new(move || {
+                                Partial::E10Row(e10::drive_kind(
+                                    kind,
+                                    hosts,
+                                    SimDuration::from_secs(e10::FULL_DURATION_SECS),
+                                    e10::FULL_SEED,
+                                ))
+                            }),
+                        })
+                    })
+                    .collect(),
+                merge: merge_e10,
+            },
+            "e11" => Experiment {
+                id,
+                desc,
+                units: e11::replication_rngs(e11::FULL_SEED, e11::FULL_REPS)
+                    .into_iter()
+                    .map(|rng| Unit {
+                        cost: 5_000,
+                        run: Box::new(move || {
+                            Partial::E11Report(e11::run_seeded(
+                                e11::FULL_HOSTS,
+                                e11::FULL_REP_DAYS,
+                                rng,
+                            ))
+                        }),
+                    })
+                    .collect(),
+                merge: merge_e11,
+            },
+            _ => Experiment {
+                id,
+                desc,
+                units: vec![Unit {
+                    cost: match id {
+                        "e02" => 300,
+                        "e08" => 150,
+                        _ => 10,
+                    },
+                    run: Box::new(move || Partial::Rendered(table())),
+                }],
+                merge: merge_single,
+            },
+        })
+        .collect()
 }

@@ -1,0 +1,96 @@
+//! The parallel runner's determinism contract: for any `--jobs` value the
+//! merged, rendered output is byte-identical, because units are
+//! self-contained (seeds fixed before any thread starts) and merging walks
+//! canonical order. Exercised here on scaled-down E10 and E11 suites so it
+//! stays fast in debug builds.
+
+use sprite_bench::experiments::{e10, e11};
+use sprite_bench::runner::{merge_e10, merge_e11, run_suite, Experiment, Partial, Unit};
+use sprite_sim::SimDuration;
+
+/// A miniature suite with the same unit decomposition as the full one:
+/// E10 as one unit per (size, architecture) cell, E11 as one unit per
+/// forked replication.
+fn small_suite() -> Vec<Experiment> {
+    let sizes = [10usize, 20];
+    let e10_units: Vec<Unit> = sizes
+        .iter()
+        .flat_map(|&hosts| {
+            e10::ARCHS.map(move |kind| Unit {
+                cost: hosts as u64,
+                run: Box::new(move || {
+                    Partial::E10Row(e10::drive_kind(
+                        kind,
+                        hosts,
+                        SimDuration::from_secs(300),
+                        e10::FULL_SEED,
+                    ))
+                }),
+            })
+        })
+        .collect();
+    let e11_units: Vec<Unit> = e11::replication_rngs(e11::FULL_SEED, 3)
+        .into_iter()
+        .map(|rng| Unit {
+            cost: 100,
+            run: Box::new(move || Partial::E11Report(e11::run_seeded(6, 1, rng))),
+        })
+        .collect();
+    vec![
+        Experiment {
+            id: "e10",
+            desc: "host-selection architectures (small)",
+            units: e10_units,
+            merge: merge_e10,
+        },
+        Experiment {
+            id: "e11",
+            desc: "a month in the life (small)",
+            units: e11_units,
+            merge: merge_e11,
+        },
+    ]
+}
+
+fn render_all(jobs: usize) -> String {
+    run_suite(small_suite(), jobs)
+        .into_iter()
+        .map(|r| format!("{}\n  [{}: {}]\n", r.rendered, r.id, r.desc))
+        .collect()
+}
+
+#[test]
+fn output_is_byte_identical_across_job_counts() {
+    let serial = render_all(1);
+    assert!(
+        serial.contains("E10") && serial.contains("E11"),
+        "sanity: tables rendered"
+    );
+    for jobs in [2, 4, 8] {
+        let parallel = render_all(jobs);
+        assert_eq!(
+            serial, parallel,
+            "output with --jobs {jobs} diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn unit_decomposition_matches_serial_table() {
+    // The full-suite decomposition (per-cell / per-replication units merged
+    // back) must render exactly what the serial `table()` functions render.
+    let rows = e10::run(&[10, 20], SimDuration::from_secs(300), e10::FULL_SEED);
+    let serial_table = e10::render(&rows);
+    let via_runner = run_suite(small_suite().into_iter().take(1).collect(), 4)
+        .remove(0)
+        .rendered;
+    assert_eq!(serial_table, via_runner);
+
+    let reports: Vec<e11::MonthReport> = e11::replication_rngs(e11::FULL_SEED, 3)
+        .into_iter()
+        .map(|rng| e11::run_seeded(6, 1, rng))
+        .collect();
+    let serial_e11 = e11::render(&e11::merge(&reports), reports.len());
+    let via_runner_e11 = run_suite(small_suite(), 8).remove(1).rendered;
+    assert_eq!(serial_e11, via_runner_e11);
+}

@@ -93,7 +93,13 @@ pub fn checkpoint_restart(
         .map_err(KernelError::Fs)?;
     let (ckpt_w, t) = cluster
         .fs
-        .open(&mut cluster.net, t, from, ckpt_path.clone(), OpenMode::Write)
+        .open(
+            &mut cluster.net,
+            t,
+            from,
+            ckpt_path.clone(),
+            OpenMode::Write,
+        )
         .map_err(KernelError::Fs)?;
     let mut t = t;
     let mut image_bytes = 0u64;
@@ -105,7 +111,10 @@ pub fn checkpoint_restart(
             .space
             .take()
             .expect("checked above");
-        for (seg, pages) in [(SegmentKind::Heap, heap_pages), (SegmentKind::Stack, stack_pages)] {
+        for (seg, pages) in [
+            (SegmentKind::Heap, heap_pages),
+            (SegmentKind::Stack, stack_pages),
+        ] {
             let (bytes, t2) = space
                 .read(
                     &mut cluster.fs,
@@ -209,7 +218,9 @@ mod tests {
     #[test]
     fn checkpoint_restart_moves_memory_but_breaks_identity() {
         let (mut c, t) = setup();
-        let (parent, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (parent, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         let (pid, t) = c.fork(t, parent).unwrap();
         // Give it memory and an open file.
         let t = {
@@ -227,7 +238,8 @@ mod tests {
             c.pcb_mut(pid).unwrap().space = Some(sp);
             t2
         };
-        c.fs.create(&mut c.net, t, h(1), SpritePath::new("/doomed")).unwrap();
+        c.fs.create(&mut c.net, t, h(1), SpritePath::new("/doomed"))
+            .unwrap();
         let (_fd, t) = c
             .open_fd(t, pid, SpritePath::new("/doomed"), OpenMode::ReadWrite)
             .unwrap();
@@ -268,10 +280,19 @@ mod tests {
         // Two identical processes with 64 dirty pages each.
         let dirty = vec![7u8; 64 * PAGE_SIZE as usize];
         let make = |c: &mut Cluster, t: SimTime| {
-            let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 80, 8).unwrap();
+            let (pid, t) = c
+                .spawn(t, h(1), &SpritePath::new("/bin/sim"), 80, 8)
+                .unwrap();
             let mut sp = c.pcb_mut(pid).unwrap().space.take().unwrap();
             let t = sp
-                .write(&mut c.fs, &mut c.net, t, h(1), VirtAddr::new(SegmentKind::Heap, 0), &dirty)
+                .write(
+                    &mut c.fs,
+                    &mut c.net,
+                    t,
+                    h(1),
+                    VirtAddr::new(SegmentKind::Heap, 0),
+                    &dirty,
+                )
                 .unwrap();
             c.pcb_mut(pid).unwrap().space = Some(sp);
             (pid, t)

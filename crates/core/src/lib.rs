@@ -22,8 +22,8 @@ mod protocol;
 
 pub use checkpoint::{checkpoint_restart, CheckpointReport};
 pub use protocol::{
-    MigrationConfig, MigrationError, MigrationReport, MigrationResult, MigrationTotals,
-    Migrator, PhaseBreakdown,
+    MigrationConfig, MigrationError, MigrationReport, MigrationResult, MigrationTotals, Migrator,
+    PhaseBreakdown,
 };
 
 #[cfg(test)]
@@ -52,13 +52,17 @@ mod tests {
     #[test]
     fn migrate_moves_process_and_preserves_memory() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 64, 16).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 64, 16)
+            .unwrap();
         // Fill memory with a recognizable pattern.
         let pattern: Vec<u8> = (0..20_000u32).map(|i| (i % 240) as u8).collect();
         let addr = VirtAddr::new(SegmentKind::Heap, 512);
         let t = {
             let mut sp = c.pcb_mut(pid).unwrap().space.take().unwrap();
-            let t2 = sp.write(&mut c.fs, &mut c.net, t, h(1), addr, &pattern).unwrap();
+            let t2 = sp
+                .write(&mut c.fs, &mut c.net, t, h(1), addr, &pattern)
+                .unwrap();
             c.pcb_mut(pid).unwrap().space = Some(sp);
             t2
         };
@@ -73,7 +77,14 @@ mod tests {
         // Memory is byte-identical when touched from the new host.
         let mut sp = c.pcb_mut(pid).unwrap().space.take().unwrap();
         let (back, _) = sp
-            .read(&mut c.fs, &mut c.net, report.resumed_at, h(2), addr, pattern.len() as u64)
+            .read(
+                &mut c.fs,
+                &mut c.net,
+                report.resumed_at,
+                h(2),
+                addr,
+                pattern.len() as u64,
+            )
             .unwrap();
         assert_eq!(back, pattern);
         c.pcb_mut(pid).unwrap().space = Some(sp);
@@ -82,8 +93,11 @@ mod tests {
     #[test]
     fn migrate_preserves_open_files_and_positions() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
-        c.fs.create(&mut c.net, t, h(1), SpritePath::new("/out")).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
+        c.fs.create(&mut c.net, t, h(1), SpritePath::new("/out"))
+            .unwrap();
         let (fd, t) = c
             .open_fd(t, pid, SpritePath::new("/out"), OpenMode::ReadWrite)
             .unwrap();
@@ -104,8 +118,11 @@ mod tests {
     #[test]
     fn migrating_forked_sharer_creates_shadow_stream() {
         let (mut c, mut m, t) = setup();
-        let (parent, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
-        c.fs.create(&mut c.net, t, h(1), SpritePath::new("/shared")).unwrap();
+        let (parent, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
+        c.fs.create(&mut c.net, t, h(1), SpritePath::new("/shared"))
+            .unwrap();
         let (fd, t) = c
             .open_fd(t, parent, SpritePath::new("/shared"), OpenMode::ReadWrite)
             .unwrap();
@@ -123,7 +140,9 @@ mod tests {
     #[test]
     fn signals_follow_a_twice_migrated_process() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         let r1 = m.migrate(&mut c, t, pid, h(2)).unwrap();
         let r2 = m.migrate(&mut c, r1.resumed_at, pid, h(3)).unwrap();
         assert_eq!(c.pcb(pid).unwrap().migrations, 2);
@@ -136,7 +155,9 @@ mod tests {
     #[test]
     fn migration_back_home_erases_foreignness() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         let r1 = m.migrate(&mut c, t, pid, h(2)).unwrap();
         assert!(c.pcb(pid).unwrap().is_foreign());
         let gettime_foreign = {
@@ -157,7 +178,9 @@ mod tests {
     #[test]
     fn version_mismatch_refuses_migration() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         m.set_kernel_version(h(2), 2);
         match m.migrate(&mut c, t, pid, h(2)) {
             Err(MigrationError::VersionMismatch { from, to }) => {
@@ -175,7 +198,9 @@ mod tests {
     #[test]
     fn console_owner_refuses_foreign_processes() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         c.host_mut(h(2)).console_active = true;
         assert!(matches!(
             m.migrate(&mut c, t, pid, h(2)),
@@ -186,7 +211,9 @@ mod tests {
     #[test]
     fn migrate_to_self_is_an_error() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         assert!(matches!(
             m.migrate(&mut c, t, pid, h(1)),
             Err(MigrationError::AlreadyThere(_))
@@ -197,7 +224,9 @@ mod tests {
     fn exec_migration_is_much_cheaper_than_active_migration() {
         let (mut c, mut m, t) = setup();
         // A process with a big dirty image.
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 512, 16).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 512, 16)
+            .unwrap();
         let t = {
             let mut sp = c.pcb_mut(pid).unwrap().space.take().unwrap();
             let t2 = sp
@@ -216,9 +245,25 @@ mod tests {
         // Active migration of the dirty image...
         let active = m.migrate(&mut c, t, pid, h(2)).unwrap();
         // ...versus exec-time migration of a fresh identical process.
-        let (pid2, t2) = c.spawn(active.resumed_at, h(1), &SpritePath::new("/bin/sim"), 512, 16).unwrap();
+        let (pid2, t2) = c
+            .spawn(
+                active.resumed_at,
+                h(1),
+                &SpritePath::new("/bin/sim"),
+                512,
+                16,
+            )
+            .unwrap();
         let execm = m
-            .exec_migrate(&mut c, t2, pid2, h(3), &SpritePath::new("/bin/sim"), 512, 16)
+            .exec_migrate(
+                &mut c,
+                t2,
+                pid2,
+                h(3),
+                &SpritePath::new("/bin/sim"),
+                512,
+                16,
+            )
             .unwrap();
         assert!(
             execm.total_time.as_secs_f64() < active.total_time.as_secs_f64() / 4.0,
@@ -234,8 +279,12 @@ mod tests {
     #[test]
     fn eviction_returns_all_foreign_processes_home() {
         let (mut c, mut m, t) = setup();
-        let (a, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
-        let (b, t) = c.spawn(t, h(2), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (a, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
+        let (b, t) = c
+            .spawn(t, h(2), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         let r1 = m.migrate(&mut c, t, a, h(4)).unwrap();
         let r2 = m.migrate(&mut c, r1.resumed_at, b, h(4)).unwrap();
         assert_eq!(c.foreign_on(h(4)).len(), 2);
@@ -254,19 +303,30 @@ mod tests {
         for strategy in VmStrategy::ALL {
             let (mut c, mut m, t) = setup();
             m.set_vm_strategy(strategy);
-            let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 32, 8).unwrap();
+            let (pid, t) = c
+                .spawn(t, h(1), &SpritePath::new("/bin/sim"), 32, 8)
+                .unwrap();
             let pattern = vec![0x42u8; 8 * 4096];
             let addr = VirtAddr::new(SegmentKind::Heap, 0);
             let t = {
                 let mut sp = c.pcb_mut(pid).unwrap().space.take().unwrap();
-                let t2 = sp.write(&mut c.fs, &mut c.net, t, h(1), addr, &pattern).unwrap();
+                let t2 = sp
+                    .write(&mut c.fs, &mut c.net, t, h(1), addr, &pattern)
+                    .unwrap();
                 c.pcb_mut(pid).unwrap().space = Some(sp);
                 t2
             };
             let report = m.migrate(&mut c, t, pid, h(2)).unwrap();
             let mut sp = c.pcb_mut(pid).unwrap().space.take().unwrap();
             let (back, _) = sp
-                .read(&mut c.fs, &mut c.net, report.resumed_at, h(2), addr, pattern.len() as u64)
+                .read(
+                    &mut c.fs,
+                    &mut c.net,
+                    report.resumed_at,
+                    h(2),
+                    addr,
+                    pattern.len() as u64,
+                )
                 .unwrap();
             assert_eq!(back, pattern, "strategy {strategy} lost memory contents");
             c.pcb_mut(pid).unwrap().space = Some(sp);
@@ -276,13 +336,11 @@ mod tests {
     #[test]
     fn phase_breakdown_sums_to_total_protocol_time() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 32, 8).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 32, 8)
+            .unwrap();
         let report = m.migrate(&mut c, t, pid, h(2)).unwrap();
-        let delta = report
-            .phases
-            .total()
-            .as_secs_f64()
-            - report.total_time.as_secs_f64();
+        let delta = report.phases.total().as_secs_f64() - report.total_time.as_secs_f64();
         assert!(
             delta.abs() < 1e-6,
             "phases {} vs total {}",
@@ -296,7 +354,9 @@ mod tests {
     #[test]
     fn shared_writable_memory_blocks_migration() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         c.pcb_mut(pid).unwrap().shares_writable_memory = true;
         assert!(matches!(
             m.migrate(&mut c, t, pid, h(2)),
@@ -310,8 +370,12 @@ mod tests {
     #[test]
     fn eviction_can_resettle_instead_of_going_home() {
         let (mut c, mut m, t) = setup();
-        let (a, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
-        let (b, t) = c.spawn(t, h(2), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (a, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
+        let (b, t) = c
+            .spawn(t, h(2), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         let r1 = m.migrate(&mut c, t, a, h(3)).unwrap();
         let r2 = m.migrate(&mut c, r1.resumed_at, b, h(3)).unwrap();
         // Owner returns to host 3; host 4 is idle, so both jobs resettle
@@ -339,7 +403,9 @@ mod tests {
     #[test]
     fn exec_migrate_respects_console_and_versions_too() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         c.host_mut(h(2)).console_active = true;
         assert!(matches!(
             m.exec_migrate(&mut c, t, pid, h(2), &SpritePath::new("/bin/sim"), 16, 4),
@@ -357,11 +423,23 @@ mod tests {
     #[test]
     fn migration_totals_account_every_path() {
         let (mut c, mut m, t) = setup();
-        let (a, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
-        let (b, t) = c.spawn(t, h(2), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (a, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
+        let (b, t) = c
+            .spawn(t, h(2), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         let r1 = m.migrate(&mut c, t, a, h(3)).unwrap();
         let r2 = m
-            .exec_migrate(&mut c, r1.resumed_at, b, h(3), &SpritePath::new("/bin/sim"), 16, 4)
+            .exec_migrate(
+                &mut c,
+                r1.resumed_at,
+                b,
+                h(3),
+                &SpritePath::new("/bin/sim"),
+                16,
+                4,
+            )
             .unwrap();
         let reports = m.evict_all(&mut c, r2.resumed_at, h(3)).unwrap();
         assert_eq!(reports.len(), 2);
@@ -376,7 +454,9 @@ mod tests {
     #[test]
     fn foreign_process_can_fork_and_children_follow_home_rules() {
         let (mut c, mut m, t) = setup();
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/sim"), 16, 4)
+            .unwrap();
         let r = m.migrate(&mut c, t, pid, h(2)).unwrap();
         let (child, t) = c.fork(r.resumed_at, pid).unwrap();
         // The child runs where the parent runs, but belongs to the same home.

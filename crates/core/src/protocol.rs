@@ -246,12 +246,7 @@ impl Migrator {
         self.totals
     }
 
-    fn validate(
-        &self,
-        cluster: &Cluster,
-        pid: ProcessId,
-        to: HostId,
-    ) -> MigrationResult<HostId> {
+    fn validate(&self, cluster: &Cluster, pid: ProcessId, to: HostId) -> MigrationResult<HostId> {
         let pcb = cluster
             .pcb(pid)
             .ok_or(MigrationError::Kernel(KernelError::NoSuchProcess(pid)))?;
@@ -352,9 +347,10 @@ impl Migrator {
         let mut t = t;
         let mut shadows = 0u64;
         for stream in &fds {
-            let (outcome, t2) = cluster
-                .fs
-                .migrate_stream(&mut cluster.net, t, *stream, from, to, 1)?;
+            let (outcome, t2) =
+                cluster
+                    .fs
+                    .migrate_stream(&mut cluster.net, t, *stream, from, to, 1)?;
             if outcome.shadowed {
                 shadows += 1;
             }
@@ -450,9 +446,10 @@ impl Migrator {
         let mut t = t;
         let mut shadows = 0u64;
         for stream in &fds {
-            let (outcome, t2) = cluster
-                .fs
-                .migrate_stream(&mut cluster.net, t, *stream, from, to, 1)?;
+            let (outcome, t2) =
+                cluster
+                    .fs
+                    .migrate_stream(&mut cluster.net, t, *stream, from, to, 1)?;
             if outcome.shadowed {
                 shadows += 1;
             }
@@ -574,8 +571,7 @@ impl Migrator {
                     r
                 }
                 None => {
-                    let respect =
-                        std::mem::replace(&mut self.config.respect_console, false);
+                    let respect = std::mem::replace(&mut self.config.respect_console, false);
                     let r = self.migrate(cluster, t, pid, pid.home());
                     self.config.respect_console = respect;
                     r?

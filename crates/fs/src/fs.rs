@@ -51,8 +51,8 @@ pub struct FsConfig {
 impl Default for FsConfig {
     fn default() -> Self {
         FsConfig {
-            client_cache_blocks: 1024,  // 4 MB
-            server_cache_blocks: 8192,  // 32 MB
+            client_cache_blocks: 1024, // 4 MB
+            server_cache_blocks: 8192, // 32 MB
             flush_on_close: true,
             client_name_caching: false,
         }
@@ -195,7 +195,7 @@ impl SpriteFs {
         self.domains.push((prefix, host));
         // Longest prefix first.
         self.domains
-            .sort_by(|(a, _), (b, _)| b.depth().cmp(&a.depth()));
+            .sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.depth()));
     }
 
     /// Which server exports the domain containing `path`.
@@ -242,6 +242,7 @@ impl SpriteFs {
     /// Charges one client→server service interaction: a local kernel call if
     /// the client *is* the server machine, otherwise an RPC whose service
     /// time queues on the server CPU.
+    #[allow(clippy::too_many_arguments)]
     fn charge_service(
         &mut self,
         net: &mut Network,
@@ -255,7 +256,8 @@ impl SpriteFs {
         let srv = self.servers.get_mut(&server).expect("known server");
         if client == server {
             let local = net.cost().local_kernel_call;
-            srv.cpu.acquire(now + local, extra + net.cost().cache_block_op)
+            srv.cpu
+                .acquire(now + local, extra + net.cost().cache_block_op)
         } else {
             net.rpc_with_service(
                 now,
@@ -447,8 +449,8 @@ impl SpriteFs {
         mode: OpenMode,
     ) -> FsResult<(StreamId, SimTime)> {
         let server = self.resolve(&path)?;
-        let cached_name = self.config.client_name_caching
-            && self.name_caches[host.index()].contains_key(&path);
+        let cached_name =
+            self.config.client_name_caching && self.name_caches[host.index()].contains_key(&path);
         let lookup = if cached_name {
             self.stats.name_cache_hits += 1;
             SimDuration::ZERO
@@ -561,8 +563,7 @@ impl SpriteFs {
                 }
             } else {
                 self.stats.uncached_ops += 1;
-                let extra = net.cost().cache_block_op
-                    + self.disk_penalty(net, server, file, block);
+                let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, block);
                 t = self.charge_service(net, t, host, server, 64, PAGE_SIZE + 64, extra);
                 self.server_block(server, file, block)
             };
@@ -638,15 +639,7 @@ impl SpriteFs {
             } else {
                 self.stats.uncached_ops += 1;
                 let extra = net.cost().cache_block_op;
-                t = self.charge_service(
-                    net,
-                    t,
-                    host,
-                    server,
-                    chunk.len() as u64 + 64,
-                    64,
-                    extra,
-                );
+                t = self.charge_service(net, t, host, server, chunk.len() as u64 + 64, 64, extra);
                 let srv = self.servers.get_mut(&server).expect("known server");
                 srv.touch_block(file, block);
                 if let Some(f) = srv.file_mut(file) {
@@ -824,7 +817,10 @@ impl SpriteFs {
         let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, page);
         let t = self.charge_service(net, now, host, server, 64, PAGE_SIZE + 64, extra);
         let srv = self.servers.get_mut(&server).expect("known server");
-        let mut data = srv.file(file).expect("backing file exists").read_block(page);
+        let mut data = srv
+            .file(file)
+            .expect("backing file exists")
+            .read_block(page);
         data.resize(PAGE_SIZE as usize, 0);
         self.stats.pageins += 1;
         Ok((data, t))
@@ -851,6 +847,7 @@ impl SpriteFs {
     /// Performs one request/response round trip with the user-level server
     /// behind a pseudo-device stream \[WO88\]. `service` is the server
     /// process's think time.
+    #[allow(clippy::too_many_arguments)]
     pub fn pseudo_request(
         &mut self,
         net: &mut Network,
@@ -873,14 +870,19 @@ impl SpriteFs {
         if server_process_host == host {
             // Local rendezvous: two kernel crossings and two context
             // switches into and out of the server process.
-            Ok(now
-                + cost.local_kernel_call * 2
-                + cost.context_switch * 2
-                + service)
+            Ok(now + cost.local_kernel_call * 2 + cost.context_switch * 2 + service)
         } else {
             let switch = cost.context_switch * 2;
             let done = net
-                .rpc_with_service(now, host, server_process_host, req_bytes, reply_bytes, service + switch, None)
+                .rpc_with_service(
+                    now,
+                    host,
+                    server_process_host,
+                    req_bytes,
+                    reply_bytes,
+                    service + switch,
+                    None,
+                )
                 .done;
             Ok(done)
         }
@@ -957,6 +959,7 @@ impl SpriteFs {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fetch_block(
         &mut self,
         net: &mut Network,
@@ -976,8 +979,7 @@ impl SpriteFs {
             data = Vec::new();
         }
         let addr = BlockAddr { file, block };
-        if let Some((evicted, dirty)) =
-            self.clients[host.index()].insert_clean(addr, version, data)
+        if let Some((evicted, dirty)) = self.clients[host.index()].insert_clean(addr, version, data)
         {
             let t2 = self.write_back_block(net, t, host, evicted, dirty);
             self.stats.block_fetches += 1;
@@ -1008,14 +1010,24 @@ mod tests {
     fn create_open_write_read_round_trip() {
         let (mut net, mut fs) = setup(3);
         let t0 = SimTime::ZERO;
-        let (_, t1) = fs.create(&mut net, t0, h(1), SpritePath::new("/a")).unwrap();
+        let (_, t1) = fs
+            .create(&mut net, t0, h(1), SpritePath::new("/a"))
+            .unwrap();
         let (s, t2) = fs
-            .open(&mut net, t1, h(1), SpritePath::new("/a"), OpenMode::ReadWrite)
+            .open(
+                &mut net,
+                t1,
+                h(1),
+                SpritePath::new("/a"),
+                OpenMode::ReadWrite,
+            )
             .unwrap();
         let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
         let t3 = fs.write(&mut net, t2, h(1), s, &payload).unwrap();
         fs.seek(s, 0).unwrap();
-        let (back, t4) = fs.read(&mut net, t3, h(1), s, payload.len() as u64).unwrap();
+        let (back, t4) = fs
+            .read(&mut net, t3, h(1), s, payload.len() as u64)
+            .unwrap();
         assert_eq!(back, payload);
         assert!(t4 > t0);
         fs.close(&mut net, t4, h(1), s).unwrap();
@@ -1034,11 +1046,15 @@ mod tests {
     fn second_host_sees_writers_data_via_recall() {
         let (mut net, mut fs) = setup(3);
         let t0 = SimTime::ZERO;
-        let (id, t1) = fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (id, t1) = fs
+            .create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         let (s1, t2) = fs
             .open(&mut net, t1, h(1), SpritePath::new("/f"), OpenMode::Write)
             .unwrap();
-        let t3 = fs.write(&mut net, t2, h(1), s1, b"written by host1").unwrap();
+        let t3 = fs
+            .write(&mut net, t2, h(1), s1, b"written by host1")
+            .unwrap();
         let t4 = fs.close(&mut net, t3, h(1), s1).unwrap();
         // Leave a dirty footprint: re-open and write without closing.
         let (s2, t5) = fs
@@ -1060,7 +1076,8 @@ mod tests {
     fn recall_happens_when_writer_still_has_file_open() {
         let (mut net, mut fs) = setup(3);
         let t0 = SimTime::ZERO;
-        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         let (s1, t1) = fs
             .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Write)
             .unwrap();
@@ -1085,9 +1102,16 @@ mod tests {
     fn shadowed_stream_pays_server_round_trip() {
         let (mut net, mut fs) = setup(3);
         let t0 = SimTime::ZERO;
-        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         let (s, t1) = fs
-            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::ReadWrite)
+            .open(
+                &mut net,
+                t0,
+                h(1),
+                SpritePath::new("/f"),
+                OpenMode::ReadWrite,
+            )
             .unwrap();
         fs.dup(s, h(1)).unwrap(); // forked child shares the stream
         let t2 = fs.write(&mut net, t1, h(1), s, b"0123456789").unwrap();
@@ -1108,7 +1132,8 @@ mod tests {
     fn migrating_sole_reference_does_not_shadow() {
         let (mut net, mut fs) = setup(3);
         let t0 = SimTime::ZERO;
-        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         let (s, t1) = fs
             .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Write)
             .unwrap();
@@ -1125,7 +1150,9 @@ mod tests {
     fn migrate_stream_flushes_source_dirty_blocks() {
         let (mut net, mut fs) = setup(3);
         let t0 = SimTime::ZERO;
-        let (id, _) = fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (id, _) = fs
+            .create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         let (s, t1) = fs
             .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Write)
             .unwrap();
@@ -1167,10 +1194,24 @@ mod tests {
         fs.create_pseudo_device(&mut net, t0, h(1), SpritePath::new("/dev/migd"), h(0))
             .unwrap();
         let (s, t1) = fs
-            .open(&mut net, t0, h(1), SpritePath::new("/dev/migd"), OpenMode::ReadWrite)
+            .open(
+                &mut net,
+                t0,
+                h(1),
+                SpritePath::new("/dev/migd"),
+                OpenMode::ReadWrite,
+            )
             .unwrap();
         let t2 = fs
-            .pseudo_request(&mut net, t1, h(1), s, 128, 128, SimDuration::from_micros(200))
+            .pseudo_request(
+                &mut net,
+                t1,
+                h(1),
+                s,
+                128,
+                128,
+                SimDuration::from_micros(200),
+            )
             .unwrap();
         assert!(t2.elapsed_since(t1) >= net.cost().small_rpc_round_trip());
         // Reads and writes are meaningless on pseudo-devices.
@@ -1188,7 +1229,13 @@ mod tests {
         fs.create_pseudo_device(&mut net, t0, h(1), SpritePath::new("/dev/d"), h(1))
             .unwrap();
         let (s, t1) = fs
-            .open(&mut net, t0, h(1), SpritePath::new("/dev/d"), OpenMode::ReadWrite)
+            .open(
+                &mut net,
+                t0,
+                h(1),
+                SpritePath::new("/dev/d"),
+                OpenMode::ReadWrite,
+            )
             .unwrap();
         let local = fs
             .pseudo_request(&mut net, t1, h(1), s, 64, 64, SimDuration::ZERO)
@@ -1201,7 +1248,8 @@ mod tests {
     fn deeper_paths_cost_more_to_open() {
         let (mut net, mut fs) = setup(2);
         let t0 = SimTime::ZERO;
-        fs.create(&mut net, t0, h(1), SpritePath::new("/a")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/a"))
+            .unwrap();
         fs.create(&mut net, t0, h(1), SpritePath::new("/x/y/z/w/deep"))
             .unwrap();
         let shallow = {
@@ -1213,7 +1261,13 @@ mod tests {
         };
         let deep = {
             let (s, t) = fs
-                .open(&mut net, t0, h(1), SpritePath::new("/x/y/z/w/deep"), OpenMode::Read)
+                .open(
+                    &mut net,
+                    t0,
+                    h(1),
+                    SpritePath::new("/x/y/z/w/deep"),
+                    OpenMode::Read,
+                )
                 .unwrap();
             fs.close(&mut net, t, h(1), s).unwrap();
             t.elapsed_since(t0)
@@ -1229,7 +1283,8 @@ mod tests {
             fs.open(&mut net, t0, h(1), SpritePath::new("/nope"), OpenMode::Read),
             Err(FsError::NotFound(_))
         ));
-        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         assert!(matches!(
             fs.create(&mut net, t0, h(1), SpritePath::new("/f")),
             Err(FsError::AlreadyExists(_))
@@ -1257,13 +1312,15 @@ mod tests {
     fn unlink_removes_and_invalidates() {
         let (mut net, mut fs) = setup(2);
         let t0 = SimTime::ZERO;
-        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         let (s, t1) = fs
             .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Write)
             .unwrap();
         let t2 = fs.write(&mut net, t1, h(1), s, b"bytes").unwrap();
         let t3 = fs.close(&mut net, t2, h(1), s).unwrap();
-        fs.unlink(&mut net, t3, h(1), &SpritePath::new("/f")).unwrap();
+        fs.unlink(&mut net, t3, h(1), &SpritePath::new("/f"))
+            .unwrap();
         assert!(matches!(
             fs.open(&mut net, t3, h(1), SpritePath::new("/f"), OpenMode::Read),
             Err(FsError::NotFound(_))
@@ -1278,9 +1335,16 @@ mod tests {
     fn cache_hits_avoid_server_traffic() {
         let (mut net, mut fs) = setup(2);
         let t0 = SimTime::ZERO;
-        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         let (s, t1) = fs
-            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::ReadWrite)
+            .open(
+                &mut net,
+                t0,
+                h(1),
+                SpritePath::new("/f"),
+                OpenMode::ReadWrite,
+            )
             .unwrap();
         let t2 = fs.write(&mut net, t1, h(1), s, &[1u8; 8192]).unwrap();
         let fetches_before = fs.stats().block_fetches;
@@ -1299,7 +1363,9 @@ mod tests {
     fn fsync_pushes_dirty_blocks() {
         let (mut net, mut fs) = setup(2);
         let t0 = SimTime::ZERO;
-        let (id, _) = fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        let (id, _) = fs
+            .create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         let (s, t1) = fs
             .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::Write)
             .unwrap();
@@ -1318,9 +1384,16 @@ mod tests {
     fn reads_past_eof_are_short() {
         let (mut net, mut fs) = setup(2);
         let t0 = SimTime::ZERO;
-        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         let (s, t1) = fs
-            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::ReadWrite)
+            .open(
+                &mut net,
+                t0,
+                h(1),
+                SpritePath::new("/f"),
+                OpenMode::ReadWrite,
+            )
             .unwrap();
         let t2 = fs.write(&mut net, t1, h(1), s, b"abc").unwrap();
         fs.seek(s, 0).unwrap();
@@ -1344,12 +1417,19 @@ mod tests {
         let t0 = SimTime::ZERO;
         let deep = SpritePath::new("/a/b/c/d/e/f");
         fs.create(&mut net, t0, h(1), deep.clone()).unwrap();
-        let (s1, t1) = fs.open(&mut net, t0, h(1), deep.clone(), OpenMode::Read).unwrap();
+        let (s1, t1) = fs
+            .open(&mut net, t0, h(1), deep.clone(), OpenMode::Read)
+            .unwrap();
         let first = t1.elapsed_since(t0);
         let t1b = fs.close(&mut net, t1, h(1), s1).unwrap();
-        let (s2, t2) = fs.open(&mut net, t1b, h(1), deep.clone(), OpenMode::Read).unwrap();
+        let (s2, t2) = fs
+            .open(&mut net, t1b, h(1), deep.clone(), OpenMode::Read)
+            .unwrap();
         let second = t2.elapsed_since(t1b);
-        assert!(second < first, "repeat open {second} should beat first {first}");
+        assert!(
+            second < first,
+            "repeat open {second} should beat first {first}"
+        );
         assert_eq!(fs.stats().name_cache_hits, 1);
         fs.close(&mut net, t2, h(1), s2).unwrap();
         // Unlink invalidates the cached name: the next open must fail, not
@@ -1373,16 +1453,27 @@ mod tests {
         let (swap_file, t) = fs
             .create_backing(&mut net, t0, h(1), SpritePath::new("/swap/p1.heap"))
             .unwrap();
-        let (root_file, t) = fs.create(&mut net, t, h(1), SpritePath::new("/src/x.c")).unwrap();
+        let (root_file, t) = fs
+            .create(&mut net, t, h(1), SpritePath::new("/src/x.c"))
+            .unwrap();
         // Each file lives on its own server.
         assert_eq!(fs.home_of(swap_file), Some(h(2)));
         assert_eq!(fs.home_of(root_file), Some(h(0)));
-        assert!(fs.server(h(2)).unwrap().lookup(&SpritePath::new("/swap/p1.heap")).is_some());
-        assert!(fs.server(h(0)).unwrap().lookup(&SpritePath::new("/swap/p1.heap")).is_none());
+        assert!(fs
+            .server(h(2))
+            .unwrap()
+            .lookup(&SpritePath::new("/swap/p1.heap"))
+            .is_some());
+        assert!(fs
+            .server(h(0))
+            .unwrap()
+            .lookup(&SpritePath::new("/swap/p1.heap"))
+            .is_none());
         // Paging traffic charges the swap server's CPU, not the root's.
         let before_root = fs.server(h(0)).unwrap().cpu.busy_time();
         let before_swap = fs.server(h(2)).unwrap().cpu.busy_time();
-        fs.page_out(&mut net, t, h(1), swap_file, 0, &[1u8; 4096]).unwrap();
+        fs.page_out(&mut net, t, h(1), swap_file, 0, &[1u8; 4096])
+            .unwrap();
         assert_eq!(fs.server(h(0)).unwrap().cpu.busy_time(), before_root);
         assert!(fs.server(h(2)).unwrap().cpu.busy_time() > before_swap);
     }
@@ -1391,15 +1482,27 @@ mod tests {
     fn unlink_while_open_reads_eof() {
         let (mut net, mut fs) = setup(2);
         let t0 = SimTime::ZERO;
-        fs.create(&mut net, t0, h(1), SpritePath::new("/u")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/u"))
+            .unwrap();
         let (s, t1) = fs
-            .open(&mut net, t0, h(1), SpritePath::new("/u"), OpenMode::ReadWrite)
+            .open(
+                &mut net,
+                t0,
+                h(1),
+                SpritePath::new("/u"),
+                OpenMode::ReadWrite,
+            )
             .unwrap();
         let t2 = fs.write(&mut net, t1, h(1), s, b"gone soon").unwrap();
-        let t3 = fs.unlink(&mut net, t2, h(1), &SpritePath::new("/u")).unwrap();
+        let t3 = fs
+            .unlink(&mut net, t2, h(1), &SpritePath::new("/u"))
+            .unwrap();
         fs.seek(s, 0).unwrap();
         let (data, _) = fs.read(&mut net, t3, h(1), s, 16).unwrap();
-        assert!(data.is_empty(), "documented divergence: unlinked file reads EOF");
+        assert!(
+            data.is_empty(),
+            "documented divergence: unlinked file reads EOF"
+        );
         // Closing the orphaned stream must not error.
         fs.close(&mut net, t3, h(1), s).unwrap();
     }
@@ -1408,9 +1511,16 @@ mod tests {
     fn stats_reset_is_complete() {
         let (mut net, mut fs) = setup(2);
         let t0 = SimTime::ZERO;
-        fs.create(&mut net, t0, h(1), SpritePath::new("/r")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/r"))
+            .unwrap();
         let (s, t1) = fs
-            .open(&mut net, t0, h(1), SpritePath::new("/r"), OpenMode::ReadWrite)
+            .open(
+                &mut net,
+                t0,
+                h(1),
+                SpritePath::new("/r"),
+                OpenMode::ReadWrite,
+            )
             .unwrap();
         fs.write(&mut net, t1, h(1), s, b"x").unwrap();
         assert!(fs.stats().opens > 0 && fs.stats().bytes_written > 0);
@@ -1425,9 +1535,16 @@ mod tests {
     fn sparse_writes_read_back_zero_filled() {
         let (mut net, mut fs) = setup(2);
         let t0 = SimTime::ZERO;
-        fs.create(&mut net, t0, h(1), SpritePath::new("/f")).unwrap();
+        fs.create(&mut net, t0, h(1), SpritePath::new("/f"))
+            .unwrap();
         let (s, t1) = fs
-            .open(&mut net, t0, h(1), SpritePath::new("/f"), OpenMode::ReadWrite)
+            .open(
+                &mut net,
+                t0,
+                h(1),
+                SpritePath::new("/f"),
+                OpenMode::ReadWrite,
+            )
             .unwrap();
         fs.seek(s, 3 * PAGE_SIZE).unwrap();
         let t2 = fs.write(&mut net, t1, h(1), s, b"tail").unwrap();

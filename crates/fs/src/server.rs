@@ -262,7 +262,7 @@ impl ServerState {
         let file = self.files.get_mut(&id).expect("open of unknown file");
         let mut actions = ConsistencyActions {
             cacheable: file.cacheable,
-            opener_cache_current: file.last_writer.map_or(true, |w| w == host),
+            opener_cache_current: file.last_writer.is_none_or(|w| w == host),
             ..ConsistencyActions::default()
         };
         // Sequential write-sharing: a different host wrote this file last
@@ -341,11 +341,7 @@ impl ServerState {
             file.last_writer = Some(to);
         }
         // Migration can create or destroy concurrent write-sharing.
-        if file.concurrently_write_shared() {
-            file.cacheable = false;
-        } else {
-            file.cacheable = true;
-        }
+        file.cacheable = !file.concurrently_write_shared();
         true
     }
 
@@ -390,8 +386,12 @@ mod tests {
     fn create_lookup_unlink() {
         let mut s = server();
         let p = SpritePath::new("/a/b");
-        assert!(s.create(p.clone(), FileId::new(1), FileKind::Regular).is_some());
-        assert!(s.create(p.clone(), FileId::new(2), FileKind::Regular).is_none());
+        assert!(s
+            .create(p.clone(), FileId::new(1), FileKind::Regular)
+            .is_some());
+        assert!(s
+            .create(p.clone(), FileId::new(2), FileKind::Regular)
+            .is_none());
         assert_eq!(s.lookup(&p), Some(FileId::new(1)));
         assert!(s.unlink(&p));
         assert!(!s.unlink(&p));
@@ -495,7 +495,7 @@ mod tests {
         assert!(s.touch_block(FileId::new(1), 0), "second touch hits");
         s.touch_block(FileId::new(1), 1);
         s.touch_block(FileId::new(1), 2); // evicts block 0? no: 0 touched recently
-        // LRU order after touches: 0 (hit), 1, 2 -> capacity 2 keeps {1,2}.
+                                          // LRU order after touches: 0 (hit), 1, 2 -> capacity 2 keeps {1,2}.
         assert!(!s.touch_block(FileId::new(1), 0), "block 0 was evicted");
         assert_eq!(s.disk_reads(), 4);
     }

@@ -5,13 +5,23 @@
 //! "Never loses dirty data" means: at any drain point, (bytes in dirty
 //! cache blocks) ∪ (bytes previously returned for write-back) equals the
 //! reference contents.
+//!
+//! Cases are generated from [`DetRng`] with a fixed seed (reproducible);
+//! the `heavy-tests` feature multiplies the case count.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
 use sprite_fs::{BlockAddr, BlockCache, FileKind, OpenMode, SpriteFs, SpritePath};
 use sprite_net::HostId;
-use sprite_sim::SimTime;
+use sprite_sim::{DetRng, SimTime};
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
 
 /// Mint distinct FileIds through a real SpriteFs (the constructor is
 /// intentionally private).
@@ -43,23 +53,35 @@ enum CacheOp {
     Invalidate { file: u8 },
 }
 
-fn cache_op() -> impl Strategy<Value = CacheOp> {
-    prop_oneof![
-        (0u8..3, 0u8..6, any::<u8>())
-            .prop_map(|(file, block, byte)| CacheOp::InsertClean { file, block, byte }),
-        (0u8..3, 0u8..6, any::<u8>())
-            .prop_map(|(file, block, byte)| CacheOp::InsertDirty { file, block, byte }),
-        (0u8..3, 0u8..6).prop_map(|(file, block)| CacheOp::Lookup { file, block }),
-        (0u8..3).prop_map(|file| CacheOp::TakeDirty { file }),
-        (0u8..3).prop_map(|file| CacheOp::Invalidate { file }),
-    ]
+fn cache_op(rng: &mut DetRng) -> CacheOp {
+    let file = rng.uniform_u64(3) as u8;
+    match rng.pick_index(5) {
+        0 => CacheOp::InsertClean {
+            file,
+            block: rng.uniform_u64(6) as u8,
+            byte: rng.uniform_u64(256) as u8,
+        },
+        1 => CacheOp::InsertDirty {
+            file,
+            block: rng.uniform_u64(6) as u8,
+            byte: rng.uniform_u64(256) as u8,
+        },
+        2 => CacheOp::Lookup {
+            file,
+            block: rng.uniform_u64(6) as u8,
+        },
+        3 => CacheOp::TakeDirty { file },
+        _ => CacheOp::Invalidate { file },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn dirty_data_is_never_lost() {
+    let mut rng = DetRng::seed_from(0xCAC8E);
+    for case in 0..cases(128) {
+        let nops = 1 + rng.pick_index(79);
+        let ops: Vec<CacheOp> = (0..nops).map(|_| cache_op(&mut rng)).collect();
 
-    #[test]
-    fn dirty_data_is_never_lost(ops in prop::collection::vec(cache_op(), 1..80)) {
         let files = mint_file_ids(3);
         // Deliberately tiny cache so evictions are constant.
         let mut cache = BlockCache::new(4);
@@ -70,9 +92,10 @@ proptest! {
         let mut at_server: HashMap<(u8, u8), u8> = HashMap::new();
         const V: u64 = 1;
 
-        let note_writeback = |addr: BlockAddr, data: &[u8],
-                                  files: &[sprite_fs::FileId],
-                                  at_server: &mut HashMap<(u8, u8), u8>| {
+        let note_writeback = |addr: BlockAddr,
+                              data: &[u8],
+                              files: &[sprite_fs::FileId],
+                              at_server: &mut HashMap<(u8, u8), u8>| {
             let f = files.iter().position(|f| *f == addr.file).unwrap() as u8;
             at_server.insert((f, addr.block as u8), data[0]);
         };
@@ -86,10 +109,22 @@ proptest! {
                     let b = *at_server.entry((file, block)).or_insert(byte);
                     // Only meaningful if the block is not dirty in cache
                     // (the real FS never refetches over a dirty block).
-                    if cache.lookup(BlockAddr { file: files[file as usize], block: block as u64 }, V).is_none()
-                        || latest.get(&(file, block)) == at_server.get(&(file, block)) {
+                    if cache
+                        .lookup(
+                            BlockAddr {
+                                file: files[file as usize],
+                                block: block as u64,
+                            },
+                            V,
+                        )
+                        .is_none()
+                        || latest.get(&(file, block)) == at_server.get(&(file, block))
+                    {
                         if let Some((addr, data)) = cache.insert_clean(
-                            BlockAddr { file: files[file as usize], block: block as u64 },
+                            BlockAddr {
+                                file: files[file as usize],
+                                block: block as u64,
+                            },
                             V,
                             vec![b; 8],
                         ) {
@@ -100,7 +135,10 @@ proptest! {
                 }
                 CacheOp::InsertDirty { file, block, byte } => {
                     if let Some((addr, data)) = cache.insert_dirty(
-                        BlockAddr { file: files[file as usize], block: block as u64 },
+                        BlockAddr {
+                            file: files[file as usize],
+                            block: block as u64,
+                        },
                         V,
                         vec![byte; 8],
                     ) {
@@ -110,7 +148,10 @@ proptest! {
                 }
                 CacheOp::Lookup { file, block } => {
                     let got = cache.lookup(
-                        BlockAddr { file: files[file as usize], block: block as u64 },
+                        BlockAddr {
+                            file: files[file as usize],
+                            block: block as u64,
+                        },
                         V,
                     );
                     if let Some(data) = got {
@@ -118,10 +159,10 @@ proptest! {
                         // latest write or the server's copy.
                         let f = latest.get(&(file, block)).copied();
                         let s = at_server.get(&(file, block)).copied();
-                        prop_assert!(
+                        assert!(
                             Some(data[0]) == f || Some(data[0]) == s,
-                            "cache returned {} but latest={:?} server={:?}",
-                            data[0], f, s
+                            "case {case}: cache returned {} but latest={f:?} server={s:?}",
+                            data[0]
                         );
                     }
                 }
@@ -141,15 +182,14 @@ proptest! {
         // byte ever written.
         for f in 0u8..3 {
             for (addr, data) in cache.take_dirty_blocks(files[f as usize]) {
-                let fi = f;
-                at_server.insert((fi, addr.block as u8), data[0]);
+                at_server.insert((f, addr.block as u8), data[0]);
             }
         }
         for ((file, block), byte) in &latest {
-            prop_assert_eq!(
+            assert_eq!(
                 at_server.get(&(*file, *block)),
                 Some(byte),
-                "file {} block {}: latest byte lost", file, block
+                "case {case}: file {file} block {block}: latest byte lost"
             );
         }
     }

@@ -93,8 +93,13 @@ pub trait HostSelector {
     ) -> (Option<HostId>, SimTime);
 
     /// Returns `host` to the pool.
-    fn release(&mut self, net: &mut Network, now: SimTime, requester: HostId, host: HostId)
-        -> SimTime;
+    fn release(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        requester: HostId,
+        host: HostId,
+    ) -> SimTime;
 
     /// Counters so far.
     fn stats(&self) -> &SelectorStats;
@@ -167,8 +172,10 @@ impl CentralServer {
     fn round_trip(&mut self, net: &mut Network, now: SimTime, from: HostId) -> SimTime {
         self.stats.messages += 2;
         if from == self.server {
-            self.cpu
-                .acquire(now + net.cost().context_switch * 2, self.per_request_service)
+            self.cpu.acquire(
+                now + net.cost().context_switch * 2,
+                self.per_request_service,
+            )
         } else {
             net.rpc_with_service(
                 now,
@@ -228,7 +235,9 @@ impl HostSelector for CentralServer {
         if let Some(limit) = self.fair_share {
             if self.held_by(requester) >= limit {
                 self.stats.denied += 1;
-                self.stats.select_latency.record_duration(t.elapsed_since(now));
+                self.stats
+                    .select_latency
+                    .record_duration(t.elapsed_since(now));
                 return (None, t);
             }
         }
@@ -255,14 +264,18 @@ impl HostSelector for CentralServer {
                     e.load += 1.0;
                 }
                 self.stats.granted += 1;
-                self.stats.select_latency.record_duration(t.elapsed_since(now));
+                self.stats
+                    .select_latency
+                    .record_duration(t.elapsed_since(now));
                 return (Some(c.host), t);
             }
             // The central table said available but the world moved on.
             self.stats.conflicts += 1;
         }
         self.stats.denied += 1;
-        self.stats.select_latency.record_duration(t.elapsed_since(now));
+        self.stats
+            .select_latency
+            .record_duration(t.elapsed_since(now));
         (None, t)
     }
 
@@ -329,8 +342,7 @@ impl SharedFileBoard {
     ) -> SimTime {
         self.stats.messages += 2;
         if from == self.file_server {
-            self.server_cpu
-                .acquire(now, net.cost().cache_block_op)
+            self.server_cpu.acquire(now, net.cost().cache_block_op)
         } else {
             net.rpc_with_service(
                 now,
@@ -405,7 +417,9 @@ impl HostSelector for SharedFileBoard {
         } else {
             self.stats.denied += 1;
         }
-        self.stats.select_latency.record_duration(t.elapsed_since(now));
+        self.stats
+            .select_latency
+            .record_duration(t.elapsed_since(now));
         (chosen, t)
     }
 
@@ -514,13 +528,17 @@ impl HostSelector for Probabilistic {
                     e.load += 1.0;
                 }
                 self.stats.granted += 1;
-                self.stats.select_latency.record_duration(t.elapsed_since(now));
+                self.stats
+                    .select_latency
+                    .record_duration(t.elapsed_since(now));
                 return (Some(c.host), t);
             }
             self.stats.conflicts += 1;
         }
         self.stats.denied += 1;
-        self.stats.select_latency.record_duration(t.elapsed_since(now));
+        self.stats
+            .select_latency
+            .record_duration(t.elapsed_since(now));
         (None, t)
     }
 
@@ -613,7 +631,9 @@ impl HostSelector for MulticastQuery {
             }
             None => self.stats.denied += 1,
         }
-        self.stats.select_latency.record_duration(t.elapsed_since(now));
+        self.stats
+            .select_latency
+            .record_duration(t.elapsed_since(now));
         (chosen, t)
     }
 

@@ -66,9 +66,7 @@ impl KernelCall {
         use KernelCall::*;
         match self {
             GetPid | GetRusage | Sbrk | SigSetMask => Disposition::Local,
-            GetTimeOfDay | GetPgrp | SetPriority | SendSignal | Migrate => {
-                Disposition::ForwardHome
-            }
+            GetTimeOfDay | GetPgrp | SetPriority | SendSignal | Migrate => Disposition::ForwardHome,
             FsName | FsData | FsPseudo => Disposition::FileSystem,
         }
     }

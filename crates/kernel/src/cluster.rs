@@ -187,7 +187,9 @@ impl Cluster {
             net: Network::new(cost, hosts),
             fs: SpriteFs::new(fs_config, hosts),
             trace: Trace::disabled(),
-            hosts: (0..hosts).map(|i| HostState::new(HostId::new(i as u32))).collect(),
+            hosts: (0..hosts)
+                .map(|i| HostState::new(HostId::new(i as u32)))
+                .collect(),
             procs: BTreeMap::new(),
             next_seq: vec![1; hosts],
             locations: HashMap::new(),
@@ -445,16 +447,19 @@ impl Cluster {
             .copied()
             .ok_or_else(|| KernelError::NoSuchProgram(program.clone()))?;
         let host = {
-            let p = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+            let p = self
+                .procs
+                .get(&pid)
+                .ok_or(KernelError::NoSuchProcess(pid))?;
             if p.state != ProcState::Active {
                 return Err(KernelError::BadState(pid));
             }
             p.current
         };
         // Read the executable header.
-        let (stream, t) = self
-            .fs
-            .open(&mut self.net, now, host, program.clone(), OpenMode::Read)?;
+        let (stream, t) =
+            self.fs
+                .open(&mut self.net, now, host, program.clone(), OpenMode::Read)?;
         let (_, t) = self.fs.read(&mut self.net, t, host, stream, 512)?;
         let t = self.fs.close(&mut self.net, t, host, stream)?;
         let tag = self.fresh_swap_tag(pid);
@@ -484,7 +489,10 @@ impl Cluster {
     /// (or is reaped immediately if no parent remains).
     pub fn exit(&mut self, now: SimTime, pid: ProcessId, status: i32) -> KernelResult<SimTime> {
         let (host, home, parent, fds) = {
-            let p = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+            let p = self
+                .procs
+                .get(&pid)
+                .ok_or(KernelError::NoSuchProcess(pid))?;
             if p.state == ProcState::Zombie {
                 return Err(KernelError::BadState(pid));
             }
@@ -650,9 +658,7 @@ impl Cluster {
         let members: Vec<ProcessId> = self
             .procs
             .values()
-            .filter(|p| {
-                p.pid.home() == home && p.pgrp == pgrp && p.state != ProcState::Zombie
-            })
+            .filter(|p| p.pid.home() == home && p.pgrp == pgrp && p.state != ProcState::Zombie)
             .map(|p| p.pid)
             .collect();
         for pid in members {
@@ -693,7 +699,10 @@ impl Cluster {
         call: KernelCall,
     ) -> KernelResult<SimTime> {
         let (current, home) = {
-            let p = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+            let p = self
+                .procs
+                .get(&pid)
+                .ok_or(KernelError::NoSuchProcess(pid))?;
             (p.current, p.pid.home())
         };
         let local = self.net.cost().local_kernel_call;
@@ -729,7 +738,10 @@ impl Cluster {
         demand: SimDuration,
     ) -> KernelResult<SimTime> {
         let host = {
-            let p = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+            let p = self
+                .procs
+                .get(&pid)
+                .ok_or(KernelError::NoSuchProcess(pid))?;
             if p.state != ProcState::Active {
                 return Err(KernelError::BadState(pid));
             }

@@ -52,7 +52,9 @@ mod tests {
     #[test]
     fn spawn_creates_active_process_at_home() {
         let (mut c, t) = cluster();
-        let (pid, t1) = c.spawn(t, h(1), &SpritePath::new("/bin/cc"), 16, 4).unwrap();
+        let (pid, t1) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/cc"), 16, 4)
+            .unwrap();
         assert!(t1 > t);
         let p = c.pcb(pid).unwrap();
         assert_eq!(p.current, h(1));
@@ -76,8 +78,7 @@ mod tests {
     fn fork_copies_image_and_shares_streams() {
         let (mut c, t) = cluster();
         let (parent, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sh"), 8, 4).unwrap();
-        c.fs
-            .create(&mut c.net, t, h(1), SpritePath::new("/tmp/log"))
+        c.fs.create(&mut c.net, t, h(1), SpritePath::new("/tmp/log"))
             .unwrap();
         let (fd, t) = c
             .open_fd(t, parent, SpritePath::new("/tmp/log"), OpenMode::ReadWrite)
@@ -100,7 +101,7 @@ mod tests {
         let (mut c, t) = cluster();
         let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sh"), 8, 4).unwrap();
         let before = c.pcb(pid).unwrap().space.as_ref().unwrap().total_pages();
-        let t2 = c.exec(t, pid, &SpritePath::new("/bin/cc"), 32, 8, ).unwrap();
+        let t2 = c.exec(t, pid, &SpritePath::new("/bin/cc"), 32, 8).unwrap();
         assert!(t2 > t);
         let after = c.pcb(pid).unwrap().space.as_ref().unwrap().total_pages();
         assert_ne!(before, after);
@@ -140,10 +141,7 @@ mod tests {
         let (parent, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sh"), 8, 4).unwrap();
         let (child, t) = c.fork(t, parent).unwrap();
         let t = c.exit(t, child, 0).unwrap();
-        assert!(matches!(
-            c.exit(t, child, 0),
-            Err(KernelError::BadState(_))
-        ));
+        assert!(matches!(c.exit(t, child, 0), Err(KernelError::BadState(_))));
     }
 
     #[test]
@@ -185,7 +183,9 @@ mod tests {
             assert_eq!(c.take_signals(pid), vec![Signal::Term], "{pid}");
         }
         // A process in a different group is untouched.
-        let (outsider, _t3) = c.spawn(t2, h(1), &SpritePath::new("/bin/sh"), 8, 4).unwrap();
+        let (outsider, _t3) = c
+            .spawn(t2, h(1), &SpritePath::new("/bin/sh"), 8, 4)
+            .unwrap();
         c.kill_pgrp(t2, h(1), h(1), pgrp, Signal::Usr1).unwrap();
         assert!(c.take_signals(outsider).is_empty());
     }
@@ -229,7 +229,9 @@ mod tests {
             "forwarding should dominate: local {local_cost} remote {remote_cost}"
         );
         // getpid stays cheap even for a foreign process.
-        let t3 = c.kernel_call(remote_gettime, pid, KernelCall::GetPid).unwrap();
+        let t3 = c
+            .kernel_call(remote_gettime, pid, KernelCall::GetPid)
+            .unwrap();
         assert_eq!(t3.elapsed_since(remote_gettime), local_cost);
         assert_eq!(c.stats().calls_forwarded, 1);
     }
@@ -267,8 +269,7 @@ mod tests {
     fn exec_keeps_descriptors_open() {
         let (mut c, t) = cluster();
         let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sh"), 8, 4).unwrap();
-        c.fs
-            .create(&mut c.net, t, h(1), SpritePath::new("/persist"))
+        c.fs.create(&mut c.net, t, h(1), SpritePath::new("/persist"))
             .unwrap();
         let (fd, t) = c
             .open_fd(t, pid, SpritePath::new("/persist"), OpenMode::ReadWrite)
@@ -295,8 +296,10 @@ mod tests {
             Err(KernelError::BadState(_))
         ));
         assert!(matches!(c.fork(t, child), Err(KernelError::BadState(_))));
-        assert!(matches!(c.exec(t, child, &SpritePath::new("/bin/cc"), 4, 4),
-            Err(KernelError::BadState(_))));
+        assert!(matches!(
+            c.exec(t, child, &SpritePath::new("/bin/cc"), 4, 4),
+            Err(KernelError::BadState(_))
+        ));
         assert!(matches!(
             c.kill(t, h(1), child, Signal::Usr1),
             Err(KernelError::BadState(_))
@@ -314,8 +317,7 @@ mod tests {
     fn fd_io_round_trip_through_kernel() {
         let (mut c, t) = cluster();
         let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sh"), 8, 4).unwrap();
-        c.fs
-            .create(&mut c.net, t, h(1), SpritePath::new("/data"))
+        c.fs.create(&mut c.net, t, h(1), SpritePath::new("/data"))
             .unwrap();
         let (fd, t) = c
             .open_fd(t, pid, SpritePath::new("/data"), OpenMode::ReadWrite)

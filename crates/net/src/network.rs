@@ -152,6 +152,7 @@ impl Network {
     ///
     /// `extra_service` is additional server-side service time beyond the
     /// fixed RPC dispatch cost (e.g. a name lookup or a disk access).
+    #[allow(clippy::too_many_arguments)]
     pub fn rpc_with_service(
         &mut self,
         now: SimTime,
@@ -209,7 +210,7 @@ impl Network {
         for _ in 0..fragments {
             let chunk = remaining.min(self.cost.fragment_bytes);
             remaining -= chunk;
-            clock = clock + self.cost.fragment_overhead;
+            clock += self.cost.fragment_overhead;
             clock = self.put_on_wire(clock, from, MessageKind::Fragment, chunk);
         }
         // Single acknowledgement for the whole transfer.
@@ -256,7 +257,14 @@ mod tests {
     #[test]
     fn rpc_counts_messages_and_bytes() {
         let mut n = net(2);
-        n.rpc(SimTime::ZERO, HostId::new(0), HostId::new(1), 100, 200, None);
+        n.rpc(
+            SimTime::ZERO,
+            HostId::new(0),
+            HostId::new(1),
+            100,
+            200,
+            None,
+        );
         let s = n.stats();
         assert_eq!(s.messages, 2);
         assert_eq!(s.bytes, 300);

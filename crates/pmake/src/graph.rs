@@ -83,10 +83,7 @@ impl DepGraph {
     ///
     /// Panics if the name already exists or a dependency index is bogus.
     pub fn add_target(&mut self, name: &str, action: Action, deps: &[usize]) -> usize {
-        assert!(
-            !self.by_name.contains_key(name),
-            "duplicate target {name}"
-        );
+        assert!(!self.by_name.contains_key(name), "duplicate target {name}");
         for &d in deps {
             assert!(d < self.targets.len(), "dependency index {d} out of range");
         }
@@ -244,12 +241,14 @@ mod tests {
         // Never built: everything stale.
         assert_eq!(g.out_of_date(&HashMap::new()).len(), 3);
         // Fully up-to-date build: nothing stale.
-        let built: HashMap<usize, SimTime> =
-            [(src, t(1)), (obj, t(2)), (prog, t(3))].into_iter().collect();
+        let built: HashMap<usize, SimTime> = [(src, t(1)), (obj, t(2)), (prog, t(3))]
+            .into_iter()
+            .collect();
         assert!(g.out_of_date(&built).is_empty());
         // Touch the source: everything downstream is stale.
-        let built: HashMap<usize, SimTime> =
-            [(src, t(10)), (obj, t(2)), (prog, t(3))].into_iter().collect();
+        let built: HashMap<usize, SimTime> = [(src, t(10)), (obj, t(2)), (prog, t(3))]
+            .into_iter()
+            .collect();
         let stale = g.out_of_date(&built);
         assert!(!stale.contains(&src));
         assert!(stale.contains(&obj));

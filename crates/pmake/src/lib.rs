@@ -100,8 +100,16 @@ mod tests {
                 use_migration: false,
                 ..PmakeConfig::default()
             };
-            run_build(&mut cluster, &mut migrator, &mut selector, h(1), &graph, &config, t)
-                .unwrap()
+            run_build(
+                &mut cluster,
+                &mut migrator,
+                &mut selector,
+                h(1),
+                &graph,
+                &config,
+                t,
+            )
+            .unwrap()
         };
         let parallel = {
             let (mut cluster, mut migrator, mut selector) = build_world(8);

@@ -138,30 +138,31 @@ pub fn prepare_sources(
     if cluster.program(&SpritePath::new("/bin/cc")).is_none() {
         t = cluster.install_program(t, SpritePath::new("/bin/cc"), 48 * 1024)?;
     }
-    let write_file =
-        |cluster: &mut Cluster, t: SimTime, name: &str, bytes: u64| -> Result<SimTime, PmakeError> {
-            let path = SpritePath::new(name);
-            if cluster.fs.resolve(&path).is_err() {
-                return Ok(t);
+    let write_file = |cluster: &mut Cluster,
+                      t: SimTime,
+                      name: &str,
+                      bytes: u64|
+     -> Result<SimTime, PmakeError> {
+        let path = SpritePath::new(name);
+        if cluster.fs.resolve(&path).is_err() {
+            return Ok(t);
+        }
+        match cluster.fs.create(&mut cluster.net, t, home, path.clone()) {
+            Ok((_, t2)) => {
+                let (s, t3) = cluster
+                    .fs
+                    .open(&mut cluster.net, t2, home, path, OpenMode::Write)?;
+                let data = vec![b'c'; bytes as usize];
+                let t4 = cluster.fs.write(&mut cluster.net, t3, home, s, &data)?;
+                Ok(cluster.fs.close(&mut cluster.net, t4, home, s)?)
             }
-            match cluster.fs.create(&mut cluster.net, t, home, path.clone()) {
-                Ok((_, t2)) => {
-                    let (s, t3) =
-                        cluster
-                            .fs
-                            .open(&mut cluster.net, t2, home, path, OpenMode::Write)?;
-                    let data = vec![b'c'; bytes as usize];
-                    let t4 = cluster.fs.write(&mut cluster.net, t3, home, s, &data)?;
-                    Ok(cluster.fs.close(&mut cluster.net, t4, home, s)?)
-                }
-                Err(FsError::AlreadyExists(_)) => Ok(t),
-                Err(e) => Err(e.into()),
-            }
-        };
+            Err(FsError::AlreadyExists(_)) => Ok(t),
+            Err(e) => Err(e.into()),
+        }
+    };
     for i in 0..graph.len() {
         if let Action::Compile(job) = &graph.target(i).action {
-            let (src, headers, src_bytes) =
-                (job.src.clone(), job.headers.clone(), job.src_bytes);
+            let (src, headers, src_bytes) = (job.src.clone(), job.headers.clone(), job.src_bytes);
             t = write_file(cluster, t, &src, src_bytes)?;
             for hdr in &headers {
                 t = write_file(cluster, t, hdr, 8 * 1024)?;
@@ -365,7 +366,10 @@ pub fn run_build(
                 let mut t2 = t;
                 if let Some(path) = out_path {
                     let sp = SpritePath::new(path.as_str());
-                    match cluster.fs.create(&mut cluster.net, t2, job.host, sp.clone()) {
+                    match cluster
+                        .fs
+                        .create(&mut cluster.net, t2, job.host, sp.clone())
+                    {
                         Ok((_, t3)) => t2 = t3,
                         Err(FsError::AlreadyExists(_)) => {}
                         Err(e) => return Err(e.into()),

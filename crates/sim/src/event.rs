@@ -4,43 +4,285 @@
 //! cluster state (mirroring Sprite's synchronous kernel-to-kernel RPCs) and
 //! merely account for simulated time; the engine interleaves *workload-level*
 //! activities — jobs finishing CPU bursts, users returning to workstations,
-//! load daemons ticking. An event is a boxed closure over the simulation
-//! state `S`; handlers may schedule further events.
+//! load daemons ticking. An event is a closure over the simulation state
+//! `S`; handlers may schedule further events.
 //!
 //! Ties are broken by insertion order, which together with the seeded RNG
 //! makes whole simulations deterministic.
+//!
+//! # The calendar queue
+//!
+//! Month-long runs execute millions of events, the vast majority of them
+//! recurring daemon ticks, so the pending-event set is the hottest data
+//! structure in the repository. Instead of a binary heap (O(log n) per
+//! operation plus one boxed closure per event) the engine keeps a **calendar
+//! queue** (Brown 1988): an array of time buckets, each `width` microseconds
+//! wide, covering one "year" of `nbuckets * width` microseconds. Enqueue
+//! drops an event into the bucket its timestamp maps to — O(1). Dequeue
+//! scans the current bucket for the earliest `(time, seq)` pair — O(1)
+//! amortized while the queue is sized so buckets hold a handful of events,
+//! which a doubling/halving resize policy maintains. Events beyond the
+//! current year wait in a sorted overflow list and migrate into buckets as
+//! years advance; when every bucket is empty the queue jumps straight to the
+//! year of the next overflow event instead of ticking through empty buckets.
+//!
+//! Recurring work uses [`Engine::schedule_periodic`]: the handler is boxed
+//! **once** and re-armed in place after each tick, so a month of load-daemon
+//! ticks costs one allocation instead of one per tick. The counters in
+//! [`EngineCounters`] (via [`Engine::counters`]) make both effects visible:
+//! `periodic_reschedules` counts the allocations avoided and
+//! `buckets_scanned` the calendar's search effort.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::stats::EngineCounters;
 use crate::{SimDuration, SimTime};
 
 /// An event handler: runs at its scheduled time with exclusive access to the
 /// simulation state and the engine (to schedule follow-on events).
 pub type Handler<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
 
+/// A periodic handler: runs every period until it returns `false`.
+pub type PeriodicHandler<S> = Box<dyn FnMut(&mut S, &mut Engine<S>) -> bool>;
+
+enum Action<S> {
+    Once(Handler<S>),
+    Periodic {
+        every: SimDuration,
+        tick: PeriodicHandler<S>,
+    },
+}
+
 struct Scheduled<S> {
     at: SimTime,
     seq: u64,
-    run: Handler<S>,
+    action: Action<S>,
 }
 
-impl<S> PartialEq for Scheduled<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<S> Scheduled<S> {
+    fn key(&self) -> (u64, u64) {
+        (self.at.as_micros(), self.seq)
     }
 }
-impl<S> Eq for Scheduled<S> {}
-impl<S> PartialOrd for Scheduled<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Outcome of asking the calendar for the next due event.
+enum Pop<S> {
+    /// Nothing pending at all.
+    Empty,
+    /// The next event lies beyond the deadline; it stays queued.
+    Parked,
+    /// The earliest event, removed from the queue.
+    Event(Scheduled<S>),
 }
-impl<S> Ord for Scheduled<S> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event (lowest
-        // time, then lowest sequence number) is popped first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+const MIN_BUCKETS: usize = 16;
+const MAX_BUCKETS: usize = 1 << 16;
+/// The calendar year covers this multiple of the observed event spread.
+/// Steady-state periodic workloads keep a pending set spanning one period;
+/// a year many periods long means re-armed ticks almost always land inside
+/// the current year (O(1) bucket insert) instead of in the overflow list.
+const YEAR_SPREAD_FACTOR: u64 = 16;
+/// Buckets allocated per pending event at rebuild. Together with the factor
+/// above this targets ~2 events per occupied bucket.
+const BUCKETS_PER_EVENT: usize = 8;
+
+/// The bucketed pending-event set. All times are in microseconds.
+struct CalendarQueue<S> {
+    buckets: Vec<Vec<Scheduled<S>>>,
+    /// Microseconds per bucket (>= 1).
+    width: u64,
+    /// Start of bucket 0's window for the current rotation.
+    year_start: u64,
+    /// Next bucket index to inspect.
+    cursor: usize,
+    /// Events at or beyond `year_end()`, sorted by `(at, seq)` descending so
+    /// the soonest event is at the back.
+    overflow: Vec<Scheduled<S>>,
+    len: usize,
+    /// Rebuild when `len` exceeds this (set to 2x the size at last rebuild).
+    grow_at: usize,
+    /// Rebuild when `len` drops below this (1/4 the size at last rebuild).
+    shrink_at: usize,
+}
+
+impl<S> CalendarQueue<S> {
+    fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width: 1_000,
+            year_start: 0,
+            cursor: 0,
+            overflow: Vec::new(),
+            len: 0,
+            grow_at: 32,
+            shrink_at: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn year_len(&self) -> u64 {
+        // Widths are clamped at resize so this cannot overflow.
+        self.width * self.buckets.len() as u64
+    }
+
+    fn year_end(&self) -> u64 {
+        self.year_start.saturating_add(self.year_len())
+    }
+
+    /// Inserts without resize bookkeeping.
+    fn place(&mut self, ev: Scheduled<S>) {
+        let at = ev.at.as_micros();
+        debug_assert!(at >= self.year_start, "event behind the calendar year");
+        if at >= self.year_end() {
+            let key = ev.key();
+            // Sorted descending: find the insertion point from the back.
+            let idx = self.overflow.partition_point(|e| e.key() > key);
+            self.overflow.insert(idx, ev);
+        } else {
+            let idx = ((at - self.year_start) / self.width) as usize;
+            self.buckets[idx].push(ev);
+        }
+    }
+
+    fn push(&mut self, ev: Scheduled<S>, counters: &mut EngineCounters) {
+        let at = ev.at.as_micros();
+        if self.len == 0 {
+            // Re-anchor the calendar on the first event after an idle spell
+            // so `cursor`/`year_start` never have to run backwards.
+            self.year_start = at - at % self.width;
+            self.cursor = 0;
+        } else if at < self.year_start {
+            // An event before the anchor (only possible from external
+            // scheduling between runs, never from handlers — they schedule
+            // at or after `now`). Rare enough to just re-anchor everything.
+            let mut events = self.gather();
+            events.push(ev);
+            self.rebuild(events, counters);
+            return;
+        }
+        self.place(ev);
+        self.len += 1;
+        if self.len > self.grow_at {
+            self.resize(counters);
+        }
+    }
+
+    /// Drains every pending event into one unordered list.
+    fn gather(&mut self) -> Vec<Scheduled<S>> {
+        let mut events: Vec<Scheduled<S>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            events.append(b);
+        }
+        events.append(&mut self.overflow);
+        events
+    }
+
+    /// Rebuilds with a bucket count and width matched to the current event
+    /// population.
+    fn resize(&mut self, counters: &mut EngineCounters) {
+        let events = self.gather();
+        self.rebuild(events, counters);
+    }
+
+    fn rebuild(&mut self, events: Vec<Scheduled<S>>, counters: &mut EngineCounters) {
+        counters.resizes += 1;
+        let n = events.len();
+        self.grow_at = (2 * n).max(32);
+        self.shrink_at = n / 4;
+        let nbuckets = (BUCKETS_PER_EVENT * n.max(1))
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if self.buckets.len() != nbuckets {
+            self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        }
+        self.cursor = 0;
+        self.len = n;
+        if events.is_empty() {
+            return;
+        }
+        let min = events.iter().map(|e| e.at.as_micros()).min().unwrap();
+        let max = events.iter().map(|e| e.at.as_micros()).max().unwrap();
+        // Size the year to several times the occupied span (see
+        // YEAR_SPREAD_FACTOR); clamp so `width * nbuckets` stays far from
+        // u64 overflow.
+        let span = max - min;
+        self.width = (YEAR_SPREAD_FACTOR.saturating_mul(span) / nbuckets as u64)
+            .clamp(1, u64::MAX / (4 * nbuckets as u64));
+        self.year_start = min - min % self.width;
+        for ev in events {
+            self.place(ev);
+        }
+    }
+
+    /// Advances to the year containing the next pending event. Caller
+    /// guarantees every bucket is empty and the overflow list is not.
+    fn advance_year(&mut self, counters: &mut EngineCounters) {
+        debug_assert!(!self.overflow.is_empty());
+        let next_at = self.overflow.last().map(|e| e.at.as_micros()).unwrap();
+        let contiguous_end = self.year_end().saturating_add(self.year_len());
+        self.year_start = if next_at < contiguous_end {
+            // The next event lives in the very next year: roll forward.
+            self.year_end()
+        } else {
+            // Far-future gap: jump straight to the event's year.
+            next_at - next_at % self.width
+        };
+        self.cursor = 0;
+        let year_end = self.year_end();
+        while let Some(ev) = self.overflow.last() {
+            if ev.at.as_micros() >= year_end {
+                break;
+            }
+            let ev = self.overflow.pop().unwrap();
+            counters.overflow_migrations += 1;
+            let idx = ((ev.at.as_micros() - self.year_start) / self.width) as usize;
+            self.buckets[idx].push(ev);
+        }
+    }
+
+    /// Removes and returns the earliest event, unless it lies beyond
+    /// `deadline`.
+    fn pop_due(&mut self, deadline: Option<SimTime>, counters: &mut EngineCounters) -> Pop<S> {
+        if self.len == 0 {
+            return Pop::Empty;
+        }
+        loop {
+            while self.cursor < self.buckets.len() {
+                counters.buckets_scanned += 1;
+                let bucket = &self.buckets[self.cursor];
+                if !bucket.is_empty() {
+                    // All events in this bucket precede every event in later
+                    // buckets and in overflow; the earliest (time, seq) pair
+                    // here is the global minimum.
+                    let best = bucket
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.key())
+                        .map(|(i, e)| (i, e.at))
+                        .unwrap();
+                    if let Some(d) = deadline {
+                        if best.1 > d {
+                            return Pop::Parked;
+                        }
+                    }
+                    let ev = self.buckets[self.cursor].swap_remove(best.0);
+                    self.len -= 1;
+                    if self.len < self.shrink_at {
+                        self.resize(counters);
+                    }
+                    return Pop::Event(ev);
+                }
+                self.cursor += 1;
+            }
+            // Every bucket drained; the remaining events are all overflow.
+            if let Some(d) = deadline {
+                if self.overflow.last().is_some_and(|e| e.at > d) {
+                    return Pop::Parked;
+                }
+            }
+            self.advance_year(counters);
+        }
     }
 }
 
@@ -61,12 +303,33 @@ impl<S> Ord for Scheduled<S> {
 /// assert_eq!(count, 11);
 /// assert_eq!(engine.now(), SimTime::ZERO + SimDuration::from_secs(3));
 /// ```
+///
+/// Recurring work re-arms one boxed handler instead of boxing a new closure
+/// per tick:
+///
+/// ```
+/// use sprite_sim::{Engine, SimDuration};
+///
+/// let mut engine = Engine::new();
+/// engine.schedule_periodic(
+///     SimDuration::from_secs(5),
+///     SimDuration::from_secs(5),
+///     |ticks: &mut u32, _| {
+///         *ticks += 1;
+///         *ticks < 10 // keep ticking until the tenth
+///     },
+/// );
+/// let mut ticks = 0;
+/// engine.run(&mut ticks);
+/// assert_eq!(ticks, 10);
+/// assert_eq!(engine.counters().periodic_reschedules, 9);
+/// ```
 pub struct Engine<S> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<S>>,
-    executed: u64,
+    queue: CalendarQueue<S>,
     deadline: Option<SimTime>,
+    counters: EngineCounters,
 }
 
 impl<S> Default for Engine<S> {
@@ -81,9 +344,9 @@ impl<S> Engine<S> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            executed: 0,
+            queue: CalendarQueue::new(),
             deadline: None,
+            counters: EngineCounters::default(),
         }
     }
 
@@ -94,7 +357,7 @@ impl<S> Engine<S> {
 
     /// The number of events executed so far.
     pub fn events_executed(&self) -> u64 {
-        self.executed
+        self.counters.events_executed
     }
 
     /// The number of events still waiting to run.
@@ -102,10 +365,22 @@ impl<S> Engine<S> {
         self.queue.len()
     }
 
+    /// Engine effort counters: events executed, calendar buckets scanned,
+    /// periodic re-arms (allocations avoided), and so on.
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+
     /// Stops the run loop once the clock would pass `at`; events scheduled
     /// later stay in the queue (useful for warm-up/measure phases).
     pub fn set_deadline(&mut self, at: SimTime) {
         self.deadline = Some(at);
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
     }
 
     /// Schedules `handler` to run at absolute time `at`.
@@ -118,13 +393,16 @@ impl<S> Engine<S> {
         F: FnOnce(&mut S, &mut Engine<S>) + 'static,
     {
         assert!(at >= self.now, "cannot schedule into the past");
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            run: Box::new(handler),
-        });
+        let seq = self.next_seq();
+        self.counters.handler_allocations += 1;
+        self.queue.push(
+            Scheduled {
+                at,
+                seq,
+                action: Action::Once(Box::new(handler)),
+            },
+            &mut self.counters,
+        );
     }
 
     /// Schedules `handler` to run `delay` after the current time.
@@ -135,6 +413,52 @@ impl<S> Engine<S> {
         self.schedule_at(self.now + delay, handler);
     }
 
+    /// Schedules `tick` to first run at absolute time `first` and then every
+    /// `every` thereafter, for as long as it returns `true`. The handler is
+    /// boxed once and re-armed in place — a month of daemon ticks costs one
+    /// allocation.
+    ///
+    /// A tick that schedules follow-on events at its own timestamp runs
+    /// before its next occurrence but after those events' seq numbers are
+    /// assigned; ties at later timestamps resolve by that insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first` is in the simulated past or `every` is zero.
+    pub fn schedule_periodic_at<F>(&mut self, first: SimTime, every: SimDuration, tick: F)
+    where
+        F: FnMut(&mut S, &mut Engine<S>) -> bool + 'static,
+    {
+        assert!(first >= self.now, "cannot schedule into the past");
+        assert!(!every.is_zero(), "periodic events need a positive period");
+        let seq = self.next_seq();
+        self.counters.handler_allocations += 1;
+        self.queue.push(
+            Scheduled {
+                at: first,
+                seq,
+                action: Action::Periodic {
+                    every,
+                    tick: Box::new(tick),
+                },
+            },
+            &mut self.counters,
+        );
+    }
+
+    /// Schedules `tick` to first run `first_in` from now and then every
+    /// `every` thereafter, for as long as it returns `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn schedule_periodic<F>(&mut self, first_in: SimDuration, every: SimDuration, tick: F)
+    where
+        F: FnMut(&mut S, &mut Engine<S>) -> bool + 'static,
+    {
+        self.schedule_periodic_at(self.now + first_in, every, tick);
+    }
+
     /// Runs events until the queue is empty (or the deadline passes).
     pub fn run(&mut self, state: &mut S) {
         while self.step(state) {}
@@ -143,22 +467,38 @@ impl<S> Engine<S> {
     /// Runs a single event. Returns `false` when there is nothing left to do
     /// (or the next event lies beyond the deadline).
     pub fn step(&mut self, state: &mut S) -> bool {
-        let Some(next) = self.queue.peek() else {
-            return false;
-        };
-        if let Some(deadline) = self.deadline {
-            if next.at > deadline {
+        match self.queue.pop_due(self.deadline, &mut self.counters) {
+            Pop::Empty => false,
+            Pop::Parked => {
                 // Leave the event queued; the clock parks at the deadline.
+                let deadline = self.deadline.expect("parked without a deadline");
                 self.now = self.now.max_of(deadline);
-                return false;
+                false
+            }
+            Pop::Event(ev) => {
+                debug_assert!(ev.at >= self.now, "event queue went backwards");
+                self.now = ev.at;
+                self.counters.events_executed += 1;
+                match ev.action {
+                    Action::Once(run) => run(state, self),
+                    Action::Periodic { every, mut tick } => {
+                        if tick(state, self) {
+                            self.counters.periodic_reschedules += 1;
+                            let seq = self.next_seq();
+                            self.queue.push(
+                                Scheduled {
+                                    at: ev.at + every,
+                                    seq,
+                                    action: Action::Periodic { every, tick },
+                                },
+                                &mut self.counters,
+                            );
+                        }
+                    }
+                }
+                true
             }
         }
-        let event = self.queue.pop().expect("peeked event vanished");
-        debug_assert!(event.at >= self.now, "event queue went backwards");
-        self.now = event.at;
-        self.executed += 1;
-        (event.run)(state, self);
-        true
     }
 }
 
@@ -167,7 +507,7 @@ impl<S> std::fmt::Debug for Engine<S> {
         f.debug_struct("Engine")
             .field("now", &self.now)
             .field("pending", &self.queue.len())
-            .field("executed", &self.executed)
+            .field("executed", &self.counters.events_executed)
             .finish()
     }
 }
@@ -229,6 +569,22 @@ mod tests {
     }
 
     #[test]
+    fn deadline_parks_on_far_future_overflow_events() {
+        // The pending event sits in the overflow list (centuries away); the
+        // deadline check must fire without migrating years forward forever.
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_in(
+            SimDuration::from_secs(500 * 365 * 86_400),
+            |c: &mut u32, _| *c += 1,
+        );
+        engine.set_deadline(SimTime::ZERO + SimDuration::from_secs(1));
+        let mut count = 0;
+        engine.run(&mut count);
+        assert_eq!(count, 0);
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "cannot schedule into the past")]
     fn scheduling_into_the_past_panics() {
         let mut engine: Engine<u32> = Engine::new();
@@ -236,5 +592,116 @@ mod tests {
             eng.schedule_at(SimTime::ZERO, |_, _| {});
         });
         engine.run(&mut 0);
+    }
+
+    #[test]
+    fn periodic_events_rearm_without_reallocating() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        engine.schedule_periodic(
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(5),
+            |log: &mut Vec<u64>, eng| {
+                log.push(eng.now().as_micros());
+                log.len() < 1000
+            },
+        );
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log.len(), 1000);
+        assert_eq!(log[0], 5_000_000);
+        assert_eq!(log[999], 5_000_000 * 1000);
+        let c = engine.counters();
+        assert_eq!(c.events_executed, 1000);
+        assert_eq!(c.periodic_reschedules, 999);
+        // One boxed handler for a thousand ticks.
+        assert_eq!(c.handler_allocations, 1);
+    }
+
+    #[test]
+    fn periodic_and_oneshot_interleave_deterministically() {
+        let mut engine: Engine<Vec<&'static str>> = Engine::new();
+        engine.schedule_periodic(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(2),
+            |log: &mut Vec<&'static str>, eng| {
+                log.push("tick");
+                eng.now() < SimTime::ZERO + SimDuration::from_secs(6)
+            },
+        );
+        engine.schedule_at(
+            SimTime::ZERO + SimDuration::from_secs(2),
+            |log: &mut Vec<&'static str>, _| log.push("oneshot@2"),
+        );
+        engine.schedule_at(
+            SimTime::ZERO + SimDuration::from_secs(4),
+            |log: &mut Vec<&'static str>, _| log.push("oneshot@4"),
+        );
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        // The periodic event was inserted first, so it wins the t=2 tie; its
+        // re-arm at t=4 carries a later seq than the pre-scheduled oneshot.
+        assert_eq!(log, vec!["tick", "oneshot@2", "oneshot@4", "tick", "tick"]);
+    }
+
+    #[test]
+    fn periodic_stop_drops_the_handler() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule_periodic(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+            |count: &mut u32, _| {
+                *count += 1;
+                false
+            },
+        );
+        let mut count = 0;
+        engine.run(&mut count);
+        assert_eq!(count, 1);
+        assert_eq!(engine.pending(), 0);
+    }
+
+    #[test]
+    fn sparse_far_future_events_jump_years() {
+        // Events days apart with a microsecond-scale initial width: the
+        // queue must jump across empty years rather than scan them.
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        for d in 1..=30u64 {
+            engine.schedule_at(
+                SimTime::ZERO + SimDuration::from_secs(d * 86_400),
+                move |log: &mut Vec<u64>, _| log.push(d),
+            );
+        }
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, (1..=30).collect::<Vec<_>>());
+        // Bucket scans must stay within a small multiple of events executed.
+        let c = engine.counters();
+        assert!(
+            c.buckets_scanned < 30 * 64,
+            "scanned {} buckets for 30 events",
+            c.buckets_scanned
+        );
+    }
+
+    #[test]
+    fn queue_grows_and_shrinks_through_resize() {
+        let mut engine: Engine<u64> = Engine::new();
+        for i in 0..10_000u64 {
+            engine.schedule_at(SimTime::from_micros(i * 37 + 1), move |sum: &mut u64, _| {
+                *sum += i
+            });
+        }
+        let mut sum = 0;
+        engine.run(&mut sum);
+        assert_eq!(sum, (0..10_000).sum::<u64>());
+        let c = engine.counters();
+        assert!(c.resizes > 0, "ten thousand events must trigger resizes");
+        // Amortized O(1): scans bounded by a small constant per event.
+        assert!(
+            c.buckets_scanned < 8 * c.events_executed,
+            "scanned {} buckets for {} events",
+            c.buckets_scanned,
+            c.events_executed
+        );
     }
 }

@@ -7,8 +7,12 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution simulated clock;
 //! * [`Engine`] — a discrete-event loop whose events are closures over the
-//!   simulation state, with deterministic tie-breaking;
-//! * [`DetRng`] — a seeded RNG plus the samplers the paper's workloads need
+//!   simulation state, with deterministic tie-breaking; pending events live
+//!   in a calendar queue (O(1) amortized), recurring work re-arms one boxed
+//!   handler via [`Engine::schedule_periodic`], and [`EngineCounters`]
+//!   exposes the engine's effort;
+//! * [`DetRng`] — a seeded RNG (in-repo xoshiro256++, no external
+//!   dependencies) plus the samplers the paper's workloads need
 //!   (exponential inter-arrivals, heavy-tailed process lifetimes);
 //! * [`FcfsResource`] — first-come-first-served service for modelling CPU and
 //!   network contention (what bends the pmake speedup curve);
@@ -65,9 +69,9 @@ mod stats;
 mod time;
 mod trace;
 
-pub use event::{Engine, Handler};
+pub use event::{Engine, Handler, PeriodicHandler};
 pub use resource::FcfsResource;
 pub use rng::DetRng;
-pub use stats::{Counter, OnlineStats, Samples};
+pub use stats::{Counter, EngineCounters, OnlineStats, Samples};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};

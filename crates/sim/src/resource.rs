@@ -108,7 +108,10 @@ mod tests {
             r.wait_at(t + SimDuration::from_millis(4)),
             SimDuration::from_millis(6)
         );
-        let b = r.acquire(t + SimDuration::from_millis(4), SimDuration::from_millis(10));
+        let b = r.acquire(
+            t + SimDuration::from_millis(4),
+            SimDuration::from_millis(10),
+        );
         assert_eq!(a.as_micros(), 10_000);
         assert_eq!(b.as_micros(), 20_000);
     }

@@ -5,11 +5,24 @@
 //! The samplers provided here cover the distributions the paper's workloads
 //! need: exponential inter-arrival times, heavy-tailed (Pareto-like) process
 //! lifetimes matching Zhou's trace statistics, and simple uniform choices.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is an in-repo xoshiro256++ seeded through SplitMix64 — the
+//! same construction `rand`'s `SmallRng` uses on 64-bit targets — so the
+//! workspace carries no external dependency and builds offline. xoshiro256++
+//! passes BigCrush and is among the fastest generators with a 2^256-1 period;
+//! SplitMix64 turns a single `u64` seed into a well-mixed 256-bit state and
+//! guarantees [`DetRng::fork`] produces effectively independent streams.
 
 use crate::SimDuration;
+
+/// One step of SplitMix64 (Steele, Lea & Flood); used for seeding only.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded, reproducible random number generator for simulations.
 ///
@@ -24,36 +37,68 @@ use crate::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
         }
+        // The all-zero state is the one fixed point of xoshiro; SplitMix64
+        // cannot emit four zero words in a row, but guard regardless.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        DetRng { s }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; used to give each simulated
-    /// host its own stream without coupling their sequences.
+    /// host (or each parallel experiment replication) its own stream without
+    /// coupling their sequences.
     pub fn fork(&mut self) -> DetRng {
-        DetRng::seed_from(self.inner.random::<u64>())
+        DetRng::seed_from(self.next_u64())
     }
 
-    /// Uniform integer in `[0, bound)`.
+    /// Uniform integer in `[0, bound)` via Lemire's unbiased multiply-shift.
     ///
     /// # Panics
     ///
     /// Panics if `bound` is zero.
     pub fn uniform_u64(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "uniform_u64 bound must be positive");
-        self.inner.random_range(0..bound)
+        let mut m = u128::from(self.next_u64()) * u128::from(bound);
+        if (m as u64) < bound {
+            // Reject the biased low range; taken with probability < 2^-32
+            // for any bound below 2^32.
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                m = u128::from(self.next_u64()) * u128::from(bound);
+            }
+        }
+        (m >> 64) as u64
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` with the standard 53-bit convention.
     pub fn uniform_f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -119,6 +164,15 @@ mod tests {
     use super::*;
 
     #[test]
+    fn matches_reference_xoshiro256pp_vector() {
+        // First outputs of the reference C implementation for s = {1,2,3,4}:
+        // rotl(1+4, 23) + 1 = 5 << 23 + 1, and so on.
+        let mut rng = DetRng { s: [1, 2, 3, 4] };
+        assert_eq!(rng.next_u64(), 41943041);
+        assert_eq!(rng.next_u64(), 58720359);
+    }
+
+    #[test]
     fn same_seed_same_stream() {
         let mut a = DetRng::seed_from(7);
         let mut b = DetRng::seed_from(7);
@@ -132,8 +186,37 @@ mod tests {
         let mut root = DetRng::seed_from(7);
         let mut a = root.fork();
         let mut b = root.fork();
-        let same = (0..32).filter(|_| a.uniform_u64(1 << 30) == b.uniform_u64(1 << 30)).count();
+        let same = (0..32)
+            .filter(|_| a.uniform_u64(1 << 30) == b.uniform_u64(1 << 30))
+            .count();
         assert!(same < 4, "forked streams should be effectively independent");
+    }
+
+    #[test]
+    fn uniform_u64_is_unbiased_across_bounds() {
+        let mut rng = DetRng::seed_from(11);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 33] {
+            for _ in 0..1_000 {
+                assert!(rng.uniform_u64(bound) < bound);
+            }
+        }
+        // Rough frequency check on a tiny bound.
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.uniform_u64(3) as usize] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_f64_stays_in_unit_interval() {
+        let mut rng = DetRng::seed_from(12);
+        for _ in 0..10_000 {
+            let x = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
     }
 
     #[test]
@@ -141,9 +224,7 @@ mod tests {
         let mut rng = DetRng::seed_from(1);
         let mean = SimDuration::from_millis(100);
         let n = 20_000;
-        let total: f64 = (0..n)
-            .map(|_| rng.exponential(mean).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_secs_f64()).sum();
         let observed = total / n as f64;
         assert!((observed - 0.1).abs() < 0.005, "observed mean {observed}");
     }
@@ -170,8 +251,8 @@ mod tests {
             .map(|_| rng.bounded_pareto(min, max, 1.05).as_secs_f64())
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let below_mean = samples.iter().filter(|&&s| s < mean).count() as f64
-            / samples.len() as f64;
+        let below_mean =
+            samples.iter().filter(|&&s| s < mean).count() as f64 / samples.len() as f64;
         assert!(
             below_mean > 0.78,
             "expected most processes shorter than the mean, got {below_mean}"

@@ -223,13 +223,56 @@ impl Samples {
         if self.values.is_empty() {
             return 0.0;
         }
-        self.values.iter().filter(|&&v| v < threshold).count() as f64
-            / self.values.len() as f64
+        self.values.iter().filter(|&&v| v < threshold).count() as f64 / self.values.len() as f64
     }
 
     /// A read-only view of the raw observations (unspecified order).
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+}
+
+/// Effort counters for the event engine's calendar queue.
+///
+/// These make the engine's cost model observable: `events_executed` is the
+/// work done, `buckets_scanned` the calendar's search effort (amortized O(1)
+/// means it stays within a small multiple of events executed),
+/// `periodic_reschedules` the number of ticks that re-armed an existing
+/// boxed handler instead of allocating a new one, and
+/// `handler_allocations` the closures actually boxed — so
+/// `periodic_reschedules / (periodic_reschedules + handler_allocations)`
+/// is the fraction of allocations the periodic path avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Events executed so far.
+    pub events_executed: u64,
+    /// Boxed handlers created (`schedule_at`/`schedule_in` once each,
+    /// `schedule_periodic` once per *installation*, not per tick).
+    pub handler_allocations: u64,
+    /// Periodic ticks re-armed in place — each is one avoided allocation
+    /// and one avoided enqueue of a fresh closure.
+    pub periodic_reschedules: u64,
+    /// Calendar buckets inspected while searching for the next event.
+    pub buckets_scanned: u64,
+    /// Events migrated from the sorted overflow list into buckets as the
+    /// calendar advanced years.
+    pub overflow_migrations: u64,
+    /// Calendar rebuilds (grow, shrink, or re-anchor).
+    pub resizes: u64,
+}
+
+impl fmt::Display for EngineCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events={} allocs={} rearm={} scans={} migrations={} resizes={}",
+            self.events_executed,
+            self.handler_allocations,
+            self.periodic_reschedules,
+            self.buckets_scanned,
+            self.overflow_migrations,
+            self.resizes
+        )
     }
 }
 

@@ -124,8 +124,47 @@ impl Mul<u64> for SimDuration {
 
 impl Mul<f64> for SimDuration {
     type Output = SimDuration;
+    /// Scales by an arbitrary non-negative factor **exactly**: the factor is
+    /// decomposed into its IEEE-754 mantissa and exponent and the product is
+    /// computed in 128-bit integer fixed point, so no microsecond is lost to
+    /// a round-trip through fractional seconds even at week or century
+    /// scales. Negative, NaN and zero factors yield [`SimDuration::ZERO`];
+    /// results beyond `u64::MAX` microseconds saturate.
     fn mul(self, rhs: f64) -> SimDuration {
-        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+        if rhs.is_nan() || rhs <= 0.0 || self.0 == 0 {
+            return SimDuration::ZERO;
+        }
+        if rhs.is_infinite() {
+            return SimDuration(u64::MAX);
+        }
+        // rhs = mantissa * 2^exp, exactly.
+        let bits = rhs.to_bits();
+        let raw_exp = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mantissa, exp) = if raw_exp == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | (1u64 << 52), raw_exp - 1075)
+        };
+        let product = u128::from(self.0) * u128::from(mantissa);
+        let scaled = if exp == 0 {
+            product
+        } else if exp > 0 {
+            if exp >= 64 || product >> (128 - exp as u32) != 0 {
+                u128::from(u64::MAX)
+            } else {
+                product << exp
+            }
+        } else {
+            let shift = (-exp) as u32;
+            if shift >= 128 {
+                0
+            } else {
+                // Round half away from zero, like `f64::round`.
+                (product >> shift) + ((product >> (shift - 1)) & 1)
+            }
+        };
+        SimDuration(u64::try_from(scaled).unwrap_or(u64::MAX))
     }
 }
 
@@ -246,10 +285,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
-        assert_eq!(
-            SimDuration::from_millis(3),
-            SimDuration::from_micros(3_000)
-        );
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
         assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
         assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1_500);
     }
@@ -272,6 +308,49 @@ mod tests {
     }
 
     #[test]
+    fn mul_f64_is_exact_at_week_scale() {
+        // A week plus one microsecond: dyadic factors must be exact to the
+        // microsecond, which the old round-trip through `as_secs_f64`
+        // could not guarantee for the general case.
+        let week_us = 7 * 86_400 * 1_000_000u64;
+        let d = SimDuration::from_micros(week_us + 1);
+        for k in 1..=16u64 {
+            let f = k as f64 / 8.0; // exactly representable factors
+            let expect = (u128::from(d.as_micros()) * u128::from(k) + 4) / 8;
+            assert_eq!(
+                (d * f).as_micros() as u128,
+                expect,
+                "week-scale duration times {f} lost precision"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_f64_is_exact_beyond_f64_integer_range() {
+        // 2^53 + 1 microseconds is not representable as f64; multiplying by
+        // 1.0 through the old float path dropped the +1.
+        let d = SimDuration::from_micros((1u64 << 53) + 1);
+        assert_eq!((d * 1.0).as_micros(), (1u64 << 53) + 1);
+        assert_eq!((d * 2.0).as_micros(), ((1u64 << 53) + 1) * 2);
+        assert_eq!((d * 0.5).as_micros(), (1u64 << 52) + 1); // rounds .5 up
+    }
+
+    #[test]
+    fn mul_f64_edge_cases() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d * 0.0, SimDuration::ZERO);
+        assert_eq!(d * -3.0, SimDuration::ZERO);
+        assert_eq!(d * f64::NAN, SimDuration::ZERO);
+        assert_eq!(d * f64::INFINITY, SimDuration::from_micros(u64::MAX));
+        // Saturates instead of wrapping.
+        let huge = SimDuration::from_micros(u64::MAX / 2);
+        assert_eq!(huge * 4.0, SimDuration::from_micros(u64::MAX));
+        // Tiny factors round to the nearest microsecond.
+        assert_eq!((SimDuration::from_secs(1) * 4e-7).as_micros(), 0);
+        assert_eq!((SimDuration::from_secs(1) * 6e-7).as_micros(), 1);
+    }
+
+    #[test]
     fn duration_sum() {
         let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
         assert_eq!(total, SimDuration::from_millis(10));
@@ -286,10 +365,7 @@ mod tests {
             t - (SimTime::ZERO + SimDuration::from_secs(1)),
             SimDuration::from_millis(500)
         );
-        assert_eq!(
-            SimTime::ZERO.saturating_elapsed_since(t),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimTime::ZERO.saturating_elapsed_since(t), SimDuration::ZERO);
         assert_eq!(t.max_of(SimTime::ZERO), t);
     }
 

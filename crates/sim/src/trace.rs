@@ -24,7 +24,13 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<8} {}", self.at.to_string(), self.tag, self.message)
+        write!(
+            f,
+            "[{:>12}] {:<8} {}",
+            self.at.to_string(),
+            self.tag,
+            self.message
+        )
     }
 }
 

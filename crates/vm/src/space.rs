@@ -226,7 +226,12 @@ impl AddressSpace {
         };
         Ok((
             AddressSpace {
-                code: segment(SegmentKind::Code, code_file, code_pages, PageHome::BackingFile),
+                code: segment(
+                    SegmentKind::Code,
+                    code_file,
+                    code_pages,
+                    PageHome::BackingFile,
+                ),
                 heap: segment(SegmentKind::Heap, heap_file, heap_pages, PageHome::Zero),
                 stack: segment(SegmentKind::Stack, stack_file, stack_pages, PageHome::Zero),
                 stats: VmStats::default(),
@@ -650,7 +655,12 @@ mod tests {
     /// Creates a four-page "program" file plus an address space over it.
     fn space(fs: &mut SpriteFs, net: &mut Network, tag: &str) -> (AddressSpace, SimTime) {
         let (prog, t) = fs
-            .create(net, SimTime::ZERO, h(1), SpritePath::new(format!("/bin/{tag}")))
+            .create(
+                net,
+                SimTime::ZERO,
+                h(1),
+                SpritePath::new(format!("/bin/{tag}")),
+            )
             .unwrap();
         AddressSpace::create(fs, net, t, h(1), tag, prog, 4, 32, 8).unwrap()
     }
@@ -698,7 +708,9 @@ mod tests {
         s.drop_residency();
         assert_eq!(s.resident_pages(), 0);
         // Demand paging (as if on a new host) restores identical bytes.
-        let (back, t3) = s.read(&mut fs, &mut net, t2, h(2), a, payload.len() as u64).unwrap();
+        let (back, t3) = s
+            .read(&mut fs, &mut net, t2, h(2), a, payload.len() as u64)
+            .unwrap();
         assert_eq!(back, payload);
         assert!(t3 > t2);
         assert_eq!(s.stats().pageins, 3);
@@ -726,7 +738,9 @@ mod tests {
         let (mut net, mut fs) = setup();
         let (mut s, t) = space(&mut fs, &mut net, "p5");
         let a = VirtAddr::new(SegmentKind::Stack, 100);
-        let t1 = s.write(&mut fs, &mut net, t, h(1), a, b"stackdata").unwrap();
+        let t1 = s
+            .write(&mut fs, &mut net, t, h(1), a, b"stackdata")
+            .unwrap();
         s.leave_at_source(h(1));
         assert_eq!(s.resident_pages(), 0);
         assert_eq!(s.pages_at_remote_source(), 1);
@@ -745,7 +759,13 @@ mod tests {
             .create(&mut net, SimTime::ZERO, h(1), SpritePath::new("/bin/p6"))
             .unwrap();
         let (ps, t) = fs
-            .open(&mut net, t, h(1), SpritePath::new("/bin/p6"), sprite_fs::OpenMode::Write)
+            .open(
+                &mut net,
+                t,
+                h(1),
+                SpritePath::new("/bin/p6"),
+                sprite_fs::OpenMode::Write,
+            )
             .unwrap();
         let t = fs.write(&mut net, t, h(1), ps, &[0x90u8; 128]).unwrap();
         let t = fs.close(&mut net, t, h(1), ps).unwrap();
@@ -771,12 +791,18 @@ mod tests {
         let (mut net, mut fs) = setup();
         let (mut parent, t) = space(&mut fs, &mut net, "pf");
         let a = VirtAddr::new(SegmentKind::Heap, 64);
-        let t = parent.write(&mut fs, &mut net, t, h(1), a, b"shared?").unwrap();
-        let (mut child, t) = parent.fork_copy(&mut fs, &mut net, t, h(1), "pf.child").unwrap();
+        let t = parent
+            .write(&mut fs, &mut net, t, h(1), a, b"shared?")
+            .unwrap();
+        let (mut child, t) = parent
+            .fork_copy(&mut fs, &mut net, t, h(1), "pf.child")
+            .unwrap();
         let (c, t) = child.read(&mut fs, &mut net, t, h(1), a, 7).unwrap();
         assert_eq!(c, b"shared?");
         // Diverge: the child's writes must not leak into the parent.
-        let t = child.write(&mut fs, &mut net, t, h(1), a, b"childs!").unwrap();
+        let t = child
+            .write(&mut fs, &mut net, t, h(1), a, b"childs!")
+            .unwrap();
         let (p, _) = parent.read(&mut fs, &mut net, t, h(1), a, 7).unwrap();
         assert_eq!(p, b"shared?");
         // And the child's pages flush to its own backing files.

@@ -123,6 +123,7 @@ pub struct TransferReport {
 /// # Errors
 ///
 /// Propagates file-system errors from flushing (Sprite strategy only).
+#[allow(clippy::too_many_arguments)]
 pub fn transfer(
     space: &mut AddressSpace,
     strategy: VmStrategy,
@@ -198,8 +199,7 @@ fn pre_copy(
         bytes_moved += bytes;
         // While that round ran, the process dirtied more pages (capped at
         // the resident set: re-dirtying the same page doesn't grow the set).
-        let dirtied =
-            (params.dirty_rate_pages_per_sec * round_time.as_secs_f64()).ceil() as u64;
+        let dirtied = (params.dirty_rate_pages_per_sec * round_time.as_secs_f64()).ceil() as u64;
         to_move = dirtied.min(space.resident_pages());
         t = done;
         rounds += 1;
@@ -295,7 +295,12 @@ mod tests {
         touched: u64,
     ) -> (AddressSpace, SimTime) {
         let (prog, t0) = fs
-            .create(net, SimTime::ZERO, h(1), SpritePath::new(format!("/bin/{tag}")))
+            .create(
+                net,
+                SimTime::ZERO,
+                h(1),
+                SpritePath::new(format!("/bin/{tag}")),
+            )
             .unwrap();
         let (mut s, t) =
             AddressSpace::create(fs, net, t0, h(1), tag, prog, 4, touched.max(1), 4).unwrap();
@@ -415,7 +420,7 @@ mod tests {
         // 256 resident pages but only a few dirty: read-mostly process.
         let (mut a, t) = dirty_space(&mut fs, &mut net, "f", 256);
         let t = a.flush_dirty(&mut fs, &mut net, t, h(1)).unwrap(); // clean all
-        // Re-dirty just 4 pages.
+                                                                    // Re-dirty just 4 pages.
         let t = a
             .write(
                 &mut fs,
@@ -460,13 +465,18 @@ mod tests {
         let (prog, t0) = fs
             .create(&mut net, SimTime::ZERO, h(1), SpritePath::new("/bin/img"))
             .unwrap();
-        let (mut a, t) = AddressSpace::create(
-            &mut fs, &mut net, t0, h(1), "img", prog, 2, 64, 8,
-        )
-        .unwrap();
+        let (mut a, t) =
+            AddressSpace::create(&mut fs, &mut net, t0, h(1), "img", prog, 2, 64, 8).unwrap();
         let pattern: Vec<u8> = (0..64 * PAGE_SIZE).map(|i| (i * 7 % 253) as u8).collect();
         let t = a
-            .write(&mut fs, &mut net, t, h(1), VirtAddr::new(SegmentKind::Heap, 0), &pattern)
+            .write(
+                &mut fs,
+                &mut net,
+                t,
+                h(1),
+                VirtAddr::new(SegmentKind::Heap, 0),
+                &pattern,
+            )
             .unwrap();
         let r = transfer(
             &mut a,

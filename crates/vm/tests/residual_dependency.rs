@@ -27,13 +27,24 @@ fn migrated_space(
     tag: &str,
 ) -> (AddressSpace, SimTime, Vec<u8>) {
     let (prog, t) = fs
-        .create(net, SimTime::ZERO, h(1), SpritePath::new(format!("/bin/{tag}")))
+        .create(
+            net,
+            SimTime::ZERO,
+            h(1),
+            SpritePath::new(format!("/bin/{tag}")),
+        )
         .unwrap();
-    let (mut space, t) =
-        AddressSpace::create(fs, net, t, h(1), tag, prog, 2, 32, 4).unwrap();
+    let (mut space, t) = AddressSpace::create(fs, net, t, h(1), tag, prog, 2, 32, 4).unwrap();
     let payload: Vec<u8> = (0..8 * PAGE_SIZE).map(|i| (i % 241) as u8).collect();
     let t = space
-        .write(fs, net, t, h(1), VirtAddr::new(SegmentKind::Heap, 0), &payload)
+        .write(
+            fs,
+            net,
+            t,
+            h(1),
+            VirtAddr::new(SegmentKind::Heap, 0),
+            &payload,
+        )
         .unwrap();
     let report = transfer(
         &mut space,
@@ -56,7 +67,14 @@ fn copy_on_reference_loses_state_when_the_source_dies() {
         migrated_space(&mut fs, &mut net, VmStrategy::CopyOnReference, "cor");
     // Touch one page first: it crossed the network and is safe.
     let (first, t) = space
-        .read(&mut fs, &mut net, t, h(2), VirtAddr::new(SegmentKind::Heap, 0), 64)
+        .read(
+            &mut fs,
+            &mut net,
+            t,
+            h(2),
+            VirtAddr::new(SegmentKind::Heap, 0),
+            64,
+        )
         .unwrap();
     assert_eq!(first, payload[..64]);
     // The source host crashes.
@@ -74,7 +92,10 @@ fn copy_on_reference_loses_state_when_the_source_dies() {
         )
         .unwrap();
     assert_eq!(tail, vec![0u8; 64], "lost pages read as zero-fill damage");
-    assert_ne!(tail, payload[7 * PAGE_SIZE as usize..7 * PAGE_SIZE as usize + 64]);
+    assert_ne!(
+        tail,
+        payload[7 * PAGE_SIZE as usize..7 * PAGE_SIZE as usize + 64]
+    );
 }
 
 #[test]
@@ -102,8 +123,7 @@ fn sprite_flush_survives_the_same_crash_unscathed() {
 fn eagerly_copied_strategies_are_also_safe() {
     for strategy in [VmStrategy::FullCopy, VmStrategy::PreCopy] {
         let (mut net, mut fs) = setup();
-        let (mut space, t, payload) =
-            migrated_space(&mut fs, &mut net, strategy, "eager");
+        let (mut space, t, payload) = migrated_space(&mut fs, &mut net, strategy, "eager");
         assert_eq!(space.source_host_failed(h(1)), 0, "{strategy}");
         let (back, _) = space
             .read(
@@ -124,7 +144,11 @@ fn a_crash_of_an_unrelated_host_is_harmless_even_for_cor() {
     let (mut net, mut fs) = setup();
     let (mut space, t, payload) =
         migrated_space(&mut fs, &mut net, VmStrategy::CopyOnReference, "bystander");
-    assert_eq!(space.source_host_failed(h(0)), 0, "wrong host: no pages owed");
+    assert_eq!(
+        space.source_host_failed(h(0)),
+        0,
+        "wrong host: no pages owed"
+    );
     let (back, _) = space
         .read(
             &mut fs,

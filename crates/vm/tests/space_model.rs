@@ -3,50 +3,84 @@
 //! bytes a flat reference model predicts — no matter which host touches it
 //! next. This is the memory-integrity half of migration transparency,
 //! exercised harder than any single protocol run does.
+//!
+//! Cases come from [`DetRng`] with a fixed seed; `heavy-tests` multiplies
+//! the case count.
 
-use proptest::prelude::*;
 use sprite_fs::{FsConfig, SpriteFs, SpritePath};
 use sprite_net::{CostModel, HostId, Network, PAGE_SIZE};
-use sprite_sim::SimTime;
+use sprite_sim::{DetRng, SimTime};
 use sprite_vm::{AddressSpace, SegmentKind, VirtAddr};
 
 const HEAP_PAGES: u64 = 12;
 
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
+
 #[derive(Debug, Clone)]
 enum VmOp {
-    Write { page: u8, off: u16, byte: u8, len: u8 },
+    Write {
+        page: u8,
+        off: u16,
+        byte: u8,
+        len: u8,
+    },
     FlushDirty,
     FlushAndDrop,
     LeaveAtSource,
     HopHost,
 }
 
-fn vm_op() -> impl Strategy<Value = VmOp> {
-    prop_oneof![
-        4 => (0u8..HEAP_PAGES as u8, 0u16..4000, any::<u8>(), 1u8..200)
-            .prop_map(|(page, off, byte, len)| VmOp::Write { page, off, byte, len }),
-        1 => Just(VmOp::FlushDirty),
-        1 => Just(VmOp::FlushAndDrop),
-        1 => Just(VmOp::LeaveAtSource),
-        1 => Just(VmOp::HopHost),
-    ]
+fn vm_op(rng: &mut DetRng) -> VmOp {
+    // Writes weighted 4:1 against each transfer/flush op, as in the
+    // original distribution.
+    match rng.pick_index(8) {
+        0..=3 => VmOp::Write {
+            page: rng.uniform_u64(HEAP_PAGES) as u8,
+            off: rng.uniform_u64(4000) as u16,
+            byte: rng.uniform_u64(256) as u8,
+            len: 1 + rng.uniform_u64(199) as u8,
+        },
+        4 => VmOp::FlushDirty,
+        5 => VmOp::FlushAndDrop,
+        6 => VmOp::LeaveAtSource,
+        _ => VmOp::HopHost,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn memory_matches_flat_model_under_any_transfer_mix() {
+    let mut rng = DetRng::seed_from(0x5BACE);
+    for case in 0..cases(64) {
+        let nops = 1 + rng.pick_index(39);
+        let ops: Vec<VmOp> = (0..nops).map(|_| vm_op(&mut rng)).collect();
 
-    #[test]
-    fn memory_matches_flat_model_under_any_transfer_mix(
-        ops in prop::collection::vec(vm_op(), 1..40),
-    ) {
         let mut net = Network::new(CostModel::sun3(), 4);
         let mut fs = SpriteFs::new(FsConfig::default(), 4);
         fs.add_server(HostId::new(0), SpritePath::new("/"));
         let (prog, t0) = fs
-            .create(&mut net, SimTime::ZERO, HostId::new(1), SpritePath::new("/bin/pm"))
+            .create(
+                &mut net,
+                SimTime::ZERO,
+                HostId::new(1),
+                SpritePath::new("/bin/pm"),
+            )
             .unwrap();
         let (mut space, mut t) = AddressSpace::create(
-            &mut fs, &mut net, t0, HostId::new(1), "pm", prog, 2, HEAP_PAGES, 4,
+            &mut fs,
+            &mut net,
+            t0,
+            HostId::new(1),
+            "pm",
+            prog,
+            2,
+            HEAP_PAGES,
+            4,
         )
         .unwrap();
         let mut model = vec![0u8; (HEAP_PAGES * PAGE_SIZE) as usize];
@@ -54,13 +88,24 @@ proptest! {
 
         for op in ops {
             match op {
-                VmOp::Write { page, off, byte, len } => {
+                VmOp::Write {
+                    page,
+                    off,
+                    byte,
+                    len,
+                } => {
                     let offset = page as u64 * PAGE_SIZE + off as u64;
                     let len = (len as u64).min(HEAP_PAGES * PAGE_SIZE - offset);
                     let data = vec![byte; len as usize];
                     t = space
-                        .write(&mut fs, &mut net, t, host,
-                               VirtAddr::new(SegmentKind::Heap, offset), &data)
+                        .write(
+                            &mut fs,
+                            &mut net,
+                            t,
+                            host,
+                            VirtAddr::new(SegmentKind::Heap, offset),
+                            &data,
+                        )
                         .unwrap();
                     model[offset as usize..(offset + len) as usize].fill(byte);
                 }
@@ -91,9 +136,15 @@ proptest! {
         }
         // Final read-back of the whole heap from wherever we ended up.
         let (mem, _) = space
-            .read(&mut fs, &mut net, t, host,
-                  VirtAddr::new(SegmentKind::Heap, 0), HEAP_PAGES * PAGE_SIZE)
+            .read(
+                &mut fs,
+                &mut net,
+                t,
+                host,
+                VirtAddr::new(SegmentKind::Heap, 0),
+                HEAP_PAGES * PAGE_SIZE,
+            )
             .unwrap();
-        prop_assert_eq!(mem, model);
+        assert_eq!(mem, model, "case {case}");
     }
 }

@@ -123,9 +123,21 @@ impl ActivityTrace {
         &self.events
     }
 
+    /// Index just past the last transition at or before `t` (events are
+    /// strictly ordered by time, so a binary search finds it; these lookups
+    /// run millions of times in the month-long production simulations).
+    fn last_transition_before(&self, t: SimTime) -> Option<&ActivityEvent> {
+        let i = self.events.partition_point(|e| e.at <= t);
+        if i == 0 {
+            None
+        } else {
+            Some(&self.events[i - 1])
+        }
+    }
+
     /// Whether the user is at the console at `t`.
     pub fn active_at(&self, t: SimTime) -> bool {
-        match self.events.iter().rev().find(|e| e.at <= t) {
+        match self.last_transition_before(t) {
             Some(e) => e.active,
             None => false,
         }
@@ -133,16 +145,9 @@ impl ActivityTrace {
 
     /// How long the console has been untouched at `t` (zero while active).
     pub fn idle_duration_at(&self, t: SimTime) -> SimDuration {
-        let mut last_active_end = None;
-        for e in &self.events {
-            if e.at > t {
-                break;
-            }
-            last_active_end = Some((e.at, e.active));
-        }
-        match last_active_end {
-            Some((_, true)) => SimDuration::ZERO,
-            Some((at, false)) => t.elapsed_since(at),
+        match self.last_transition_before(t) {
+            Some(e) if e.active => SimDuration::ZERO,
+            Some(e) => t.elapsed_since(e.at),
             None => t.elapsed_since(SimTime::ZERO),
         }
     }
@@ -210,8 +215,8 @@ mod tests {
         let mut night = Vec::new();
         for day_idx in 0..7u64 {
             for hour in 0..24u64 {
-                let t = SimTime::ZERO
-                    + SimDuration::from_secs(day_idx * DAY + hour * HOUR + 30 * 60);
+                let t =
+                    SimTime::ZERO + SimDuration::from_secs(day_idx * DAY + hour * HOUR + 30 * 60);
                 let f = fraction_idle(&traces, t);
                 if is_working_hours(t) {
                     day.push(f);

@@ -109,8 +109,8 @@ impl CompileWorkload {
         (0..self.files)
             .map(|i| {
                 let cpu = rng.jittered(self.mean_cpu, self.mean_cpu * 0.15);
-                let src_bytes = (self.mean_src_bytes as f64
-                    * (0.7 + 0.6 * rng.uniform_f64())) as u64;
+                let src_bytes =
+                    (self.mean_src_bytes as f64 * (0.7 + 0.6 * rng.uniform_f64())) as u64;
                 let headers = (0..self.headers_per_file)
                     .map(|k| Self::header_path((i + k * 5) % self.header_pool.max(1)))
                     .collect();
@@ -171,8 +171,7 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
             / (samples.len() - 1) as f64;
         let sd = var.sqrt();
-        let under_1s = samples.iter().filter(|&&x| x < 1.0).count() as f64
-            / samples.len() as f64;
+        let under_1s = samples.iter().filter(|&&x| x < 1.0).count() as f64 / samples.len() as f64;
         // Zhou: mean 1.5s, sd 19.1s, >78% below one second. We require the
         // same qualitative regime: short mean, sd an order of magnitude
         // larger, most processes sub-second.
@@ -214,11 +213,7 @@ mod tests {
 
     #[test]
     fn simulation_batch_is_coarse_grained() {
-        let jobs = simulation_batch(
-            &mut DetRng::seed_from(7),
-            100,
-            SimDuration::from_secs(300),
-        );
+        let jobs = simulation_batch(&mut DetRng::seed_from(7), 100, SimDuration::from_secs(300));
         assert_eq!(jobs.len(), 100);
         let total: f64 = jobs.iter().map(|j| j.cpu.as_secs_f64()).sum();
         assert!((25_000.0..35_000.0).contains(&total), "total {total}");

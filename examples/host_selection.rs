@@ -91,7 +91,11 @@ fn drive(
             let requester = HostId::new(rng.uniform_u64(hosts as u64) as u32);
             let (granted, done) = selector.select(&mut net, next_request, requester, &world);
             if let Some(hh) = granted {
-                held.push((done + rng.exponential(SimDuration::from_secs(90)), requester, hh));
+                held.push((
+                    done + rng.exponential(SimDuration::from_secs(90)),
+                    requester,
+                    hh,
+                ));
             }
             next_request += SimDuration::from_secs(10);
         }

@@ -15,7 +15,10 @@ use sprite::pmake::{prepare_sources, run_build, DepGraph, PmakeConfig};
 use sprite::sim::{DetRng, SimDuration, SimTime};
 use sprite::workloads::CompileWorkload;
 
-fn build_once(hosts: usize, use_migration: bool) -> Result<(SimDuration, usize), Box<dyn std::error::Error>> {
+fn build_once(
+    hosts: usize,
+    use_migration: bool,
+) -> Result<(SimDuration, usize), Box<dyn std::error::Error>> {
     let mut cluster = Cluster::new(CostModel::sun3(), hosts);
     cluster.add_file_server(HostId::new(0), SpritePath::new("/"));
     cluster.install_program(SimTime::ZERO, SpritePath::new("/bin/cc"), 48 * 1024)?;
@@ -41,7 +44,15 @@ fn build_once(hosts: usize, use_migration: bool) -> Result<(SimDuration, usize),
         use_migration,
         ..PmakeConfig::default()
     };
-    let report = run_build(&mut cluster, &mut migrator, &mut selector, home, &graph, &config, t)?;
+    let report = run_build(
+        &mut cluster,
+        &mut migrator,
+        &mut selector,
+        home,
+        &graph,
+        &config,
+        t,
+    )?;
     Ok((report.makespan, report.remote_builds))
 }
 
@@ -49,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("pmake: 24 C files (~10s each) + a 6s sequential link\n");
     let (serial, _) = build_once(3, false)?;
     println!("single-host baseline: {serial}\n");
-    println!("{:>6}  {:>12}  {:>8}  {:>7}", "hosts", "makespan", "speedup", "remote");
+    println!(
+        "{:>6}  {:>12}  {:>8}  {:>7}",
+        "hosts", "makespan", "speedup", "remote"
+    );
     for hosts in [3usize, 4, 6, 8, 12, 16] {
         let (makespan, remote) = build_once(hosts, true)?;
         println!(

@@ -28,14 +28,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = VirtAddr::new(SegmentKind::Heap, 4096);
     let t = {
         let mut space = cluster.pcb_mut(pid).unwrap().space.take().unwrap();
-        let t = space.write(&mut cluster.fs, &mut cluster.net, t, home, addr, b"partial result: 42")?;
+        let t = space.write(
+            &mut cluster.fs,
+            &mut cluster.net,
+            t,
+            home,
+            addr,
+            b"partial result: 42",
+        )?;
         cluster.pcb_mut(pid).unwrap().space = Some(space);
         t
     };
     cluster
         .fs
         .create(&mut cluster.net, t, home, SpritePath::new("/users/me/log"))?;
-    let (fd, t) = cluster.open_fd(t, pid, SpritePath::new("/users/me/log"), OpenMode::ReadWrite)?;
+    let (fd, t) = cluster.open_fd(
+        t,
+        pid,
+        SpritePath::new("/users/me/log"),
+        OpenMode::ReadWrite,
+    )?;
     let t = cluster.write_fd(t, pid, fd, b"started at home\n")?;
 
     // Migrate it to the idle host.
@@ -54,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cluster.pcb_mut(pid).unwrap().space = Some(space);
         r
     };
-    println!("memory after migration: {:?}", String::from_utf8_lossy(&data));
+    println!(
+        "memory after migration: {:?}",
+        String::from_utf8_lossy(&data)
+    );
 
     // ...same file descriptor, appending where it left off...
     let t = cluster.write_fd(t, pid, fd, b"continued on an idle host\n")?;

@@ -39,9 +39,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let full = vec![0xaau8; (pages * PAGE_SIZE) as usize];
         let quarter = vec![0xbbu8; (pages / 4 * PAGE_SIZE) as usize];
         let mut space = cluster.pcb_mut(pid).unwrap().space.take().unwrap();
-        let t = space.write(&mut cluster.fs, &mut cluster.net, t, h(1), VirtAddr::new(SegmentKind::Heap, 0), &full)?;
+        let t = space.write(
+            &mut cluster.fs,
+            &mut cluster.net,
+            t,
+            h(1),
+            VirtAddr::new(SegmentKind::Heap, 0),
+            &full,
+        )?;
         let t = space.flush_dirty(&mut cluster.fs, &mut cluster.net, t, h(1))?;
-        let t = space.write(&mut cluster.fs, &mut cluster.net, t, h(1), VirtAddr::new(SegmentKind::Heap, 0), &quarter)?;
+        let t = space.write(
+            &mut cluster.fs,
+            &mut cluster.net,
+            t,
+            h(1),
+            VirtAddr::new(SegmentKind::Heap, 0),
+            &quarter,
+        )?;
         cluster.pcb_mut(pid).unwrap().space = Some(space);
 
         let report = migrator.migrate(&mut cluster, t, pid, h(2))?;

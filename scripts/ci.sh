@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Offline CI gate for the Sprite migration reproduction.
+#
+#   scripts/ci.sh          # full gate: build, tests, fmt --check, clippy
+#   scripts/ci.sh --quick  # tier-1 only: release build + tests
+#
+# Everything runs offline: the workspace has zero external dependencies, so
+# no network access (and no pre-populated registry cache) is required.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+    quick=1
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "$quick" == 1 ]]; then
+    echo "==> tier-1 OK (quick mode; skipped fmt/clippy)"
+    exit 0
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI gate OK"

@@ -26,11 +26,18 @@ fn world(hosts: usize) -> (Cluster, Migrator, SimTime) {
 #[test]
 fn tour_of_the_cluster_preserves_everything() {
     let (mut c, mut m, t) = world(6);
-    let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/app"), 64, 16).unwrap();
+    let (pid, t) = c
+        .spawn(t, h(1), &SpritePath::new("/bin/app"), 64, 16)
+        .unwrap();
     c.fs.create(&mut c.net, t, h(1), SpritePath::new("/users/tour/out"))
         .unwrap();
     let (fd, mut t) = c
-        .open_fd(t, pid, SpritePath::new("/users/tour/out"), OpenMode::ReadWrite)
+        .open_fd(
+            t,
+            pid,
+            SpritePath::new("/users/tour/out"),
+            OpenMode::ReadWrite,
+        )
         .unwrap();
 
     // Visit every other host, writing a chapter of memory and file at each.
@@ -95,7 +102,9 @@ fn every_vm_strategy_survives_a_double_migration() {
     for strategy in VmStrategy::ALL {
         let (mut c, mut m, t) = world(4);
         m.set_vm_strategy(strategy);
-        let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/app"), 64, 8).unwrap();
+        let (pid, t) = c
+            .spawn(t, h(1), &SpritePath::new("/bin/app"), 64, 8)
+            .unwrap();
         let pattern: Vec<u8> = (0..32_768u32).map(|i| (i % 250) as u8).collect();
         let mut space = c.pcb_mut(pid).unwrap().space.take().unwrap();
         let t = space
@@ -130,7 +139,9 @@ fn every_vm_strategy_survives_a_double_migration() {
 #[test]
 fn forked_family_spans_hosts_and_signals_still_route() {
     let (mut c, mut m, t) = world(5);
-    let (parent, t) = c.spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4).unwrap();
+    let (parent, t) = c
+        .spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4)
+        .unwrap();
     let (child_a, t) = c.fork(t, parent).unwrap();
     let (child_b, t) = c.fork(t, parent).unwrap();
     // Scatter the family.
@@ -142,7 +153,11 @@ fn forked_family_spans_hosts_and_signals_still_route() {
     let t = c.kill(t, h(4), child_a, Signal::Usr1).unwrap();
     let t = c.kill(t, h(4), child_b, Signal::Usr1).unwrap();
     for pid in [parent, child_a, child_b] {
-        assert_eq!(c.take_signals(pid), vec![Signal::Usr1], "{pid} missed its signal");
+        assert_eq!(
+            c.take_signals(pid),
+            vec![Signal::Usr1],
+            "{pid} missed its signal"
+        );
     }
     // The far-flung children exit; the parent reaps them from home.
     let t = c.exit(t, child_a, 7).unwrap();
@@ -157,7 +172,9 @@ fn forked_family_spans_hosts_and_signals_still_route() {
 #[test]
 fn migration_failures_leave_the_process_unharmed() {
     let (mut c, mut m, t) = world(4);
-    let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4).unwrap();
+    let (pid, t) = c
+        .spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4)
+        .unwrap();
     // Version mismatch.
     m.set_kernel_version(h(2), 9);
     assert!(matches!(
@@ -181,11 +198,18 @@ fn migration_failures_leave_the_process_unharmed() {
 #[test]
 fn shadow_streams_keep_shared_offsets_exact_across_three_hosts() {
     let (mut c, mut m, t) = world(5);
-    let (parent, t) = c.spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4).unwrap();
+    let (parent, t) = c
+        .spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4)
+        .unwrap();
     c.fs.create(&mut c.net, t, h(1), SpritePath::new("/shared/log"))
         .unwrap();
     let (fd, t) = c
-        .open_fd(t, parent, SpritePath::new("/shared/log"), OpenMode::ReadWrite)
+        .open_fd(
+            t,
+            parent,
+            SpritePath::new("/shared/log"),
+            OpenMode::ReadWrite,
+        )
         .unwrap();
     let (kid1, t) = c.fork(t, parent).unwrap();
     let (kid2, t) = c.fork(t, parent).unwrap();
@@ -217,7 +241,9 @@ fn eviction_under_load_is_clean_and_bounded() {
     // Six different users' processes, all guests on host 1.
     let mut pids = Vec::new();
     for i in 2..8u32 {
-        let (pid, t1) = c.spawn(t, h(i), &SpritePath::new("/bin/app"), 64, 8).unwrap();
+        let (pid, t1) = c
+            .spawn(t, h(i), &SpritePath::new("/bin/app"), 64, 8)
+            .unwrap();
         let r = m.migrate(&mut c, t1, pid, h(1)).unwrap();
         // Some have dirty state, some do not.
         t = if i % 2 == 0 {

@@ -11,9 +11,9 @@ use sprite::kernel::Cluster;
 use sprite::migration::{MigrationConfig, Migrator};
 use sprite::net::{CostModel, HostId};
 use sprite::pmake::{prepare_sources, run_build, Action, DepGraph, PmakeConfig};
-use std::collections::HashMap;
 use sprite::sim::{DetRng, SimDuration, SimTime};
 use sprite::workloads::CompileWorkload;
+use std::collections::HashMap;
 
 fn h(i: u32) -> HostId {
     HostId::new(i)
@@ -207,7 +207,6 @@ fn diamond_dependencies_schedule_correctly() {
     // The build takes at least gen + max(lib,app) + link of CPU.
     assert!(report.makespan > SimDuration::from_secs(3 + 3 + 2));
 }
-
 
 #[test]
 fn incremental_rebuild_touches_only_the_stale_chain() {

@@ -8,19 +8,28 @@
 //!   any sequence of writes and migrations.
 //! * The central host-selection server never double-assigns and never hands
 //!   out a console-active host.
-
-use proptest::prelude::*;
+//!
+//! Cases are generated from [`DetRng`] with fixed seeds so every run (and
+//! every failure) is reproducible; `heavy-tests` multiplies the case counts.
 
 use sprite::fs::{FsConfig, OpenMode, SpriteFs, SpritePath, StreamId};
 use sprite::hostsel::{AvailabilityPolicy, CentralServer, HostInfo, HostSelector};
 use sprite::kernel::Cluster;
 use sprite::migration::{MigrationConfig, Migrator};
 use sprite::net::{CostModel, HostId, Network};
-use sprite::sim::{SimDuration, SimTime};
+use sprite::sim::{DetRng, SimDuration, SimTime};
 use sprite::vm::{SegmentKind, VirtAddr};
 
 const HOSTS: usize = 4;
 const PATHS: usize = 4;
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
 
 fn h(i: u32) -> HostId {
     HostId::new(i)
@@ -40,20 +49,33 @@ enum FsOp {
     MigrateStream { stream: u8, to: u8 },
 }
 
-fn fs_op() -> impl Strategy<Value = FsOp> {
-    prop_oneof![
-        (1u8..HOSTS as u8, 0u8..PATHS as u8).prop_map(|(host, file)| FsOp::Open { host, file }),
-        (any::<u8>(), any::<u8>(), 1u16..6000).prop_map(|(stream, byte, len)| FsOp::Write {
-            stream,
-            byte,
-            len
-        }),
-        (any::<u8>(), 1u16..6000).prop_map(|(stream, len)| FsOp::Read { stream, len }),
-        (any::<u8>(), 0u16..10000).prop_map(|(stream, pos)| FsOp::Seek { stream, pos }),
-        any::<u8>().prop_map(|stream| FsOp::Close { stream }),
-        (any::<u8>(), 1u8..HOSTS as u8)
-            .prop_map(|(stream, to)| FsOp::MigrateStream { stream, to }),
-    ]
+fn fs_op(rng: &mut DetRng) -> FsOp {
+    match rng.pick_index(6) {
+        0 => FsOp::Open {
+            host: 1 + rng.uniform_u64(HOSTS as u64 - 1) as u8,
+            file: rng.uniform_u64(PATHS as u64) as u8,
+        },
+        1 => FsOp::Write {
+            stream: rng.uniform_u64(256) as u8,
+            byte: rng.uniform_u64(256) as u8,
+            len: 1 + rng.uniform_u64(5999) as u16,
+        },
+        2 => FsOp::Read {
+            stream: rng.uniform_u64(256) as u8,
+            len: 1 + rng.uniform_u64(5999) as u16,
+        },
+        3 => FsOp::Seek {
+            stream: rng.uniform_u64(256) as u8,
+            pos: rng.uniform_u64(10000) as u16,
+        },
+        4 => FsOp::Close {
+            stream: rng.uniform_u64(256) as u8,
+        },
+        _ => FsOp::MigrateStream {
+            stream: rng.uniform_u64(256) as u8,
+            to: 1 + rng.uniform_u64(HOSTS as u64 - 1) as u8,
+        },
+    }
 }
 
 /// Reference model: flat files and independent stream offsets.
@@ -64,13 +86,15 @@ struct Model {
     streams: Vec<(usize, u64, u32)>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The distributed FS with caching + consistency is observationally a
+/// single flat file system under serialized multi-host access.
+#[test]
+fn fs_matches_flat_model() {
+    let mut rng = DetRng::seed_from(0xF5);
+    for case in 0..cases(64) {
+        let nops = 1 + rng.pick_index(59);
+        let ops: Vec<FsOp> = (0..nops).map(|_| fs_op(&mut rng)).collect();
 
-    /// The distributed FS with caching + consistency is observationally a
-    /// single flat file system under serialized multi-host access.
-    #[test]
-    fn fs_matches_flat_model(ops in prop::collection::vec(fs_op(), 1..60)) {
         let mut net = Network::new(CostModel::sun3(), HOSTS);
         let mut fs = SpriteFs::new(FsConfig::default(), HOSTS);
         fs.add_server(h(0), SpritePath::new("/"));
@@ -86,30 +110,42 @@ proptest! {
         // live streams: (StreamId, model index)
         let mut live: Vec<(StreamId, usize)> = Vec::new();
 
-        for op in ops {
+        for op in ops.clone() {
             match op {
                 FsOp::Open { host, file } => {
                     let (sid, t2) = fs
-                        .open(&mut net, t, h(host as u32), path(file as usize), OpenMode::ReadWrite)
+                        .open(
+                            &mut net,
+                            t,
+                            h(host as u32),
+                            path(file as usize),
+                            OpenMode::ReadWrite,
+                        )
                         .unwrap();
                     t = t2;
                     model.streams.push((file as usize, 0, host as u32));
                     live.push((sid, model.streams.len() - 1));
                 }
                 FsOp::Write { stream, byte, len } => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let (sid, mi) = live[stream as usize % live.len()];
                     let (file, offset, host) = model.streams[mi];
                     let data = vec![byte; len as usize];
                     t = fs.write(&mut net, t, h(host), sid, &data).unwrap();
                     let f = &mut model.files[file];
                     let end = offset as usize + data.len();
-                    if f.len() < end { f.resize(end, 0); }
+                    if f.len() < end {
+                        f.resize(end, 0);
+                    }
                     f[offset as usize..end].copy_from_slice(&data);
                     model.streams[mi].1 = end as u64;
                 }
                 FsOp::Read { stream, len } => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let (sid, mi) = live[stream as usize % live.len()];
                     let (file, offset, host) = model.streams[mi];
                     let (got, t2) = fs.read(&mut net, t, h(host), sid, len as u64).unwrap();
@@ -117,27 +153,35 @@ proptest! {
                     let f = &model.files[file];
                     let start = (offset as usize).min(f.len());
                     let end = (offset as usize + len as usize).min(f.len());
-                    prop_assert_eq!(&got, &f[start..end], "stale or lost bytes");
+                    assert_eq!(&got, &f[start..end], "case {case}: stale or lost bytes");
                     model.streams[mi].1 = offset + got.len() as u64;
                 }
                 FsOp::Seek { stream, pos } => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let (sid, mi) = live[stream as usize % live.len()];
                     fs.seek(sid, pos as u64).unwrap();
                     model.streams[mi].1 = pos as u64;
                 }
                 FsOp::Close { stream } => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let idx = stream as usize % live.len();
                     let (sid, mi) = live.remove(idx);
                     let host = model.streams[mi].2;
                     t = fs.close(&mut net, t, h(host), sid).unwrap();
                 }
                 FsOp::MigrateStream { stream, to } => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let (sid, mi) = live[stream as usize % live.len()];
                     let from = model.streams[mi].2;
-                    if from == to as u32 { continue; }
+                    if from == to as u32 {
+                        continue;
+                    }
                     let (_, t2) = fs
                         .migrate_stream(&mut net, t, sid, h(from), h(to as u32), 1)
                         .unwrap();
@@ -157,9 +201,14 @@ proptest! {
                 let (sid, t2) = fs
                     .open(&mut net, t, h(reader), path(i), OpenMode::Read)
                     .unwrap();
-                let (data, t3) = fs.read(&mut net, t2, h(reader), sid, expect.len() as u64 + 64).unwrap();
+                let (data, t3) = fs
+                    .read(&mut net, t2, h(reader), sid, expect.len() as u64 + 64)
+                    .unwrap();
                 t = fs.close(&mut net, t3, h(reader), sid).unwrap();
-                prop_assert_eq!(&data, expect, "file {} wrong when read from host {}", i, reader);
+                assert_eq!(
+                    &data, expect,
+                    "case {case}: file {i} wrong when read from host {reader}"
+                );
             }
         }
     }
@@ -172,30 +221,45 @@ enum ProcOp {
     WriteFile { byte: u8, len: u16 },
 }
 
-fn proc_op() -> impl Strategy<Value = ProcOp> {
-    prop_oneof![
-        (0u8..16, any::<u8>()).prop_map(|(page, byte)| ProcOp::WriteMem { page, byte }),
-        (1u8..HOSTS as u8).prop_map(|to| ProcOp::Migrate { to }),
-        (any::<u8>(), 1u16..3000).prop_map(|(byte, len)| ProcOp::WriteFile { byte, len }),
-    ]
+fn proc_op(rng: &mut DetRng) -> ProcOp {
+    match rng.pick_index(3) {
+        0 => ProcOp::WriteMem {
+            page: rng.uniform_u64(16) as u8,
+            byte: rng.uniform_u64(256) as u8,
+        },
+        1 => ProcOp::Migrate {
+            to: 1 + rng.uniform_u64(HOSTS as u64 - 1) as u8,
+        },
+        _ => ProcOp::WriteFile {
+            byte: rng.uniform_u64(256) as u8,
+            len: 1 + rng.uniform_u64(2999) as u16,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A process's memory image and file stream survive any interleaving of
+/// writes and migrations, and the kernel's location bookkeeping stays
+/// coherent.
+#[test]
+fn process_state_survives_arbitrary_migrations() {
+    let mut rng = DetRng::seed_from(0x9C0C);
+    for case in 0..cases(48) {
+        let nops = 1 + rng.pick_index(39);
+        let ops: Vec<ProcOp> = (0..nops).map(|_| proc_op(&mut rng)).collect();
 
-    /// A process's memory image and file stream survive any interleaving of
-    /// writes and migrations, and the kernel's location bookkeeping stays
-    /// coherent.
-    #[test]
-    fn process_state_survives_arbitrary_migrations(ops in prop::collection::vec(proc_op(), 1..40)) {
         let mut cluster = Cluster::new(CostModel::sun3(), HOSTS);
         cluster.add_file_server(h(0), SpritePath::new("/"));
         let mut t = cluster
             .install_program(SimTime::ZERO, SpritePath::new("/bin/p"), 16 * 1024)
             .unwrap();
-        let (pid, t1) = cluster.spawn(t, h(1), &SpritePath::new("/bin/p"), 16, 4).unwrap();
+        let (pid, t1) = cluster
+            .spawn(t, h(1), &SpritePath::new("/bin/p"), 16, 4)
+            .unwrap();
         t = t1;
-        cluster.fs.create(&mut cluster.net, t, h(1), SpritePath::new("/prop/out")).unwrap();
+        cluster
+            .fs
+            .create(&mut cluster.net, t, h(1), SpritePath::new("/prop/out"))
+            .unwrap();
         let (fd, t2) = cluster
             .open_fd(t, pid, SpritePath::new("/prop/out"), OpenMode::ReadWrite)
             .unwrap();
@@ -214,8 +278,14 @@ proptest! {
                     let data = [byte; 16];
                     let mut space = cluster.pcb_mut(pid).unwrap().space.take().unwrap();
                     t = space
-                        .write(&mut cluster.fs, &mut cluster.net, t, here,
-                               VirtAddr::new(SegmentKind::Heap, offset), &data)
+                        .write(
+                            &mut cluster.fs,
+                            &mut cluster.net,
+                            t,
+                            here,
+                            VirtAddr::new(SegmentKind::Heap, offset),
+                            &data,
+                        )
                         .unwrap();
                     cluster.pcb_mut(pid).unwrap().space = Some(space);
                     for k in 0..16usize {
@@ -224,15 +294,19 @@ proptest! {
                     }
                 }
                 ProcOp::Migrate { to } => {
-                    if h(to as u32) == here { continue; }
-                    let r = migrator.migrate(&mut cluster, t, pid, h(to as u32)).unwrap();
+                    if h(to as u32) == here {
+                        continue;
+                    }
+                    let r = migrator
+                        .migrate(&mut cluster, t, pid, h(to as u32))
+                        .unwrap();
                     t = r.resumed_at;
                     // Kernel bookkeeping is coherent after every move.
                     let pcb = cluster.pcb(pid).unwrap();
-                    prop_assert_eq!(pcb.current, h(to as u32));
-                    prop_assert!(cluster.host(h(to as u32)).resident().contains(&pid));
-                    prop_assert!(!cluster.host(here).resident().contains(&pid));
-                    prop_assert_eq!(cluster.locate(pid), Some(h(to as u32)));
+                    assert_eq!(pcb.current, h(to as u32));
+                    assert!(cluster.host(h(to as u32)).resident().contains(&pid));
+                    assert!(!cluster.host(here).resident().contains(&pid));
+                    assert_eq!(cluster.locate(pid), Some(h(to as u32)));
                 }
                 ProcOp::WriteFile { byte, len } => {
                     let data = vec![byte; len as usize];
@@ -245,44 +319,60 @@ proptest! {
         let here = cluster.pcb(pid).unwrap().current;
         let mut space = cluster.pcb_mut(pid).unwrap().space.take().unwrap();
         let (mem, t2) = space
-            .read(&mut cluster.fs, &mut cluster.net, t, here,
-                  VirtAddr::new(SegmentKind::Heap, 0), 16 * 4096)
+            .read(
+                &mut cluster.fs,
+                &mut cluster.net,
+                t,
+                here,
+                VirtAddr::new(SegmentKind::Heap, 0),
+                16 * 4096,
+            )
             .unwrap();
         cluster.pcb_mut(pid).unwrap().space = Some(space);
         t = t2;
         for (i, (&expect, &written)) in mem_model.iter().zip(&mem_written).enumerate() {
             if written {
-                prop_assert_eq!(mem[i], expect, "heap byte {} corrupted", i);
+                assert_eq!(mem[i], expect, "case {case}: heap byte {i} corrupted");
             }
         }
         // File model check.
         let stream = cluster.pcb(pid).unwrap().fd(fd).unwrap();
-        prop_assert_eq!(cluster.fs.streams().get(stream).unwrap().offset(),
-                        file_model.len() as u64);
+        assert_eq!(
+            cluster.fs.streams().get(stream).unwrap().offset(),
+            file_model.len() as u64
+        );
         cluster.fs.seek(stream, 0).unwrap();
-        let (data, _) = cluster.read_fd(t, pid, fd, file_model.len() as u64 + 16).unwrap();
-        prop_assert_eq!(data, file_model);
+        let (data, _) = cluster
+            .read_fd(t, pid, fd, file_model.len() as u64 + 16)
+            .unwrap();
+        assert_eq!(data, file_model, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The central server never double-assigns a host, never assigns a
-    /// console-active host, and release makes hosts grantable again.
-    #[test]
-    fn central_server_assignment_invariants(
-        console in prop::collection::vec(any::<bool>(), 8),
-        requests in prop::collection::vec((0u8..8, any::<bool>()), 1..40),
-    ) {
+/// The central server never double-assigns a host, never assigns a
+/// console-active host, and release makes hosts grantable again.
+#[test]
+fn central_server_assignment_invariants() {
+    let mut rng = DetRng::seed_from(0xCE27);
+    for case in 0..cases(64) {
         let hosts = 8;
+        let console: Vec<bool> = (0..hosts).map(|_| rng.chance(0.5)).collect();
+        let nreq = 1 + rng.pick_index(39);
+        let requests: Vec<(u8, bool)> = (0..nreq)
+            .map(|_| (rng.uniform_u64(8) as u8, rng.chance(0.5)))
+            .collect();
+
         let mut net = Network::new(CostModel::sun3(), hosts);
         let mut sel = CentralServer::new(h(0), AvailabilityPolicy::default());
         let truth: Vec<HostInfo> = (0..hosts as u32)
             .map(|i| HostInfo {
                 host: h(i),
                 load: 0.0,
-                idle: if console[i as usize] { SimDuration::ZERO } else { SimDuration::from_secs(600) },
+                idle: if console[i as usize] {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_secs(600)
+                },
                 console_active: console[i as usize],
             })
             .collect();
@@ -296,11 +386,14 @@ proptest! {
             let (pick, t2) = sel.select(&mut net, t, requester, &truth);
             t = t2;
             if let Some(host) = pick {
-                prop_assert!(!console[host.index()], "granted a console-active host");
-                prop_assert_ne!(host, requester, "granted the requester itself");
-                prop_assert!(
+                assert!(
+                    !console[host.index()],
+                    "case {case}: granted a console-active host"
+                );
+                assert_ne!(host, requester, "case {case}: granted the requester itself");
+                assert!(
                     !granted.iter().any(|(g, _)| *g == host),
-                    "double-assigned {}", host
+                    "case {case}: double-assigned {host}"
                 );
                 granted.push((host, requester));
             }
@@ -317,9 +410,15 @@ proptest! {
         let idle_count = console.iter().filter(|c| !**c).count();
         if idle_count > 1 {
             // Request from an active host (so it is not excluded as self).
-            let requester = (0..8u32).find(|i| console[*i as usize]).map(h).unwrap_or(h(0));
+            let requester = (0..8u32)
+                .find(|i| console[*i as usize])
+                .map(h)
+                .unwrap_or(h(0));
             let (pick, _) = sel.select(&mut net, t, requester, &truth);
-            prop_assert!(pick.is_some(), "released hosts must be selectable");
+            assert!(
+                pick.is_some(),
+                "case {case}: released hosts must be selectable"
+            );
         }
     }
 }

@@ -25,21 +25,34 @@ fn pseudo_device_channel_survives_client_migration() {
         .unwrap();
     // An IP-server-style daemon lives on host 3; its service rendezvous is
     // the pseudo-device /dev/ipServer.
-    c.fs
-        .create_pseudo_device(&mut c.net, t, h(3), SpritePath::new("/dev/ipServer"), h(3))
+    c.fs.create_pseudo_device(&mut c.net, t, h(3), SpritePath::new("/dev/ipServer"), h(3))
         .unwrap();
 
     // A client process on host 1 opens the channel.
-    let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4).unwrap();
+    let (pid, t) = c
+        .spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4)
+        .unwrap();
     let (fd, t) = c
-        .open_fd(t, pid, SpritePath::new("/dev/ipServer"), OpenMode::ReadWrite)
+        .open_fd(
+            t,
+            pid,
+            SpritePath::new("/dev/ipServer"),
+            OpenMode::ReadWrite,
+        )
         .unwrap();
     let stream = c.pcb(pid).unwrap().fd(fd).unwrap();
 
     // Round trip before migration.
-    let before = c
-        .fs
-        .pseudo_request(&mut c.net, t, h(1), stream, 256, 256, SimDuration::from_micros(300))
+    let before =
+        c.fs.pseudo_request(
+            &mut c.net,
+            t,
+            h(1),
+            stream,
+            256,
+            256,
+            SimDuration::from_micros(300),
+        )
         .unwrap();
     let cost_before = before.elapsed_since(t);
 
@@ -51,9 +64,16 @@ fn pseudo_device_channel_survives_client_migration() {
     // Same descriptor, same protocol, new location.
     let stream2 = c.pcb(pid).unwrap().fd(fd).unwrap();
     assert_eq!(stream, stream2, "the descriptor did not change identity");
-    let after = c
-        .fs
-        .pseudo_request(&mut c.net, r.resumed_at, h(2), stream2, 256, 256, SimDuration::from_micros(300))
+    let after =
+        c.fs.pseudo_request(
+            &mut c.net,
+            r.resumed_at,
+            h(2),
+            stream2,
+            256,
+            256,
+            SimDuration::from_micros(300),
+        )
         .unwrap();
     let cost_after = after.elapsed_since(r.resumed_at);
     // Still an RPC-scale cost — communication works, latency comparable.
@@ -68,26 +88,33 @@ fn migrating_onto_the_servers_host_makes_ipc_local() {
     let t = c
         .install_program(SimTime::ZERO, SpritePath::new("/bin/app"), 16 * 1024)
         .unwrap();
-    c.fs
-        .create_pseudo_device(&mut c.net, t, h(3), SpritePath::new("/dev/chan"), h(3))
+    c.fs.create_pseudo_device(&mut c.net, t, h(3), SpritePath::new("/dev/chan"), h(3))
         .unwrap();
-    let (pid, t) = c.spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4).unwrap();
+    let (pid, t) = c
+        .spawn(t, h(1), &SpritePath::new("/bin/app"), 16, 4)
+        .unwrap();
     let (fd, t) = c
         .open_fd(t, pid, SpritePath::new("/dev/chan"), OpenMode::ReadWrite)
         .unwrap();
     let stream = c.pcb(pid).unwrap().fd(fd).unwrap();
-    let remote = c
-        .fs
-        .pseudo_request(&mut c.net, t, h(1), stream, 64, 64, SimDuration::ZERO)
-        .unwrap()
-        .elapsed_since(t);
+    let remote =
+        c.fs.pseudo_request(&mut c.net, t, h(1), stream, 64, 64, SimDuration::ZERO)
+            .unwrap()
+            .elapsed_since(t);
     // Migrate the client onto the server's own host: IPC becomes two
     // context switches instead of a network round trip.
     let mut m = Migrator::new(MigrationConfig::default(), 4);
     let r = m.migrate(&mut c, t, pid, h(3)).unwrap();
-    let local = c
-        .fs
-        .pseudo_request(&mut c.net, r.resumed_at, h(3), stream, 64, 64, SimDuration::ZERO)
+    let local =
+        c.fs.pseudo_request(
+            &mut c.net,
+            r.resumed_at,
+            h(3),
+            stream,
+            64,
+            64,
+            SimDuration::ZERO,
+        )
         .unwrap()
         .elapsed_since(r.resumed_at);
     assert!(
