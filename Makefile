@@ -1,6 +1,6 @@
 # Convenience targets; scripts/ci.sh is the canonical offline CI gate.
 
-.PHONY: ci ci-quick test bench experiments fmt clippy
+.PHONY: ci ci-quick test bench bench-check experiments fmt clippy
 
 ci:
 	scripts/ci.sh
@@ -13,6 +13,9 @@ test:
 
 bench:
 	cargo bench -p sprite-bench
+
+bench-check:
+	scripts/bench_check.sh
 
 experiments:
 	cargo run -p sprite-bench --release --bin experiments

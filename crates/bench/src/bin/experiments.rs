@@ -14,13 +14,16 @@
 
 use std::time::Instant;
 
+use sprite_bench::experiments::m01;
 use sprite_bench::runner;
+use sprite_fs::SpritePath;
 
 struct Options {
     ids: Vec<String>,
     jobs: usize,
     json: bool,
     list: bool,
+    macrobench: bool,
 }
 
 fn parse_args() -> Options {
@@ -29,6 +32,7 @@ fn parse_args() -> Options {
         jobs: std::thread::available_parallelism().map_or(1, |p| p.get()),
         json: false,
         list: false,
+        macrobench: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +48,7 @@ fn parse_args() -> Options {
                 }
             }
             "--json" => opts.json = true,
+            "--macro" => opts.macrobench = true,
             "list" => opts.list = true,
             _ if arg.starts_with("--jobs=") => match arg["--jobs=".len()..].parse::<usize>() {
                 Ok(n) if n >= 1 => opts.jobs = n,
@@ -53,7 +58,7 @@ fn parse_args() -> Options {
                 }
             },
             _ if arg.starts_with('-') => {
-                eprintln!("unknown flag {arg:?}; flags: --jobs N, --json, list");
+                eprintln!("unknown flag {arg:?}; flags: --jobs N, --json, --macro, list");
                 std::process::exit(2);
             }
             _ => opts.ids.push(arg),
@@ -104,10 +109,23 @@ fn main() {
     let results = runner::run_suite(selected, opts.jobs);
     let total_wall = wall.elapsed().as_secs_f64();
 
+    // The macrobench runs serially outside the suite (it is a data-plane
+    // stress, not a reproduction table) with its own timing; the golden
+    // stdout of a plain run is untouched.
+    let macro_run = opts.macrobench.then(|| {
+        let started = Instant::now();
+        let report = m01::run();
+        (report, started.elapsed().as_secs_f64())
+    });
+
     println!("# Sprite process migration — reproduction tables\n");
     for r in &results {
         println!("{}", r.rendered);
         println!("  [{}: {}]\n", r.id, r.desc);
+    }
+    if let Some((report, _)) = &macro_run {
+        println!("{}", m01::render(report));
+        println!("  [m01: cluster-scale data-plane macrobench]\n");
     }
     for r in &results {
         eprintln!(
@@ -123,6 +141,23 @@ fn main() {
         opts.jobs,
         if opts.jobs == 1 { "" } else { "s" }
     );
+    if let Some((report, macro_wall)) = &macro_run {
+        eprintln!(
+            "[timing] m01: {macro_wall:.2}s wall serial at {} hosts",
+            report.hosts
+        );
+    }
+    eprintln!(
+        "[counters] interned paths: {}, hash probes: {}",
+        SpritePath::interned_count(),
+        runner::hash_probes_total()
+    );
+    if let Some((report, _)) = &macro_run {
+        eprintln!(
+            "[counters] m01 slabs: pcb high-water {}, stream high-water {}, stale lookups {}",
+            report.proc_slab_high_water, report.stream_slab_high_water, report.stale_handle_lookups
+        );
+    }
 
     if opts.json {
         let mut json = String::from("{\n");
@@ -139,7 +174,38 @@ fn main() {
                 if i + 1 == results.len() { "" } else { "," }
             ));
         }
-        json.push_str("  ]\n}\n");
+        json.push_str("  ]");
+        if let Some((r, macro_wall)) = &macro_run {
+            json.push_str(",\n  \"macrobench\": {\n");
+            json.push_str("    \"id\": \"m01\",\n");
+            json.push_str(
+                "    \"description\": \"cluster-scale data-plane macrobench (month + 100 simulations)\",\n",
+            );
+            json.push_str(&format!("    \"hosts\": {},\n", r.hosts));
+            json.push_str(&format!("    \"wall_seconds\": {macro_wall:.3},\n"));
+            json.push_str(&format!(
+                "    \"proc_slab_high_water\": {},\n",
+                r.proc_slab_high_water
+            ));
+            json.push_str(&format!(
+                "    \"stream_slab_high_water\": {},\n",
+                r.stream_slab_high_water
+            ));
+            json.push_str(&format!(
+                "    \"stale_handle_lookups\": {},\n",
+                r.stale_handle_lookups
+            ));
+            json.push_str(&format!(
+                "    \"interned_paths\": {},\n",
+                SpritePath::interned_count()
+            ));
+            json.push_str(&format!(
+                "    \"hash_probes\": {}\n",
+                runner::hash_probes_total()
+            ));
+            json.push_str("  }");
+        }
+        json.push_str("\n}\n");
         let path = "BENCH_experiments.json";
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("failed to write {path}: {e}");

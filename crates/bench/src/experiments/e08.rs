@@ -47,11 +47,11 @@ pub fn run(foreign_counts: &[usize], dirty_mbs: &[f64]) -> Vec<EvictionRow> {
                 let t2 = dirty_heap(&mut cluster, r.resumed_at, pid, mb);
                 t = t2;
             }
-            assert_eq!(cluster.foreign_on(victim).len(), n);
+            assert_eq!(cluster.foreign_on(victim).count(), n);
             // The owner returns.
             cluster.host_mut(victim).console_active = true;
             let reports = migrator.evict_all(&mut cluster, t, victim).expect("evict");
-            assert!(cluster.foreign_on(victim).is_empty());
+            assert!(cluster.foreign_on(victim).next().is_none());
             let reclaim = reports
                 .last()
                 .map(|r| r.resumed_at.elapsed_since(t))

@@ -53,6 +53,12 @@ pub struct MonthReport {
     pub migrations: u64,
     /// Events the simulation engine executed to drive this run.
     pub sim_events: u64,
+    /// Peak live processes in the cluster's PCB slab.
+    pub proc_slab_high_water: u64,
+    /// Peak live streams in the FS stream table.
+    pub stream_slab_high_water: u64,
+    /// Slab lookups rejected for a stale generation (should stay 0).
+    pub stale_handle_lookups: u64,
 }
 
 struct ActiveJob {
@@ -99,7 +105,7 @@ fn minute_tick(w: &mut World, t: SimTime) {
     // Owners returning to hosts with foreign processes trigger eviction.
     for i in 0..w.traces.len() {
         let active = w.traces[i].active_at(t);
-        if active && !w.was_active[i] && !w.cluster.foreign_on(h(i as u32)).is_empty() {
+        if active && !w.was_active[i] && w.cluster.foreign_on(h(i as u32)).next().is_some() {
             let reports = w
                 .migrator
                 .evict_all(&mut w.cluster, t, h(i as u32))
@@ -227,6 +233,10 @@ pub fn run_seeded(hosts: usize, days: u64, mut rng: DetRng) -> MonthReport {
     };
     report.migrations = world.migrator.totals().migrations;
     report.sim_events = engine.events_executed();
+    let slab = world.cluster.proc_slab_stats();
+    report.proc_slab_high_water = slab.high_water as u64;
+    report.stale_handle_lookups = slab.stale_lookups + world.cluster.fs.streams().stale_lookups();
+    report.stream_slab_high_water = world.cluster.fs.streams().high_water() as u64;
     report
 }
 
@@ -257,6 +267,9 @@ pub fn merge(reports: &[MonthReport]) -> MonthReport {
         out.cpu_seconds += r.cpu_seconds;
         out.migrations += r.migrations;
         out.sim_events += r.sim_events;
+        out.proc_slab_high_water = out.proc_slab_high_water.max(r.proc_slab_high_water);
+        out.stream_slab_high_water = out.stream_slab_high_water.max(r.stream_slab_high_water);
+        out.stale_handle_lookups += r.stale_handle_lookups;
         latency_total += r.mean_eviction_secs * r.evictions as f64;
     }
     out.utilization =

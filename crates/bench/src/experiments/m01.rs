@@ -1,0 +1,216 @@
+//! M1 — cluster-scale macrobench for the slab-arena data plane.
+//!
+//! Two production-shaped workloads at more than double the thesis's
+//! cluster size (120 hosts vs. the 50-workstation Sprite cluster):
+//!
+//! 1. an E11-style "month in the life" — diurnal console activity,
+//!    exec-time placement through the central server, owner-return
+//!    evictions — run as serial replications;
+//! 2. an E6-style batch of 100 independent simulations fanned out over
+//!    the borrowed machines by the pmake engine.
+//!
+//! The point is scale: process and stream churn at 120 hosts exercises
+//! the generational PCB/stream slabs, the interned path table and the
+//! deterministic hash maps hard enough that their occupancy counters mean
+//! something. The table reports those data-plane counters next to the
+//! workload results; `experiments --macro --json` records them in the
+//! `macrobench` block of `BENCH_experiments.json`.
+//!
+//! Not part of the default suite: the golden `experiments_output.txt`
+//! covers E1-A7, and this table only prints when `--macro` (or the id
+//! `m01`) is requested.
+
+use sprite_pmake::{prepare_sources, run_build, Action, DepGraph, PmakeConfig};
+use sprite_sim::{DetRng, SimDuration};
+use sprite_workloads::simulation_batch;
+
+use crate::experiments::e11;
+use crate::support::{h, secs, standard_cluster, standard_migrator, warmed_selector, TableWriter};
+
+/// Hosts in the macrobench cluster (the thesis cluster was ~50).
+pub const MACRO_HOSTS: usize = 120;
+/// Days per month replication.
+pub const MACRO_REP_DAYS: u64 = 3;
+/// Month replications.
+pub const MACRO_REPS: usize = 2;
+/// Independent simulations in the batch workload.
+pub const MACRO_SIM_JOBS: usize = 100;
+/// Master seed.
+pub const MACRO_SEED: u64 = 47;
+
+/// Everything the macrobench measured, for the table and the JSON sidecar.
+#[derive(Debug, Clone)]
+pub struct MacroReport {
+    /// Cluster size.
+    pub hosts: usize,
+    /// The merged month-in-the-life report.
+    pub month: e11::MonthReport,
+    /// Simulation-batch job count.
+    pub sim_jobs: usize,
+    /// Simulation-batch makespan.
+    pub sim_makespan: SimDuration,
+    /// Simulation-batch effective utilization (%).
+    pub sim_utilization_pct: f64,
+    /// Peak live PCBs across both workloads' clusters.
+    pub proc_slab_high_water: u64,
+    /// PCB slots ever allocated (peak table footprint).
+    pub proc_slab_capacity: u64,
+    /// Peak live streams across both workloads' clusters.
+    pub stream_slab_high_water: u64,
+    /// Generation-mismatch lookups across both workloads (must be 0: the
+    /// simulation never dereferences a dead process on purpose).
+    pub stale_handle_lookups: u64,
+}
+
+fn simulation_graph(count: usize, mean_cpu: SimDuration, seed: u64) -> DepGraph {
+    let jobs = simulation_batch(&mut DetRng::seed_from(seed), count, mean_cpu);
+    let mut g = DepGraph::new();
+    for j in &jobs {
+        g.add_target(
+            &format!("/sim/run{}.out", j.index),
+            Action::Compile(sprite_workloads::CompileJob {
+                src: format!("/sim/params{}.in", j.index),
+                headers: Vec::new(),
+                obj: format!("/sim/run{}.out", j.index),
+                src_bytes: 2 * 1024,
+                obj_bytes: j.result_bytes,
+                cpu: j.cpu,
+            }),
+            &[],
+        );
+    }
+    g
+}
+
+/// Runs both workloads serially and returns the combined report.
+pub fn run() -> MacroReport {
+    // Part 1: the month, as serial replications of the E11 world.
+    let month_reports: Vec<e11::MonthReport> = e11::replication_rngs(MACRO_SEED, MACRO_REPS)
+        .into_iter()
+        .map(|rng| e11::run_seeded(MACRO_HOSTS, MACRO_REP_DAYS, rng))
+        .collect();
+    let month = e11::merge(&month_reports);
+
+    // Part 2: 100 independent simulations over the borrowed machines.
+    let graph = simulation_graph(
+        MACRO_SIM_JOBS,
+        SimDuration::from_secs(400),
+        MACRO_SEED ^ 0xa5,
+    );
+    let (mut cluster, t0) = standard_cluster(MACRO_HOSTS);
+    let mut migrator = standard_migrator(MACRO_HOSTS);
+    let mut selector = warmed_selector(&mut cluster, MACRO_HOSTS, 2);
+    let t = prepare_sources(&mut cluster, &graph, h(1), t0).expect("prepare");
+    let build = run_build(
+        &mut cluster,
+        &mut migrator,
+        &mut selector,
+        h(1),
+        &graph,
+        &PmakeConfig::default(),
+        t,
+    )
+    .expect("build");
+    let procs = cluster.proc_slab_stats();
+    let streams = cluster.fs.streams();
+
+    MacroReport {
+        hosts: MACRO_HOSTS,
+        sim_jobs: graph.len(),
+        sim_makespan: build.makespan,
+        sim_utilization_pct: build.effective_parallelism * 100.0,
+        proc_slab_high_water: month.proc_slab_high_water.max(procs.high_water as u64),
+        proc_slab_capacity: procs.capacity as u64,
+        stream_slab_high_water: month
+            .stream_slab_high_water
+            .max(streams.high_water() as u64),
+        stale_handle_lookups: month.stale_handle_lookups
+            + procs.stale_lookups
+            + streams.stale_lookups(),
+        month,
+    }
+}
+
+/// Renders the macrobench table.
+pub fn render(r: &MacroReport) -> String {
+    let mut t = TableWriter::new(
+        &format!(
+            "M1: cluster-scale macrobench ({} hosts; {}-day month x{} + {} simulations)",
+            r.hosts, MACRO_REP_DAYS, MACRO_REPS, r.sim_jobs
+        ),
+        &["metric", "value"],
+    );
+    t.row(&["month: jobs launched".into(), r.month.jobs.to_string()]);
+    t.row(&[
+        "month: remote (exec-time placed)".into(),
+        format!(
+            "{} ({:.0}%)",
+            r.month.remote_jobs,
+            100.0 * r.month.remote_jobs as f64 / r.month.jobs.max(1) as f64
+        ),
+    ]);
+    t.row(&["month: evictions".into(), r.month.evictions.to_string()]);
+    t.row(&[
+        "month: cluster CPU utilization".into(),
+        format!("{:.2}%", r.month.utilization * 100.0),
+    ]);
+    t.row(&[
+        "month: engine events".into(),
+        r.month.sim_events.to_string(),
+    ]);
+    t.row(&["sims: makespan".into(), secs(r.sim_makespan)]);
+    t.row(&[
+        "sims: effective utilization".into(),
+        format!("{:.0}%", r.sim_utilization_pct),
+    ]);
+    t.row(&[
+        "data plane: PCB slab high-water".into(),
+        r.proc_slab_high_water.to_string(),
+    ]);
+    t.row(&[
+        "data plane: PCB slots allocated".into(),
+        r.proc_slab_capacity.to_string(),
+    ]);
+    t.row(&[
+        "data plane: stream slab high-water".into(),
+        r.stream_slab_high_water.to_string(),
+    ]);
+    t.row(&[
+        "data plane: stale handle lookups".into(),
+        r.stale_handle_lookups.to_string(),
+    ]);
+    t.note("slab slots are reused through free lists: the table footprint is the");
+    t.note("high-water mark, not the process count; stale lookups must stay 0");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_macro_run_is_clean() {
+        // A scaled-down pass through the same code path: slabs populated,
+        // no stale dereferences, simulations all complete.
+        let graph = simulation_graph(8, SimDuration::from_secs(40), 7);
+        let (mut cluster, t0) = standard_cluster(10);
+        let mut migrator = standard_migrator(10);
+        let mut selector = warmed_selector(&mut cluster, 10, 2);
+        let t = prepare_sources(&mut cluster, &graph, h(1), t0).expect("prepare");
+        let build = run_build(
+            &mut cluster,
+            &mut migrator,
+            &mut selector,
+            h(1),
+            &graph,
+            &PmakeConfig::default(),
+            t,
+        )
+        .expect("build");
+        assert_eq!(build.targets_built, graph.len());
+        let procs = cluster.proc_slab_stats();
+        assert!(procs.high_water > 0, "slab saw live processes");
+        assert_eq!(procs.stale_lookups, 0, "no stale PCB handles");
+        assert_eq!(cluster.fs.streams().stale_lookups(), 0);
+    }
+}

@@ -19,11 +19,24 @@
 //!    order, so the assembled tables do not depend on completion order;
 //! 4. wall-clock timings go to stderr and the JSON sidecar, never stdout.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::experiments::{e10, e11};
+
+/// Hash-map probes flushed from worker threads after each unit. The probe
+/// counter itself is thread-local (see `sprite_sim::detmap`), so the runner
+/// drains it at unit boundaries — the only points where it knows which
+/// thread did the hashing.
+static HASH_PROBES: AtomicU64 = AtomicU64::new(0);
+
+/// Total hash-map probes observed so far: everything flushed by runner
+/// units plus whatever the calling thread has accumulated since its last
+/// flush (e.g. a `--macro` run outside the suite).
+pub fn hash_probes_total() -> u64 {
+    HASH_PROBES.load(Ordering::Relaxed) + sprite_sim::hash_probes()
+}
 
 /// A unit's result, merged back into its experiment's table.
 pub enum Partial {
@@ -99,6 +112,7 @@ pub fn run_suite(suite: Vec<Experiment>, jobs: usize) -> Vec<ExperimentResult> {
         for (i, (_, _, run)) in slots.into_iter().enumerate() {
             let started = Instant::now();
             let partial = run();
+            HASH_PROBES.fetch_add(sprite_sim::take_hash_probes(), Ordering::Relaxed);
             outcomes[i] = Some((partial, started.elapsed()));
         }
     } else {
@@ -128,6 +142,7 @@ pub fn run_suite(suite: Vec<Experiment>, jobs: usize) -> Vec<ExperimentResult> {
                     let run = work[gi].lock().unwrap().take().expect("unit taken twice");
                     let started = Instant::now();
                     let partial = run();
+                    HASH_PROBES.fetch_add(sprite_sim::take_hash_probes(), Ordering::Relaxed);
                     *results[gi].lock().unwrap() = Some((partial, started.elapsed()));
                 });
             }

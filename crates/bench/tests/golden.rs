@@ -1,0 +1,56 @@
+//! Differential test against the checked-in golden output.
+//!
+//! `experiments_output.txt` at the repo root is the byte-exact stdout of a
+//! serial `experiments` run. Recomputing a sample of cheap tables and
+//! asserting they appear verbatim in that file pins the whole rendering
+//! pipeline — slab iteration order, interned-path comparison, deterministic
+//! hashing — to the committed bytes: any data-structure change that
+//! reorders or renumbers output fails here, not in review.
+//!
+//! Only sub-hundred-millisecond experiments are recomputed so the test
+//! stays fast in debug builds; `scripts/bench_check.sh` diffs the complete
+//! output in release mode.
+
+use sprite_bench::experiments::{a01, a02, a06, a07, e01, e03, e04, e06, e07, e12};
+
+fn golden() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../experiments_output.txt");
+    std::fs::read_to_string(path).expect("checked-in experiments_output.txt")
+}
+
+#[test]
+fn cheap_tables_match_checked_in_output() {
+    let golden = golden();
+    let tables: [(&str, String); 10] = [
+        ("e01", e01::table()),
+        ("e03", e03::table()),
+        ("e04", e04::table()),
+        ("e06", e06::table()),
+        ("e07", e07::table()),
+        ("e12", e12::table()),
+        ("a01", a01::table()),
+        ("a02", a02::table()),
+        ("a06", a06::table()),
+        ("a07", a07::table()),
+    ];
+    for (id, table) in &tables {
+        assert!(
+            golden.contains(table),
+            "{id}: recomputed table diverged from experiments_output.txt;\n\
+             if the change is intentional, regenerate the golden file with\n\
+             `cargo run -p sprite-bench --release --bin experiments > experiments_output.txt`\n\
+             recomputed:\n{table}"
+        );
+    }
+}
+
+#[test]
+fn golden_file_covers_every_experiment() {
+    let golden = golden();
+    for (id, _, _) in sprite_bench::experiments::all() {
+        assert!(
+            golden.contains(&format!("[{id}: ")),
+            "experiments_output.txt is missing {id}"
+        );
+    }
+}

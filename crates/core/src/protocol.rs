@@ -506,7 +506,7 @@ impl Migrator {
         now: SimTime,
         host: HostId,
     ) -> MigrationResult<Vec<MigrationReport>> {
-        let foreign = cluster.foreign_on(host);
+        let foreign: Vec<_> = cluster.foreign_on(host).collect();
         let mut reports = Vec::with_capacity(foreign.len());
         let mut t = now;
         for pid in foreign {
@@ -542,7 +542,7 @@ impl Migrator {
         host: HostId,
         candidates: &[HostId],
     ) -> MigrationResult<(Vec<MigrationReport>, usize)> {
-        let foreign = cluster.foreign_on(host);
+        let foreign: Vec<_> = cluster.foreign_on(host).collect();
         let mut reports = Vec::with_capacity(foreign.len());
         let mut resettled = 0usize;
         let mut t = now;

@@ -11,9 +11,8 @@
 //! (Ch. 5.3), and a foreign process's cache footprint is part of the cost it
 //! imposes on its host.
 
-use std::collections::HashMap;
-
 use sprite_net::PAGE_SIZE;
+use sprite_sim::DetHashMap;
 
 use crate::FileId;
 
@@ -50,7 +49,7 @@ struct CachedBlock {
 /// ```
 #[derive(Debug)]
 pub struct BlockCache {
-    blocks: HashMap<BlockAddr, CachedBlock>,
+    blocks: DetHashMap<BlockAddr, CachedBlock>,
     capacity: usize,
     clock: u64,
     hits: u64,
@@ -66,7 +65,7 @@ impl BlockCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         BlockCache {
-            blocks: HashMap::new(),
+            blocks: DetHashMap::default(),
             capacity,
             clock: 0,
             hits: 0,

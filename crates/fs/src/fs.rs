@@ -17,10 +17,8 @@
 //! Every public operation takes the current simulated time and the shared
 //! [`Network`], and returns its completion time alongside its result.
 
-use std::collections::HashMap;
-
 use sprite_net::{HostId, Network, PAGE_SIZE};
-use sprite_sim::{SimDuration, SimTime};
+use sprite_sim::{DetHashMap, SimDuration, SimTime};
 
 use crate::cache::{BlockAddr, BlockCache};
 use crate::server::ServerState;
@@ -157,11 +155,14 @@ pub struct FsStats {
 #[derive(Debug)]
 pub struct SpriteFs {
     domains: Vec<(SpritePath, HostId)>,
-    servers: HashMap<HostId, ServerState>,
+    /// Dense per-host server table: `servers[h.index()]` is `Some` exactly
+    /// when host `h` runs a file server. One bounds check per access.
+    servers: Vec<Option<ServerState>>,
     clients: Vec<BlockCache>,
-    name_caches: Vec<HashMap<SpritePath, FileId>>,
+    name_caches: Vec<DetHashMap<SpritePath, FileId>>,
     streams: StreamTable,
-    file_home: HashMap<FileId, HostId>,
+    /// Dense file→server table indexed by the file's sequential id.
+    file_home: Vec<Option<HostId>>,
     next_file: u64,
     stats: FsStats,
     config: FsConfig,
@@ -173,13 +174,13 @@ impl SpriteFs {
     pub fn new(config: FsConfig, hosts: usize) -> Self {
         SpriteFs {
             domains: Vec::new(),
-            servers: HashMap::new(),
+            servers: (0..hosts).map(|_| None).collect(),
             clients: (0..hosts)
                 .map(|_| BlockCache::new(config.client_cache_blocks))
                 .collect(),
-            name_caches: vec![HashMap::new(); hosts],
+            name_caches: vec![DetHashMap::default(); hosts],
             streams: StreamTable::new(),
-            file_home: HashMap::new(),
+            file_home: Vec::new(),
             next_file: 1,
             stats: FsStats::default(),
             config,
@@ -189,9 +190,10 @@ impl SpriteFs {
     /// Declares that `host` runs a file server exporting the subtree at
     /// `prefix`. Longest-prefix match routes names to servers.
     pub fn add_server(&mut self, host: HostId, prefix: SpritePath) {
-        self.servers
-            .entry(host)
-            .or_insert_with(|| ServerState::new(host, self.config.server_cache_blocks));
+        let slot = &mut self.servers[host.index()];
+        if slot.is_none() {
+            *slot = Some(ServerState::new(host, self.config.server_cache_blocks));
+        }
         self.domains.push((prefix, host));
         // Longest prefix first.
         self.domains
@@ -219,7 +221,7 @@ impl SpriteFs {
 
     /// Read access to a server's state (diagnostics, invariant checks).
     pub fn server(&self, host: HostId) -> Option<&ServerState> {
-        self.servers.get(&host)
+        self.servers.get(host.index()).and_then(|s| s.as_ref())
     }
 
     /// Read access to a client cache.
@@ -234,10 +236,32 @@ impl SpriteFs {
 
     /// The server host storing `file`.
     pub fn home_of(&self, file: FileId) -> Option<HostId> {
-        self.file_home.get(&file).copied()
+        self.file_home.get(file.raw() as usize).copied().flatten()
     }
 
     // ----- internal helpers ------------------------------------------------
+
+    fn srv(&self, host: HostId) -> &ServerState {
+        self.servers[host.index()].as_ref().expect("known server")
+    }
+
+    fn srv_mut(&mut self, host: HostId) -> &mut ServerState {
+        self.servers[host.index()].as_mut().expect("known server")
+    }
+
+    fn set_home(&mut self, file: FileId, server: HostId) {
+        let i = file.raw() as usize;
+        if self.file_home.len() <= i {
+            self.file_home.resize(i + 1, None);
+        }
+        self.file_home[i] = Some(server);
+    }
+
+    fn clear_home(&mut self, file: FileId) {
+        if let Some(slot) = self.file_home.get_mut(file.raw() as usize) {
+            *slot = None;
+        }
+    }
 
     /// Charges one client→server service interaction: a local kernel call if
     /// the client *is* the server machine, otherwise an RPC whose service
@@ -253,7 +277,7 @@ impl SpriteFs {
         reply_bytes: u64,
         extra: SimDuration,
     ) -> SimTime {
-        let srv = self.servers.get_mut(&server).expect("known server");
+        let srv = self.srv_mut(server);
         if client == server {
             let local = net.cost().local_kernel_call;
             srv.cpu
@@ -281,10 +305,10 @@ impl SpriteFs {
         addr: BlockAddr,
         data: Vec<u8>,
     ) -> SimTime {
-        let server = *self.file_home.get(&addr.file).expect("file has a home");
+        let server = self.home_of(addr.file).expect("file has a home");
         let extra = net.cost().cache_block_op;
         let done = self.charge_service(net, now, from, server, data.len() as u64 + 64, 64, extra);
-        let srv = self.servers.get_mut(&server).expect("known server");
+        let srv = self.srv_mut(server);
         srv.touch_block(addr.file, addr.block);
         if let Some(file) = srv.file_mut(addr.file) {
             file.write_at(addr.block * PAGE_SIZE, &data);
@@ -302,7 +326,7 @@ impl SpriteFs {
         host: HostId,
         file: FileId,
     ) -> SimTime {
-        let server = *self.file_home.get(&file).expect("file has a home");
+        let server = self.home_of(file).expect("file has a home");
         let dirty = self.clients[host.index()].take_dirty_blocks(file);
         if dirty.is_empty() {
             return now;
@@ -394,11 +418,11 @@ impl SpriteFs {
         let done = self.charge_service(net, now, host, server, 128, 64, lookup);
         self.stats.lookups += 1;
         let id = FileId::new(self.next_file);
-        let srv = self.servers.get_mut(&server).expect("resolved server");
+        let srv = self.srv_mut(server);
         match srv.create(path.clone(), id, kind) {
             Some(id) => {
                 self.next_file += 1;
-                self.file_home.insert(id, server);
+                self.set_home(id, server);
                 Ok((id, done))
             }
             None => Err(FsError::AlreadyExists(path)),
@@ -423,10 +447,10 @@ impl SpriteFs {
         let lookup = net.cost().name_lookup_component * path.depth();
         let done = self.charge_service(net, now, host, server, 128, 64, lookup);
         self.stats.lookups += 1;
-        let srv = self.servers.get_mut(&server).expect("resolved server");
+        let srv = self.srv_mut(server);
         if let Some(id) = srv.lookup(path) {
             srv.unlink(path);
-            self.file_home.remove(&id);
+            self.clear_home(id);
             self.clients[host.index()].invalidate_file(id);
             for cache in &mut self.name_caches {
                 cache.remove(path);
@@ -459,7 +483,7 @@ impl SpriteFs {
             net.cost().name_lookup_component * path.depth()
         };
         let mut t = self.charge_service(net, now, host, server, 128, 128, lookup);
-        let srv = self.servers.get_mut(&server).expect("resolved server");
+        let srv = self.srv_mut(server);
         let Some(id) = srv.lookup(&path) else {
             self.name_caches[host.index()].remove(&path);
             return Err(FsError::NotFound(path));
@@ -640,7 +664,7 @@ impl SpriteFs {
                 self.stats.uncached_ops += 1;
                 let extra = net.cost().cache_block_op;
                 t = self.charge_service(net, t, host, server, chunk.len() as u64 + 64, 64, extra);
-                let srv = self.servers.get_mut(&server).expect("known server");
+                let srv = self.srv_mut(server);
                 srv.touch_block(file, block);
                 if let Some(f) = srv.file_mut(file) {
                     f.write_at(block_start + within as u64, chunk);
@@ -695,7 +719,7 @@ impl SpriteFs {
                     }
                 }
                 t = self.charge_service(net, t, host, server, 64, 64, SimDuration::ZERO);
-                let srv = self.servers.get_mut(&server).expect("known server");
+                let srv = self.srv_mut(server);
                 srv.close(file, host, mode);
             }
             ReleaseOutcome::StillOpen {
@@ -710,7 +734,7 @@ impl SpriteFs {
                         }
                     }
                     t = self.charge_service(net, t, host, server, 64, 64, SimDuration::ZERO);
-                    let srv = self.servers.get_mut(&server).expect("known server");
+                    let srv = self.srv_mut(server);
                     srv.close(file, host, mode);
                 }
             }
@@ -759,7 +783,7 @@ impl SpriteFs {
             .streams
             .move_refs(stream, from, to, nrefs)
             .ok_or(FsError::BadStream(stream))?;
-        let srv = self.servers.get_mut(&server).expect("known server");
+        let srv = self.srv_mut(server);
         if outcome.from_dropped_file_ref {
             srv.move_open(file, from, to, mode);
         } else {
@@ -795,7 +819,7 @@ impl SpriteFs {
         let server = self.backing_server(file)?;
         let extra = net.cost().cache_block_op;
         let t = self.charge_service(net, now, host, server, bytes.len() as u64 + 64, 64, extra);
-        let srv = self.servers.get_mut(&server).expect("known server");
+        let srv = self.srv_mut(server);
         srv.touch_block(file, page);
         srv.file_mut(file)
             .expect("backing file exists")
@@ -816,7 +840,7 @@ impl SpriteFs {
         let server = self.backing_server(file)?;
         let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, page);
         let t = self.charge_service(net, now, host, server, 64, PAGE_SIZE + 64, extra);
-        let srv = self.servers.get_mut(&server).expect("known server");
+        let srv = self.srv_mut(server);
         let mut data = srv
             .file(file)
             .expect("backing file exists")
@@ -827,12 +851,9 @@ impl SpriteFs {
     }
 
     fn backing_server(&self, file: FileId) -> FsResult<HostId> {
-        let server = self
-            .file_home
-            .get(&file)
-            .copied()
-            .ok_or(FsError::WrongKind(file))?;
-        let kind = self.servers[&server]
+        let server = self.home_of(file).ok_or(FsError::WrongKind(file))?;
+        let kind = self
+            .srv(server)
             .file(file)
             .ok_or(FsError::WrongKind(file))?
             .kind;
@@ -911,35 +932,35 @@ impl SpriteFs {
     }
 
     fn server_file_version(&self, server: HostId, file: FileId) -> u64 {
-        self.servers[&server]
-            .file(file)
-            .map(|f| f.version)
-            .unwrap_or(0)
+        self.srv(server).file(file).map(|f| f.version).unwrap_or(0)
     }
 
     fn server_file_cacheable(&self, server: HostId, file: FileId) -> bool {
-        self.servers[&server]
+        self.srv(server)
             .file(file)
             .map(|f| f.cacheable)
             .unwrap_or(false)
     }
 
     fn server_file_len(&self, server: HostId, file: FileId) -> u64 {
-        self.servers[&server]
+        self.srv(server)
             .file(file)
             .map(|f| f.logical_size())
             .unwrap_or(0)
     }
 
     fn server_block(&self, server: HostId, file: FileId, block: u64) -> Vec<u8> {
-        self.servers[&server]
+        self.srv(server)
             .file(file)
             .map(|f| f.read_block(block))
             .unwrap_or_default()
     }
 
     fn note_size(&mut self, server: HostId, file: FileId, end: u64) {
-        if let Some(f) = self.servers.get_mut(&server).and_then(|s| s.file_mut(file)) {
+        if let Some(f) = self.servers[server.index()]
+            .as_mut()
+            .and_then(|s| s.file_mut(file))
+        {
             f.note_logical_size(end);
         }
     }
@@ -951,7 +972,7 @@ impl SpriteFs {
         file: FileId,
         block: u64,
     ) -> SimDuration {
-        let srv = self.servers.get_mut(&server).expect("known server");
+        let srv = self.srv_mut(server);
         if srv.touch_block(file, block) {
             SimDuration::ZERO
         } else {

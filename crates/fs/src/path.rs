@@ -5,10 +5,65 @@
 //! the server, one pathname component at a time — which is why lookups are
 //! the file servers' dominant CPU cost during parallel compilations \[Nel88\],
 //! and why E5's speedup curve bends where it does.
+//!
+//! Pathnames are *interned*: the first construction of a given normalized
+//! path stores its text once in a process-wide table and every
+//! [`SpritePath`] after that is a 32-bit symbol plus a cached pointer to the
+//! shared text. Equality and hashing compare the symbol (one integer op),
+//! cloning is trivial, and the name caches and server namespaces in
+//! `sprite-fs` become integer-keyed tables. Ordering still compares the
+//! text, so sorted output is identical to the string days. Interned text is
+//! never freed — a simulation's working set of distinct paths is small and
+//! bounded by the workload, and [`SpritePath::interned_count`] exposes the
+//! table size for the data-plane counters report.
 
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
 
-/// An absolute pathname in the shared name space.
+use sprite_sim::DetHashMap;
+
+/// The process-wide path intern table. Symbols index `strings`; `map` takes
+/// normalized text back to its symbol. Strings are leaked into `'static` so
+/// resolved text needs no lock and no copy.
+struct Interner {
+    map: DetHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: DetHashMap::default(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+/// Interns normalized path text, returning its symbol and shared text.
+fn intern(normalized: &str) -> (u32, &'static str) {
+    let lock = interner();
+    if let Some((&text, &sym)) = lock
+        .read()
+        .expect("interner poisoned")
+        .map
+        .get_key_value(normalized)
+    {
+        return (sym, text);
+    }
+    let mut guard = lock.write().expect("interner poisoned");
+    // Double-check: another thread may have interned it between the locks.
+    if let Some((&text, &sym)) = guard.map.get_key_value(normalized) {
+        return (sym, text);
+    }
+    let text: &'static str = Box::leak(normalized.to_owned().into_boxed_str());
+    let sym = u32::try_from(guard.strings.len()).expect("interner full");
+    guard.strings.push(text);
+    guard.map.insert(text, sym);
+    (sym, text)
+}
+
+/// An absolute pathname in the shared name space, as an interned symbol.
 ///
 /// # Examples
 ///
@@ -19,8 +74,11 @@ use std::fmt;
 /// assert_eq!(p.components().count(), 3);
 /// assert_eq!(p.to_string(), "/users/douglis/thesis.tex");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct SpritePath(String);
+#[derive(Clone)]
+pub struct SpritePath {
+    sym: u32,
+    text: &'static str,
+}
 
 impl SpritePath {
     /// Creates a path, normalizing to a single leading slash and no
@@ -32,13 +90,20 @@ impl SpritePath {
     pub fn new(path: impl Into<String>) -> Self {
         let raw = path.into();
         assert!(!raw.is_empty(), "empty pathname");
-        let trimmed = raw.trim_matches('/');
-        SpritePath(format!("/{trimmed}"))
+        let already_normal =
+            raw == "/" || (raw.starts_with('/') && !raw.ends_with('/') && !raw.contains("//"));
+        let (sym, text) = if already_normal {
+            intern(&raw)
+        } else {
+            let trimmed = raw.trim_matches('/');
+            intern(&format!("/{trimmed}"))
+        };
+        SpritePath { sym, text }
     }
 
     /// The pathname components, in order.
-    pub fn components(&self) -> impl Iterator<Item = &str> {
-        self.0.split('/').filter(|c| !c.is_empty())
+    pub fn components(&self) -> impl Iterator<Item = &'static str> {
+        self.text.split('/').filter(|c| !c.is_empty())
     }
 
     /// Number of components (what a server-side lookup pays for).
@@ -48,30 +113,74 @@ impl SpritePath {
 
     /// Appends a component.
     pub fn join(&self, component: &str) -> SpritePath {
-        SpritePath::new(format!("{}/{}", self.0, component))
+        SpritePath::new(format!("{}/{}", self.text, component))
     }
 
     /// True if `self` lies under `prefix` (or equals it).
     pub fn starts_with(&self, prefix: &SpritePath) -> bool {
-        if prefix.0 == "/" {
+        if prefix.text == "/" {
             return true;
         }
-        self.0 == prefix.0
+        self.sym == prefix.sym
             || self
-                .0
-                .strip_prefix(&prefix.0)
+                .text
+                .strip_prefix(prefix.text)
                 .is_some_and(|rest| rest.starts_with('/'))
     }
 
     /// The raw string form.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.text
+    }
+
+    /// This path's intern symbol — the integer the name caches key on.
+    pub fn symbol(&self) -> u32 {
+        self.sym
+    }
+
+    /// Number of distinct paths interned process-wide (data-plane counters).
+    pub fn interned_count() -> usize {
+        interner().read().expect("interner poisoned").strings.len()
+    }
+}
+
+impl PartialEq for SpritePath {
+    fn eq(&self, other: &Self) -> bool {
+        self.sym == other.sym
+    }
+}
+
+impl Eq for SpritePath {}
+
+impl std::hash::Hash for SpritePath {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sym.hash(state);
+    }
+}
+
+impl PartialOrd for SpritePath {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SpritePath {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lexicographic on the text, same as the pre-interning String form,
+        // so anything sorted by path renders in the same order.
+        self.text.cmp(other.text)
+    }
+}
+
+impl fmt::Debug for SpritePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SpritePath").field(&self.text).finish()
     }
 }
 
 impl fmt::Display for SpritePath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.text)
     }
 }
 
@@ -120,5 +229,28 @@ mod tests {
     #[should_panic(expected = "empty pathname")]
     fn empty_path_panics() {
         SpritePath::new("");
+    }
+
+    #[test]
+    fn interning_shares_symbols() {
+        let a = SpritePath::new("/interned/once");
+        let b = SpritePath::new("interned/once/");
+        assert_eq!(a.symbol(), b.symbol());
+        assert!(std::ptr::eq(a.as_str(), b.as_str()), "one stored copy");
+        assert!(SpritePath::interned_count() > 0);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern out of lexicographic order on purpose: symbol order and
+        // text order must be allowed to disagree.
+        let mut v = [
+            SpritePath::new("/zz"),
+            SpritePath::new("/aa"),
+            SpritePath::new("/mm"),
+        ];
+        v.sort();
+        let texts: Vec<&str> = v.iter().map(|p| p.as_str()).collect();
+        assert_eq!(texts, vec!["/aa", "/mm", "/zz"]);
     }
 }

@@ -9,10 +9,10 @@
 //! name lookups and block operations queue on it, and its saturation is what
 //! limits parallel compilation (E5) exactly as Nelson predicted \[Nel88\].
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use sprite_net::{HostId, PAGE_SIZE};
-use sprite_sim::FcfsResource;
+use sprite_sim::{DetHashMap, DetHashSet, FcfsResource};
 
 use crate::{FileId, FileKind, OpenMode, SpritePath};
 
@@ -76,7 +76,7 @@ impl ServerFile {
 
     /// Hosts with the file open at all.
     pub fn open_hosts(&self) -> impl Iterator<Item = HostId> + '_ {
-        let mut seen = HashSet::new();
+        let mut seen = DetHashSet::default();
         self.opens
             .iter()
             .filter(move |r| seen.insert(r.host))
@@ -85,7 +85,7 @@ impl ServerFile {
 
     /// Hosts with the file open for writing.
     pub fn writer_hosts(&self) -> impl Iterator<Item = HostId> + '_ {
-        let mut seen = HashSet::new();
+        let mut seen = DetHashSet::default();
         self.opens
             .iter()
             .filter(|r| r.mode.writes())
@@ -96,7 +96,7 @@ impl ServerFile {
     /// True if distinct hosts share the file while at least one writes —
     /// the condition under which Sprite disables caching.
     pub fn concurrently_write_shared(&self) -> bool {
-        let hosts: HashSet<HostId> = self.open_hosts().collect();
+        let hosts: DetHashSet<HostId> = self.open_hosts().collect();
         hosts.len() > 1 && self.writer_hosts().next().is_some()
     }
 
@@ -178,12 +178,12 @@ pub struct ServerState {
     pub host: HostId,
     /// The server's CPU; lookups and block service queue here.
     pub cpu: FcfsResource,
-    namespace: HashMap<SpritePath, FileId>,
-    files: HashMap<FileId, ServerFile>,
+    namespace: DetHashMap<SpritePath, FileId>,
+    files: DetHashMap<FileId, ServerFile>,
     /// Server main-memory block cache residency (LRU set). Contents always
     /// live in `files`; this set only decides whether service costs a disk
     /// access.
-    mem_cache: HashSet<(FileId, u64)>,
+    mem_cache: DetHashSet<(FileId, u64)>,
     mem_lru: VecDeque<(FileId, u64)>,
     mem_capacity: usize,
     disk_reads: u64,
@@ -196,9 +196,9 @@ impl ServerState {
         ServerState {
             host,
             cpu: FcfsResource::new(),
-            namespace: HashMap::new(),
-            files: HashMap::new(),
-            mem_cache: HashSet::new(),
+            namespace: DetHashMap::default(),
+            files: DetHashMap::default(),
+            mem_cache: DetHashSet::default(),
             mem_lru: VecDeque::new(),
             mem_capacity: mem_capacity.max(1),
             disk_reads: 0,

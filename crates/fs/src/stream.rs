@@ -9,8 +9,14 @@
 //! objects as *shadow streams* \[Wel90\]. Every subsequent read or write pays
 //! a server round trip to use the shared offset — a genuine, measurable cost
 //! of transparency that experiment E3/E12 quantifies.
+//!
+//! The table itself is a *generational slab*: a [`StreamId`] embeds the slot
+//! index and the slot's generation at open time. Lookups are one bounds
+//! check and one generation compare — no hashing — and a stale id (a stream
+//! closed and its slot reused) fails the generation compare instead of
+//! silently resolving to the unrelated stream now in that slot.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 use std::fmt;
 
 use sprite_net::HostId;
@@ -18,15 +24,26 @@ use sprite_net::HostId;
 use crate::{FileId, FileKind, OpenMode};
 
 /// Identifies one stream (open-file object) network-wide.
+///
+/// Packs `(slot, generation)` into 64 bits: the low half indexes the stream
+/// table's slab, the high half must match the slot's current generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StreamId(u64);
 
 impl StreamId {
-    pub(crate) const fn new(raw: u64) -> Self {
-        StreamId(raw)
+    pub(crate) const fn pack(slot: u32, gen: u32) -> Self {
+        StreamId(((gen as u64) << 32) | slot as u64)
     }
 
-    /// The raw identifier value.
+    pub(crate) const fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    pub(crate) const fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The raw packed identifier value.
     pub const fn raw(self) -> u64 {
         self.0
     }
@@ -34,7 +51,7 @@ impl StreamId {
 
 impl fmt::Display for StreamId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "stream{}", self.0)
+        write!(f, "stream{}.{}", self.slot(), self.generation())
     }
 }
 
@@ -51,8 +68,9 @@ pub struct Stream {
     pub kind: FileKind,
     offset: u64,
     /// Reference counts per holding host (fork shares within a host;
-    /// migration moves references between hosts).
-    holders: HashMap<HostId, u32>,
+    /// migration moves references between hosts). Almost always one or two
+    /// entries, so a flat vector beats any map.
+    holders: Vec<(HostId, u32)>,
 }
 
 impl Stream {
@@ -73,17 +91,21 @@ impl Stream {
 
     /// Total references across all hosts.
     pub fn total_refs(&self) -> u32 {
-        self.holders.values().sum()
+        self.holders.iter().map(|(_, n)| n).sum()
     }
 
     /// References held by one host.
     pub fn refs_on(&self, host: HostId) -> u32 {
-        self.holders.get(&host).copied().unwrap_or(0)
+        self.holders
+            .iter()
+            .find(|(h, _)| *h == host)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
     }
 
     /// Hosts currently holding references.
     pub fn holder_hosts(&self) -> impl Iterator<Item = HostId> + '_ {
-        self.holders.keys().copied()
+        self.holders.iter().map(|(h, _)| *h)
     }
 
     /// True when references exist on more than one host: the access
@@ -91,9 +113,39 @@ impl Stream {
     pub fn is_shadowed(&self) -> bool {
         self.holders.len() > 1
     }
+
+    fn add_holder(&mut self, host: HostId, n: u32) {
+        match self.holders.iter_mut().find(|(h, _)| *h == host) {
+            Some((_, count)) => *count += n,
+            None => self.holders.push((host, n)),
+        }
+    }
+
+    /// Drops `n` references from `host`; returns `None` if the host holds
+    /// fewer than `n`, otherwise whether the host dropped its last reference.
+    fn drop_holder(&mut self, host: HostId, n: u32) -> Option<bool> {
+        let pos = self.holders.iter().position(|(h, _)| *h == host)?;
+        if self.holders[pos].1 < n {
+            return None;
+        }
+        self.holders[pos].1 -= n;
+        if self.holders[pos].1 == 0 {
+            self.holders.remove(pos);
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
 }
 
-/// The network-wide table of streams.
+/// One slab slot: the generation counts how many streams have lived here.
+#[derive(Debug, Default)]
+struct StreamSlot {
+    gen: u32,
+    stream: Option<Stream>,
+}
+
+/// The network-wide table of streams, as a generational slab.
 ///
 /// In the real system each kernel has its own stream table with shadow
 /// entries at servers; one logical table with per-host reference counts is
@@ -101,8 +153,11 @@ impl Stream {
 /// the sharing invariants directly checkable.
 #[derive(Debug, Default)]
 pub struct StreamTable {
-    streams: HashMap<StreamId, Stream>,
-    next: u64,
+    slots: Vec<StreamSlot>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+    stale_lookups: Cell<u64>,
 }
 
 impl StreamTable {
@@ -120,50 +175,90 @@ impl StreamTable {
         mode: OpenMode,
         host: HostId,
     ) -> StreamId {
-        let id = StreamId::new(self.next);
-        self.next += 1;
-        let mut holders = HashMap::new();
-        holders.insert(host, 1);
-        self.streams.insert(
-            id,
-            Stream {
-                file,
-                server,
-                mode,
-                kind,
-                offset: 0,
-                holders,
-            },
-        );
-        id
+        let stream = Stream {
+            file,
+            server,
+            mode,
+            kind,
+            offset: 0,
+            holders: vec![(host, 1)],
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slots.push(StreamSlot::default());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.stream.is_none(), "allocated a live slot");
+        s.stream = Some(stream);
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        StreamId::pack(slot, s.gen)
     }
 
-    /// Looks up a stream.
+    /// Looks up a stream. Stale ids (the slot was reused since this id was
+    /// minted) return `None`, never another stream.
     pub fn get(&self, id: StreamId) -> Option<&Stream> {
-        self.streams.get(&id)
+        let s = self.slots.get(id.slot() as usize)?;
+        if s.gen != id.generation() {
+            self.stale_lookups.set(self.stale_lookups.get() + 1);
+            return None;
+        }
+        s.stream.as_ref()
     }
 
     /// Mutable access to a stream.
     pub fn get_mut(&mut self, id: StreamId) -> Option<&mut Stream> {
-        self.streams.get_mut(&id)
+        let s = self.slots.get_mut(id.slot() as usize)?;
+        if s.gen != id.generation() {
+            self.stale_lookups.set(self.stale_lookups.get() + 1);
+            return None;
+        }
+        s.stream.as_mut()
     }
 
     /// Number of live streams.
     pub fn len(&self) -> usize {
-        self.streams.len()
+        self.live
     }
 
     /// True if no streams are open.
     pub fn is_empty(&self) -> bool {
-        self.streams.is_empty()
+        self.live == 0
+    }
+
+    /// Most streams ever simultaneously open (slab occupancy high-water).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Slots allocated (live + free); the slab's memory footprint.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lookups that presented a stale (reused-slot) identifier.
+    pub fn stale_lookups(&self) -> u64 {
+        self.stale_lookups.get()
+    }
+
+    fn retire(&mut self, id: StreamId) {
+        let slot = &mut self.slots[id.slot() as usize];
+        debug_assert_eq!(slot.gen, id.generation(), "retiring a stale id");
+        slot.stream = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.slot());
+        self.live -= 1;
     }
 
     /// Adds a reference from `host` (fork duplicating a descriptor).
     /// Returns false for an unknown stream.
     pub fn add_ref(&mut self, id: StreamId, host: HostId) -> bool {
-        match self.streams.get_mut(&id) {
+        match self.get_mut(id) {
             Some(s) => {
-                *s.holders.entry(host).or_insert(0) += 1;
+                s.add_holder(host, 1);
                 true
             }
             None => false,
@@ -172,24 +267,20 @@ impl StreamTable {
 
     /// Drops one reference from `host`. Returns what remains.
     pub fn release(&mut self, id: StreamId, host: HostId) -> ReleaseOutcome {
-        let Some(s) = self.streams.get_mut(&id) else {
+        let Some(s) = self.get_mut(id) else {
             return ReleaseOutcome::UnknownStream;
         };
-        let Some(count) = s.holders.get_mut(&host) else {
+        let Some(host_dropped) = s.drop_holder(host, 1) else {
             return ReleaseOutcome::NotAHolder;
         };
-        *count -= 1;
-        let host_dropped = *count == 0;
-        if host_dropped {
-            s.holders.remove(&host);
-        }
         if s.holders.is_empty() {
-            self.streams.remove(&id);
+            self.retire(id);
             ReleaseOutcome::StreamClosed
         } else {
+            let shadowed = s.is_shadowed();
             ReleaseOutcome::StillOpen {
                 host_dropped_file_ref: host_dropped,
-                shadowed: self.streams[&id].is_shadowed(),
+                shadowed,
             }
         }
     }
@@ -204,26 +295,26 @@ impl StreamTable {
         to: HostId,
         n: u32,
     ) -> Option<MoveOutcome> {
-        let s = self.streams.get_mut(&id)?;
-        let have = s.holders.get_mut(&from)?;
-        if *have < n {
+        let s = self.get_mut(id)?;
+        if s.refs_on(from) < n {
             return None;
         }
-        *have -= n;
-        let from_dropped = *have == 0;
-        if from_dropped {
-            s.holders.remove(&from);
-        }
-        *s.holders.entry(to).or_insert(0) += n;
+        let from_dropped = s.drop_holder(from, n).expect("refs checked");
+        s.add_holder(to, n);
         Some(MoveOutcome {
             shadowed: s.is_shadowed(),
             from_dropped_file_ref: from_dropped,
         })
     }
 
-    /// Iterates over all streams (diagnostics, invariant checks).
+    /// Iterates over all live streams in slot order (diagnostics, invariant
+    /// checks).
     pub fn iter(&self) -> impl Iterator<Item = (StreamId, &Stream)> {
-        self.streams.iter().map(|(id, s)| (*id, s))
+        self.slots.iter().enumerate().filter_map(|(i, slot)| {
+            slot.stream
+                .as_ref()
+                .map(|s| (StreamId::pack(i as u32, slot.gen), s))
+        })
     }
 }
 
@@ -361,5 +452,50 @@ mod tests {
         let outcome = t.move_refs(id, h(1), h(2), 1).unwrap();
         assert!(!outcome.shadowed);
         assert_eq!(t.get(id).unwrap().refs_on(h(2)), 2);
+    }
+
+    #[test]
+    fn stale_id_does_not_resolve_after_slot_reuse() {
+        let (mut t, id) = table_with_stream();
+        assert_eq!(t.release(id, h(1)), ReleaseOutcome::StreamClosed);
+        // The next open reuses the freed slot at a new generation.
+        let id2 = t.open(
+            FileId::new(2),
+            h(0),
+            FileKind::Regular,
+            OpenMode::Read,
+            h(2),
+        );
+        assert_eq!(id2.slot(), id.slot(), "slot was reused");
+        assert_ne!(id2.generation(), id.generation());
+        assert!(t.get(id).is_none(), "stale id must not resolve");
+        assert!(t.get_mut(id).is_none());
+        assert!(!t.add_ref(id, h(1)));
+        assert_eq!(t.release(id, h(2)), ReleaseOutcome::UnknownStream);
+        assert_eq!(t.get(id2).unwrap().file, FileId::new(2));
+        assert!(t.stale_lookups() >= 3);
+    }
+
+    #[test]
+    fn occupancy_high_water_tracks_peak() {
+        let mut t = StreamTable::new();
+        let ids: Vec<StreamId> = (0..5)
+            .map(|i| {
+                t.open(
+                    FileId::new(i),
+                    h(0),
+                    FileKind::Regular,
+                    OpenMode::Read,
+                    h(1),
+                )
+            })
+            .collect();
+        assert_eq!(t.high_water(), 5);
+        for id in &ids {
+            t.release(*id, h(1));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.high_water(), 5, "high water survives the drain");
+        assert_eq!(t.capacity(), 5, "slots are recycled, not dropped");
     }
 }

@@ -9,7 +9,7 @@
 //! Cases are generated from [`DetRng`] with a fixed seed (reproducible);
 //! the `heavy-tests` feature multiplies the case count.
 
-use std::collections::HashMap;
+use sprite_sim::DetHashMap;
 
 use sprite_fs::{BlockAddr, BlockCache, FileKind, OpenMode, SpriteFs, SpritePath};
 use sprite_net::HostId;
@@ -88,17 +88,18 @@ fn dirty_data_is_never_lost() {
         // Reference: latest bytes written per (file, block), and whether the
         // latest version is safely "at the server" (from eviction/flush) or
         // must still be dirty in the cache.
-        let mut latest: HashMap<(u8, u8), u8> = HashMap::new();
-        let mut at_server: HashMap<(u8, u8), u8> = HashMap::new();
+        let mut latest: DetHashMap<(u8, u8), u8> = DetHashMap::default();
+        let mut at_server: DetHashMap<(u8, u8), u8> = DetHashMap::default();
         const V: u64 = 1;
 
-        let note_writeback = |addr: BlockAddr,
-                              data: &[u8],
-                              files: &[sprite_fs::FileId],
-                              at_server: &mut HashMap<(u8, u8), u8>| {
-            let f = files.iter().position(|f| *f == addr.file).unwrap() as u8;
-            at_server.insert((f, addr.block as u8), data[0]);
-        };
+        let note_writeback =
+            |addr: BlockAddr,
+             data: &[u8],
+             files: &[sprite_fs::FileId],
+             at_server: &mut DetHashMap<(u8, u8), u8>| {
+                let f = files.iter().position(|f| *f == addr.file).unwrap() as u8;
+                at_server.insert((f, addr.block as u8), data[0]);
+            };
 
         for op in ops {
             match op {

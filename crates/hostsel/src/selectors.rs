@@ -731,7 +731,7 @@ mod tests {
             for _ in 0..8 {
                 feed_reports(s.as_mut(), &mut n, &world);
             }
-            let mut picked = std::collections::HashSet::new();
+            let mut picked = sprite_sim::DetHashSet::default();
             let mut t = SimTime::ZERO;
             loop {
                 let (pick, t2) = s.select(&mut n, t, h(1), &world);
@@ -854,7 +854,7 @@ mod tests {
                 granted.push(p);
             }
         }
-        let unique: std::collections::HashSet<_> = granted.iter().collect();
+        let unique: sprite_sim::DetHashSet<_> = granted.iter().collect();
         assert_eq!(unique.len(), granted.len(), "each grant a distinct host");
         assert!(granted.len() >= 9, "ten idle hosts minus the requester");
     }

@@ -419,7 +419,7 @@ mod tests {
 
     #[test]
     fn catalogue_is_deduplicated_and_substantial() {
-        let names: std::collections::HashSet<_> = APPENDIX_A.iter().map(|e| e.name).collect();
+        let names: sprite_sim::DetHashSet<_> = APPENDIX_A.iter().map(|e| e.name).collect();
         assert_eq!(names.len(), APPENDIX_A.len(), "duplicate call names");
         assert!(APPENDIX_A.len() >= 60, "appendix should be near-complete");
     }

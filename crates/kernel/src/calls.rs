@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<String> =
+        let labels: sprite_sim::DetHashSet<String> =
             KernelCall::ALL.iter().map(|c| c.to_string()).collect();
         assert_eq!(labels.len(), KernelCall::ALL.len());
     }

@@ -8,16 +8,20 @@
 //! migration mechanism (the `sprite-core` crate) mutates this structure
 //! through the primitives at the bottom of the impl: freeze/thaw,
 //! relocation, and access to PCBs and hosts.
-
-use std::collections::{BTreeMap, HashMap};
+//!
+//! PCBs live in a generational slab ([`crate::proc_table`]): PIDs minted
+//! here carry a slot handle so lookups are a generation compare, stale
+//! handles fail instead of aliasing recycled slots, and iteration stays in
+//! PID order — the order every per-process cost charge relies on.
 
 use sprite_fs::{FileId, FsConfig, FsError, OpenMode, SpriteFs, SpritePath};
 use sprite_net::{CostModel, HostId, Network, PAGE_SIZE};
-use sprite_sim::{FcfsResource, SimDuration, SimTime, Trace};
+use sprite_sim::{DetHashMap, FcfsResource, SimDuration, SimTime, Trace};
 use sprite_vm::AddressSpace;
 
 use crate::calls::{Disposition, KernelCall};
 use crate::proc::{Pcb, ProcState, Signal};
+use crate::proc_table::{ProcTable, SlabStats};
 use crate::ProcessId;
 
 /// Per-host kernel state.
@@ -164,14 +168,14 @@ pub struct Cluster {
     /// on with [`Cluster::enable_trace`] for examples and debugging).
     pub trace: Trace,
     hosts: Vec<HostState>,
-    procs: BTreeMap<ProcessId, Pcb>,
+    procs: ProcTable,
     next_seq: Vec<u32>,
-    /// The home kernels' forwarding tables: where each away-from-home
-    /// process currently runs. Only foreign processes have entries.
-    locations: HashMap<ProcessId, HostId>,
-    programs: HashMap<SpritePath, Program>,
+    programs: DetHashMap<SpritePath, Program>,
     stats: KernelStats,
     next_swap_tag: u64,
+    /// Reusable scratch for family-wide operations (kill_pgrp), so they do
+    /// not allocate a fresh member list per event.
+    scratch_pids: Vec<ProcessId>,
 }
 
 impl Cluster {
@@ -190,12 +194,12 @@ impl Cluster {
             hosts: (0..hosts)
                 .map(|i| HostState::new(HostId::new(i as u32)))
                 .collect(),
-            procs: BTreeMap::new(),
+            procs: ProcTable::new(),
             next_seq: vec![1; hosts],
-            locations: HashMap::new(),
-            programs: HashMap::new(),
+            programs: DetHashMap::default(),
             stats: KernelStats::default(),
             next_swap_tag: 0,
+            scratch_pids: Vec::new(),
         }
     }
 
@@ -234,40 +238,47 @@ impl Cluster {
 
     /// Read access to a PCB.
     pub fn pcb(&self, pid: ProcessId) -> Option<&Pcb> {
-        self.procs.get(&pid)
+        self.procs.get(pid)
     }
 
     /// Mutable access to a PCB.
     pub fn pcb_mut(&mut self, pid: ProcessId) -> Option<&mut Pcb> {
-        self.procs.get_mut(&pid)
+        self.procs.get_mut(pid)
     }
 
     /// All live processes in PID order.
     pub fn processes(&self) -> impl Iterator<Item = &Pcb> {
-        self.procs.values()
+        self.procs.iter()
     }
 
-    /// PIDs of foreign processes on `host` (candidates for eviction).
-    pub fn foreign_on(&self, host: HostId) -> Vec<ProcessId> {
+    /// PIDs of foreign processes on `host` (candidates for eviction), in
+    /// PID order. Borrows the host's resident list — no allocation.
+    pub fn foreign_on(&self, host: HostId) -> impl Iterator<Item = ProcessId> + '_ {
         self.hosts[host.index()]
             .resident
             .iter()
             .copied()
-            .filter(|pid| pid.home() != host)
-            .collect()
+            .filter(move |pid| pid.home() != host)
     }
 
-    /// Where `pid` currently runs, as its home kernel would answer.
+    /// Where `pid` currently runs, as its home kernel would answer: the
+    /// forwarding pointer if the process is away from home, its current
+    /// host otherwise.
     pub fn locate(&self, pid: ProcessId) -> Option<HostId> {
-        if let Some(h) = self.locations.get(&pid) {
-            return Some(*h);
-        }
-        self.procs.get(&pid).map(|p| p.current)
+        self.procs
+            .get(pid)
+            .map(|p| p.forwarded.unwrap_or(p.current))
     }
 
     /// Kernel activity counters.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// Occupancy and staleness counters for the process slab (the
+    /// data-plane counters report prints these next to the stream table's).
+    pub fn proc_slab_stats(&self) -> SlabStats {
+        self.procs.stats()
     }
 
     /// A registered program.
@@ -328,8 +339,9 @@ impl Cluster {
             .ok_or_else(|| KernelError::NoSuchProgram(program.clone()))?;
         let seq = self.next_seq[host.index()];
         self.next_seq[host.index()] += 1;
-        let pid = ProcessId::new(host, seq);
-        let tag = self.fresh_swap_tag(pid);
+        // Provisional (handle-less) PID: only its Display feeds the swap
+        // tag; the slab mints the real handle after the fallible VM work.
+        let tag = self.fresh_swap_tag(ProcessId::new(host, seq));
         let (space, t) = AddressSpace::create(
             &mut self.fs,
             &mut self.net,
@@ -341,10 +353,12 @@ impl Cluster {
             heap_pages,
             stack_pages,
         )?;
-        let mut pcb = Pcb::new(pid, None, host, now);
-        pcb.space = Some(space);
-        pcb.program = Some(program.clone());
-        self.procs.insert(pid, pcb);
+        let pid = self.procs.insert(host, seq, |pid| {
+            let mut pcb = Pcb::new(pid, None, host, now);
+            pcb.space = Some(space);
+            pcb.program = Some(program.clone());
+            pcb
+        });
         self.hosts[host.index()].add(pid);
         self.stats.created += 1;
         let t = t + self.net.cost().context_switch;
@@ -357,62 +371,65 @@ impl Cluster {
     /// home is the parent's home — children of foreign processes belong to
     /// the same user session (Ch. 4.2).
     pub fn fork(&mut self, now: SimTime, parent: ProcessId) -> KernelResult<(ProcessId, SimTime)> {
-        let (host, home, parent_program, parent_fds) = {
+        let (parent, host, home, parent_program, parent_pgrp) = {
             let p = self
                 .procs
-                .get(&parent)
+                .get(parent)
                 .ok_or(KernelError::NoSuchProcess(parent))?;
             if p.state != ProcState::Active {
                 return Err(KernelError::BadState(parent));
             }
-            (
-                p.current,
-                p.pid.home(),
-                p.program.clone(),
-                p.open_fds().collect::<Vec<_>>(),
-            )
+            (p.pid, p.current, p.pid.home(), p.program.clone(), p.pgrp)
         };
         let seq = self.next_seq[home.index()];
         self.next_seq[home.index()] += 1;
-        let child = ProcessId::new(home, seq);
         // Copy the address space (take/put-back to appease the borrow rules).
         let parent_space = self
             .procs
-            .get_mut(&parent)
+            .get_mut(parent)
             .expect("checked above")
             .space
             .take();
         let (child_space, mut t) = match parent_space {
             Some(mut space) => {
-                let tag = self.fresh_swap_tag(child);
+                let tag = self.fresh_swap_tag(ProcessId::new(home, seq));
                 let r = space.fork_copy(&mut self.fs, &mut self.net, now, host, &tag);
-                self.procs.get_mut(&parent).expect("checked").space = Some(space);
+                self.procs.get_mut(parent).expect("checked").space = Some(space);
                 let (s, t) = r?;
                 (Some(s), t)
             }
             None => (None, now),
         };
         // Duplicate the descriptor table; parent and child share streams
-        // (and therefore access positions).
-        let mut child_pcb = Pcb::new(child, Some(parent), host, now);
-        child_pcb.pgrp = self
-            .procs
-            .get(&parent)
-            .map(|p| p.pgrp)
-            .expect("parent checked");
-        for (fd, stream) in &parent_fds {
-            self.fs.dup(*stream, host)?;
-            while child_pcb.fds.len() < *fd {
-                child_pcb.fds.push(None);
+        // (and therefore access positions). The parent's PCB is read in
+        // place while the FS charges the dups — no descriptor list is
+        // collected.
+        let mut child_pcb = Pcb::new(ProcessId::new(home, seq), Some(parent), host, now);
+        child_pcb.pgrp = parent_pgrp;
+        {
+            let p = self.procs.get(parent).expect("checked above");
+            for (fd, stream) in p.open_fds() {
+                self.fs.dup(stream, host)?;
+                while child_pcb.fds.len() < fd {
+                    child_pcb.fds.push(None);
+                }
+                child_pcb.fds.push(Some(stream));
             }
-            child_pcb.fds.push(Some(*stream));
         }
         child_pcb.space = child_space;
         child_pcb.program = parent_program;
-        self.procs.insert(child, child_pcb);
+        // A child born on a foreign host is immediately "away from home":
+        // the home kernel's forwarding pointer is set at birth.
+        if host != home {
+            child_pcb.forwarded = Some(host);
+        }
+        let child = self.procs.insert(home, seq, |pid| {
+            child_pcb.pid = pid;
+            child_pcb
+        });
         self.hosts[host.index()].add(child);
         self.procs
-            .get_mut(&parent)
+            .get_mut(parent)
             .expect("checked")
             .children
             .push(child);
@@ -420,7 +437,6 @@ impl Cluster {
         // bookkeeping there stays current.
         if host != home {
             t = self.net.rpc(t, host, home, 128, 64, None).done;
-            self.locations.insert(child, host);
         }
         t += self.net.cost().context_switch;
         self.stats.created += 1;
@@ -447,10 +463,7 @@ impl Cluster {
             .copied()
             .ok_or_else(|| KernelError::NoSuchProgram(program.clone()))?;
         let host = {
-            let p = self
-                .procs
-                .get(&pid)
-                .ok_or(KernelError::NoSuchProcess(pid))?;
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess(pid))?;
             if p.state != ProcState::Active {
                 return Err(KernelError::BadState(pid));
             }
@@ -474,7 +487,7 @@ impl Cluster {
             heap_pages,
             stack_pages,
         )?;
-        let p = self.procs.get_mut(&pid).expect("checked above");
+        let p = self.procs.get_mut(pid).expect("checked above");
         p.space = Some(space);
         p.program = Some(program.clone());
         self.stats.execs += 1;
@@ -488,45 +501,42 @@ impl Cluster {
     /// discarded, and the PCB lingers as a zombie until the parent waits
     /// (or is reaped immediately if no parent remains).
     pub fn exit(&mut self, now: SimTime, pid: ProcessId, status: i32) -> KernelResult<SimTime> {
-        let (host, home, parent, fds) = {
-            let p = self
-                .procs
-                .get(&pid)
-                .ok_or(KernelError::NoSuchProcess(pid))?;
+        let (pid, host, home, parent) = {
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess(pid))?;
             if p.state == ProcState::Zombie {
                 return Err(KernelError::BadState(pid));
             }
-            (
-                p.current,
-                p.pid.home(),
-                p.parent,
-                p.open_fds().map(|(_, s)| s).collect::<Vec<_>>(),
-            )
+            (p.pid, p.current, p.pid.home(), p.parent)
         };
         let mut t = now;
-        for stream in fds {
-            t = self.fs.close(&mut self.net, t, host, stream)?;
+        // Close every open stream, reading the descriptor table in place
+        // while the FS charges the closes (disjoint borrows, no fd list
+        // collected).
+        {
+            let p = self.procs.get(pid).expect("checked above");
+            for (_, stream) in p.open_fds() {
+                t = self.fs.close(&mut self.net, t, host, stream)?;
+            }
         }
         {
-            let p = self.procs.get_mut(&pid).expect("checked above");
+            let p = self.procs.get_mut(pid).expect("checked above");
             p.fds.clear();
             p.space = None;
             p.state = ProcState::Zombie;
             p.exit_status = Some(status);
+            // The home kernel drops its forwarding entry.
+            p.forwarded = None;
         }
         self.hosts[host.index()].remove(pid);
-        // A foreign exit reports home: the home kernel owns the family state
-        // and drops its forwarding entry.
+        // A foreign exit reports home: the home kernel owns the family
+        // state.
         if host != home {
             t = self.net.rpc(t, host, home, 128, 64, None).done;
-            self.locations.remove(&pid);
         }
         self.stats.exits += 1;
         self.trace
             .record(t, "proc", || format!("{pid} exited ({status}) on {host}"));
-        let parent_alive = parent
-            .map(|pp| self.procs.contains_key(&pp))
-            .unwrap_or(false);
+        let parent_alive = parent.map(|pp| self.procs.contains(pp)).unwrap_or(false);
         if !parent_alive {
             self.reap(pid);
         }
@@ -542,34 +552,43 @@ impl Cluster {
         now: SimTime,
         parent: ProcessId,
     ) -> KernelResult<(Option<(ProcessId, i32)>, SimTime)> {
-        let (host, home, children) = {
+        let (host, home) = {
             let p = self
                 .procs
-                .get(&parent)
+                .get(parent)
                 .ok_or(KernelError::NoSuchProcess(parent))?;
-            (p.current, p.pid.home(), p.children.clone())
+            (p.current, p.pid.home())
         };
         let mut t = now + self.net.cost().local_kernel_call;
         if host != home {
             t = self.net.rpc(t, host, home, 64, 64, None).done;
             self.stats.calls_forwarded += 1;
         }
-        let ready = children.into_iter().find(|c| {
-            self.procs
-                .get(c)
-                .map(|p| p.state == ProcState::Zombie)
-                .unwrap_or(false)
-        });
+        // Scan the child list in place (two shared borrows of the table;
+        // the old code cloned the whole list per call).
+        let ready = self
+            .procs
+            .get(parent)
+            .expect("checked above")
+            .children
+            .iter()
+            .copied()
+            .find(|c| {
+                self.procs
+                    .get(*c)
+                    .map(|p| p.state == ProcState::Zombie)
+                    .unwrap_or(false)
+            });
         match ready {
             Some(child) => {
                 let status = self
                     .procs
-                    .get(&child)
+                    .get(child)
                     .and_then(|p| p.exit_status)
                     .unwrap_or(0);
                 self.reap(child);
                 self.procs
-                    .get_mut(&parent)
+                    .get_mut(parent)
                     .expect("parent checked")
                     .children
                     .retain(|c| *c != child);
@@ -580,11 +599,11 @@ impl Cluster {
     }
 
     fn reap(&mut self, pid: ProcessId) {
-        if let Some(p) = self.procs.remove(&pid) {
+        if let Some(p) = self.procs.remove(pid) {
             debug_assert_eq!(p.state, ProcState::Zombie, "reaping a live process");
             // Orphan any remaining children (init-style).
             for c in p.children {
-                if let Some(cp) = self.procs.get_mut(&c) {
+                if let Some(cp) = self.procs.get_mut(c) {
                     cp.parent = None;
                     if cp.state == ProcState::Zombie {
                         self.reap(c);
@@ -592,7 +611,6 @@ impl Cluster {
                 }
             }
         }
-        self.locations.remove(&pid);
     }
 
     /// Sends `signal` from `from_host` to `target`. Delivery resolves the
@@ -610,7 +628,7 @@ impl Cluster {
         let current = {
             let p = self
                 .procs
-                .get(&target)
+                .get(target)
                 .ok_or(KernelError::NoSuchProcess(target))?;
             if p.state == ProcState::Zombie {
                 return Err(KernelError::BadState(target));
@@ -627,7 +645,7 @@ impl Cluster {
             t = self.net.rpc(t, home, current, 64, 64, None).done;
         }
         self.procs
-            .get_mut(&target)
+            .get_mut(target)
             .expect("checked above")
             .pending_signals
             .push(signal);
@@ -655,15 +673,21 @@ impl Cluster {
         if from_host != home {
             t = self.net.rpc(t, from_host, home, 64, 64, None).done;
         }
-        let members: Vec<ProcessId> = self
-            .procs
-            .values()
-            .filter(|p| p.pid.home() == home && p.pgrp == pgrp && p.state != ProcState::Zombie)
-            .map(|p| p.pid)
-            .collect();
-        for pid in members {
+        // Collect the members into the reusable scratch list (delivery can
+        // reap processes, so the iteration must not borrow the table). The
+        // slab iterates in PID order, matching the old map's order.
+        let mut members = std::mem::take(&mut self.scratch_pids);
+        members.clear();
+        members.extend(
+            self.procs
+                .iter()
+                .filter(|p| p.pid.home() == home && p.pgrp == pgrp && p.state != ProcState::Zombie)
+                .map(|p| p.pid),
+        );
+        let mut failure = None;
+        for &pid in &members {
             // An earlier member's exit may have cascade-reaped this one.
-            let Some(p) = self.procs.get_mut(&pid) else {
+            let Some(p) = self.procs.get_mut(pid) else {
                 continue;
             };
             let current = p.current;
@@ -673,18 +697,31 @@ impl Cluster {
             }
             self.stats.signals += 1;
             if signal == Signal::Kill {
-                t = self.exit(t, pid, 128 + 9)?;
+                match self.exit(t, pid, 128 + 9) {
+                    Ok(done) => t = done,
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
             }
+        }
+        members.clear();
+        self.scratch_pids = members;
+        if let Some(e) = failure {
+            return Err(e);
         }
         Ok(t)
     }
 
-    /// Drains `pid`'s pending signals.
-    pub fn take_signals(&mut self, pid: ProcessId) -> Vec<Signal> {
+    /// Drains `pid`'s pending signals, keeping the PCB's signal buffer (and
+    /// its capacity) in place — delivery after a drain reuses the same
+    /// allocation instead of growing a fresh `Vec`.
+    pub fn take_signals(&mut self, pid: ProcessId) -> impl Iterator<Item = Signal> + '_ {
         self.procs
-            .get_mut(&pid)
-            .map(|p| std::mem::take(&mut p.pending_signals))
-            .unwrap_or_default()
+            .get_mut(pid)
+            .into_iter()
+            .flat_map(|p| p.pending_signals.drain(..))
     }
 
     // ----- kernel calls & CPU ----------------------------------------------------
@@ -699,10 +736,7 @@ impl Cluster {
         call: KernelCall,
     ) -> KernelResult<SimTime> {
         let (current, home) = {
-            let p = self
-                .procs
-                .get(&pid)
-                .ok_or(KernelError::NoSuchProcess(pid))?;
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess(pid))?;
             (p.current, p.pid.home())
         };
         let local = self.net.cost().local_kernel_call;
@@ -738,17 +772,14 @@ impl Cluster {
         demand: SimDuration,
     ) -> KernelResult<SimTime> {
         let host = {
-            let p = self
-                .procs
-                .get(&pid)
-                .ok_or(KernelError::NoSuchProcess(pid))?;
+            let p = self.procs.get(pid).ok_or(KernelError::NoSuchProcess(pid))?;
             if p.state != ProcState::Active {
                 return Err(KernelError::BadState(pid));
             }
             p.current
         };
         let done = self.hosts[host.index()].cpu.acquire(now, demand);
-        let p = self.procs.get_mut(&pid).expect("checked above");
+        let p = self.procs.get_mut(pid).expect("checked above");
         p.cpu_used += demand;
         Ok(done)
     }
@@ -765,7 +796,7 @@ impl Cluster {
     ) -> KernelResult<(usize, SimTime)> {
         let host = self.current_of(pid)?;
         let (stream, t) = self.fs.open(&mut self.net, now, host, path, mode)?;
-        let p = self.procs.get_mut(&pid).expect("looked up");
+        let p = self.procs.get_mut(pid).expect("looked up");
         Ok((p.install_fd(stream), t))
     }
 
@@ -780,7 +811,7 @@ impl Cluster {
         let host = self.current_of(pid)?;
         let stream = self
             .procs
-            .get(&pid)
+            .get(pid)
             .and_then(|p| p.fd(fd))
             .ok_or(KernelError::BadFd(fd))?;
         Ok(self.fs.read(&mut self.net, now, host, stream, len)?)
@@ -797,7 +828,7 @@ impl Cluster {
         let host = self.current_of(pid)?;
         let stream = self
             .procs
-            .get(&pid)
+            .get(pid)
             .and_then(|p| p.fd(fd))
             .ok_or(KernelError::BadFd(fd))?;
         Ok(self.fs.write(&mut self.net, now, host, stream, bytes)?)
@@ -808,7 +839,7 @@ impl Cluster {
         let host = self.current_of(pid)?;
         let stream = self
             .procs
-            .get_mut(&pid)
+            .get_mut(pid)
             .and_then(|p| p.clear_fd(fd))
             .ok_or(KernelError::BadFd(fd))?;
         Ok(self.fs.close(&mut self.net, now, host, stream)?)
@@ -816,7 +847,7 @@ impl Cluster {
 
     fn current_of(&self, pid: ProcessId) -> KernelResult<HostId> {
         self.procs
-            .get(&pid)
+            .get(pid)
             .map(|p| p.current)
             .ok_or(KernelError::NoSuchProcess(pid))
     }
@@ -827,7 +858,7 @@ impl Cluster {
     pub fn freeze(&mut self, pid: ProcessId) -> KernelResult<()> {
         let p = self
             .procs
-            .get_mut(&pid)
+            .get_mut(pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         if p.state != ProcState::Active {
             return Err(KernelError::BadState(pid));
@@ -840,7 +871,7 @@ impl Cluster {
     pub fn thaw(&mut self, pid: ProcessId) -> KernelResult<()> {
         let p = self
             .procs
-            .get_mut(&pid)
+            .get_mut(pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         if p.state != ProcState::Frozen {
             return Err(KernelError::BadState(pid));
@@ -850,27 +881,26 @@ impl Cluster {
     }
 
     /// Rebinds a frozen process to `to`: host resident lists, the PCB's
-    /// current host, and the home kernel's forwarding entry all update
+    /// current host, and the home kernel's forwarding pointer all update
     /// together. The caller (the migration protocol) charges the network
     /// costs; this is the state change the protocol's final RPC commits.
     pub fn relocate(&mut self, pid: ProcessId, to: HostId) -> KernelResult<()> {
-        let p = self
-            .procs
-            .get_mut(&pid)
-            .ok_or(KernelError::NoSuchProcess(pid))?;
-        if p.state != ProcState::Frozen {
-            return Err(KernelError::BadState(pid));
-        }
-        let from = p.current;
-        p.current = to;
-        p.migrations += 1;
+        let (pid, from) = {
+            let p = self
+                .procs
+                .get_mut(pid)
+                .ok_or(KernelError::NoSuchProcess(pid))?;
+            if p.state != ProcState::Frozen {
+                return Err(KernelError::BadState(pid));
+            }
+            let from = p.current;
+            p.current = to;
+            p.migrations += 1;
+            p.forwarded = if to == p.pid.home() { None } else { Some(to) };
+            (p.pid, from)
+        };
         self.hosts[from.index()].remove(pid);
         self.hosts[to.index()].add(pid);
-        if to == pid.home() {
-            self.locations.remove(&pid);
-        } else {
-            self.locations.insert(pid, to);
-        }
         Ok(())
     }
 }

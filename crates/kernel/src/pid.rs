@@ -1,8 +1,14 @@
 //! Process identifiers.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use sprite_net::HostId;
+
+/// Sentinel slot meaning "no slab handle": the PID was constructed outside
+/// the process table, and lookups resolve it by identity instead.
+const NO_SLOT: u32 = u32::MAX;
 
 /// A network-wide process identifier.
 ///
@@ -10,6 +16,16 @@ use sprite_net::HostId;
 /// global coordination, any kernel can tell where a process's home is by
 /// looking at its PID, and a migrated process keeps its identifier — which
 /// is much of what makes migration transparent (Ch. 4.3).
+///
+/// A PID's *identity* is `(home, seq)` — that is all that equality,
+/// ordering and hashing consider. PIDs minted by the cluster's process
+/// table additionally carry a slab handle (slot index + slot generation)
+/// so a lookup is one bounds check and one generation compare instead of a
+/// tree walk. The handle is pure acceleration: a PID built with
+/// [`ProcessId::new`] carries no handle and still resolves (via the
+/// table's PID-order index), while a handle that outlives its process
+/// fails the generation compare rather than resolving whatever process
+/// reused the slot.
 ///
 /// # Examples
 ///
@@ -21,16 +37,34 @@ use sprite_net::HostId;
 /// assert_eq!(pid.home(), HostId::new(3));
 /// assert_eq!(pid.to_string(), "pid3.17");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy)]
 pub struct ProcessId {
     home: HostId,
     seq: u32,
+    slot: u32,
+    generation: u32,
 }
 
 impl ProcessId {
     /// Creates a PID for a process whose home is `home`.
     pub const fn new(home: HostId, seq: u32) -> Self {
-        ProcessId { home, seq }
+        ProcessId {
+            home,
+            seq,
+            slot: NO_SLOT,
+            generation: 0,
+        }
+    }
+
+    /// Creates a PID carrying a slab handle (only the process table mints
+    /// these).
+    pub(crate) const fn with_handle(home: HostId, seq: u32, slot: u32, generation: u32) -> Self {
+        ProcessId {
+            home,
+            seq,
+            slot,
+            generation,
+        }
     }
 
     /// The home host encoded in the identifier.
@@ -41,6 +75,57 @@ impl ProcessId {
     /// The per-home sequence number.
     pub const fn seq(self) -> u32 {
         self.seq
+    }
+
+    /// The slab slot this PID was minted for, if it carries a handle.
+    pub(crate) fn slot(self) -> Option<u32> {
+        if self.slot == NO_SLOT {
+            None
+        } else {
+            Some(self.slot)
+        }
+    }
+
+    /// The slot generation this PID was minted at.
+    pub(crate) const fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+// Identity is (home, seq); the slab handle is an accelerator, not identity.
+impl PartialEq for ProcessId {
+    fn eq(&self, other: &Self) -> bool {
+        self.home == other.home && self.seq == other.seq
+    }
+}
+
+impl Eq for ProcessId {}
+
+impl Hash for ProcessId {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.home.hash(state);
+        self.seq.hash(state);
+    }
+}
+
+impl PartialOrd for ProcessId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ProcessId {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.home, self.seq).cmp(&(other.home, other.seq))
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcessId")
+            .field("home", &self.home)
+            .field("seq", &self.seq)
+            .finish()
     }
 }
 
@@ -67,5 +152,24 @@ mod tests {
         let pid = ProcessId::new(HostId::new(9), 1234);
         assert_eq!(pid.home().index(), 9);
         assert_eq!(pid.seq(), 1234);
+    }
+
+    #[test]
+    fn handle_does_not_affect_identity() {
+        let plain = ProcessId::new(HostId::new(2), 7);
+        let handled = ProcessId::with_handle(HostId::new(2), 7, 31, 4);
+        assert_eq!(plain, handled);
+        assert_eq!(plain.cmp(&handled), Ordering::Equal);
+        let mut hp = std::collections::hash_map::DefaultHasher::new();
+        let mut hh = std::collections::hash_map::DefaultHasher::new();
+        plain.hash(&mut hp);
+        handled.hash(&mut hh);
+        assert_eq!(hp.finish(), hh.finish());
+    }
+
+    #[test]
+    fn display_hides_the_handle() {
+        let handled = ProcessId::with_handle(HostId::new(3), 17, 9, 2);
+        assert_eq!(handled.to_string(), "pid3.17");
     }
 }

@@ -48,6 +48,11 @@ pub struct Pcb {
     pub parent: Option<ProcessId>,
     /// Host the process is currently executing on.
     pub current: HostId,
+    /// The home kernel's forwarding pointer: where this process runs when
+    /// it is away from home (`None` at home). This folds the old
+    /// cluster-wide `locations` side-map into the PCB slot — the home
+    /// kernel's answer to "where is pid?" lives with the process itself.
+    pub forwarded: Option<HostId>,
     /// Process group, rooted at the home host (family operations resolve
     /// there, which is why `getpgrp`/`setpgrp` forward home when foreign).
     pub pgrp: u32,
@@ -86,6 +91,7 @@ impl Pcb {
             parent,
             pgrp: pid.seq(),
             current: host,
+            forwarded: None,
             state: ProcState::Active,
             space: None,
             fds: Vec::new(),

@@ -7,7 +7,7 @@
 //! This module is that engine: targets, dependencies, readiness, and
 //! timestamp-based out-of-date analysis.
 
-use std::collections::{HashMap, HashSet};
+use sprite_sim::{DetHashMap, DetHashSet};
 
 use sprite_sim::{SimDuration, SimTime};
 use sprite_workloads::{CompileJob, CompileWorkload};
@@ -68,7 +68,7 @@ pub struct Target {
 #[derive(Debug, Clone, Default)]
 pub struct DepGraph {
     targets: Vec<Target>,
-    by_name: HashMap<String, usize>,
+    by_name: DetHashMap<String, usize>,
 }
 
 impl DepGraph {
@@ -119,7 +119,7 @@ impl DepGraph {
 
     /// Targets whose dependencies are all in `done`, excluding `done` ones,
     /// in index order (deterministic scheduling).
-    pub fn ready(&self, done: &HashSet<usize>) -> Vec<usize> {
+    pub fn ready(&self, done: &DetHashSet<usize>) -> Vec<usize> {
         self.targets
             .iter()
             .enumerate()
@@ -131,8 +131,8 @@ impl DepGraph {
     /// Out-of-date analysis: a target is out of date if it has no recorded
     /// build time or any dependency was built after it. `built` maps target
     /// index to its last build completion.
-    pub fn out_of_date(&self, built: &HashMap<usize, SimTime>) -> HashSet<usize> {
-        let mut stale = HashSet::new();
+    pub fn out_of_date(&self, built: &DetHashMap<usize, SimTime>) -> DetHashSet<usize> {
+        let mut stale = DetHashSet::default();
         // Index order is topological-enough because add order must respect
         // dependencies (enforced by add_target's index check).
         for (i, t) in self.targets.iter().enumerate() {
@@ -155,10 +155,10 @@ impl DepGraph {
     /// dependencies on up-to-date targets dropped (they are already
     /// satisfied on disk). This is what pmake actually executes when you
     /// touch one source file and type `pmake` again.
-    pub fn stale_subgraph(&self, built: &HashMap<usize, SimTime>) -> DepGraph {
+    pub fn stale_subgraph(&self, built: &DetHashMap<usize, SimTime>) -> DepGraph {
         let stale = self.out_of_date(built);
         let mut sub = DepGraph::new();
-        let mut remap: HashMap<usize, usize> = HashMap::new();
+        let mut remap: DetHashMap<usize, usize> = DetHashMap::default();
         for (i, t) in self.targets.iter().enumerate() {
             if !stale.contains(&i) {
                 continue;
@@ -219,7 +219,7 @@ mod tests {
         let b = phony(&mut g, "b", &[a]);
         let c = phony(&mut g, "c", &[a]);
         let d = phony(&mut g, "d", &[b, c]);
-        let mut done = HashSet::new();
+        let mut done = DetHashSet::default();
         assert_eq!(g.ready(&done), vec![a]);
         done.insert(a);
         assert_eq!(g.ready(&done), vec![b, c]);
@@ -239,14 +239,14 @@ mod tests {
         let prog = phony(&mut g, "prog", &[obj]);
         let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
         // Never built: everything stale.
-        assert_eq!(g.out_of_date(&HashMap::new()).len(), 3);
+        assert_eq!(g.out_of_date(&DetHashMap::default()).len(), 3);
         // Fully up-to-date build: nothing stale.
-        let built: HashMap<usize, SimTime> = [(src, t(1)), (obj, t(2)), (prog, t(3))]
+        let built: DetHashMap<usize, SimTime> = [(src, t(1)), (obj, t(2)), (prog, t(3))]
             .into_iter()
             .collect();
         assert!(g.out_of_date(&built).is_empty());
         // Touch the source: everything downstream is stale.
-        let built: HashMap<usize, SimTime> = [(src, t(10)), (obj, t(2)), (prog, t(3))]
+        let built: DetHashMap<usize, SimTime> = [(src, t(10)), (obj, t(2)), (prog, t(3))]
             .into_iter()
             .collect();
         let stale = g.out_of_date(&built);
@@ -264,10 +264,10 @@ mod tests {
         };
         let g = DepGraph::from_workload(&w, &mut rng);
         assert_eq!(g.len(), 7);
-        let done = HashSet::new();
+        let done = DetHashSet::default();
         assert_eq!(g.ready(&done).len(), 6, "all compiles independent");
         let link = g.index_of("/src/prog").unwrap();
-        let all_objs: HashSet<usize> = (0..6).collect();
+        let all_objs: DetHashSet<usize> = (0..6).collect();
         assert_eq!(g.ready(&all_objs), vec![link]);
         match &g.target(link).action {
             Action::Link { inputs, .. } => assert_eq!(inputs.len(), 6),
@@ -285,7 +285,7 @@ mod tests {
         let prog = phony(&mut g, "prog", &[o1, o2]);
         let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
         // Everything built at time 1-5, then a.c touched at time 10.
-        let built: HashMap<usize, SimTime> = [
+        let built: DetHashMap<usize, SimTime> = [
             (s1, t(10)),
             (s2, t(1)),
             (o1, t(2)),
@@ -304,7 +304,7 @@ mod tests {
         assert_eq!(sub.target(p).deps, vec![a_o]);
         assert!(sub.target(a_o).deps.is_empty(), "a.c is up to date");
         // First wave: just a.o.
-        assert_eq!(sub.ready(&HashSet::new()), vec![a_o]);
+        assert_eq!(sub.ready(&DetHashSet::default()), vec![a_o]);
     }
 
     #[test]
@@ -313,7 +313,7 @@ mod tests {
         let a = phony(&mut g, "x", &[]);
         let b = phony(&mut g, "y", &[a]);
         let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
-        let built: HashMap<usize, SimTime> = [(a, t(1)), (b, t(2))].into_iter().collect();
+        let built: DetHashMap<usize, SimTime> = [(a, t(1)), (b, t(2))].into_iter().collect();
         assert!(g.stale_subgraph(&built).is_empty());
     }
 

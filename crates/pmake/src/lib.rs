@@ -85,7 +85,7 @@ mod tests {
         assert_eq!(cluster.processes().count(), 0);
         // And no host still harbours foreign processes.
         for host in 0..6 {
-            assert!(cluster.foreign_on(h(host)).is_empty());
+            assert!(cluster.foreign_on(h(host)).next().is_none());
         }
     }
 

@@ -13,7 +13,9 @@
 //! the home host, giving the serial time the speedup figures divide by.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
+
+use sprite_sim::{DetHashMap, DetHashSet};
 
 use sprite_core::{MigrationError, Migrator};
 use sprite_fs::{FsError, OpenMode, SpritePath};
@@ -206,11 +208,11 @@ pub fn run_build(
     config: &PmakeConfig,
     start: SimTime,
 ) -> Result<PmakeReport, PmakeError> {
-    let mut done: HashSet<usize> = HashSet::new();
-    let mut built_at: HashMap<usize, SimTime> = HashMap::new();
-    let mut started: HashSet<usize> = HashSet::new();
+    let mut done: DetHashSet<usize> = DetHashSet::default();
+    let mut built_at: DetHashMap<usize, SimTime> = DetHashMap::default();
+    let mut started: DetHashSet<usize> = DetHashSet::default();
     let mut waiting: Vec<usize> = Vec::new();
-    let mut jobs: HashMap<usize, RunningJob> = HashMap::new();
+    let mut jobs: DetHashMap<usize, RunningJob> = DetHashMap::default();
     let mut queue: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::new();
     let mut seq: u64 = 0;
     let mut controller_free = start;

@@ -18,6 +18,9 @@
 //!   network contention (what bends the pmake speedup curve);
 //! * [`OnlineStats`] / [`Samples`] / [`Counter`] — the aggregates the
 //!   benchmark tables report;
+//! * [`DetHashMap`] / [`DetHashSet`] — hash tables keyed by an in-repo
+//!   FxHash-style hasher with a fixed seed, so hashing is both cheap and
+//!   identical on every run (simulation state never uses `RandomState`);
 //! * [`Trace`] — an optional bounded narrative log for examples and debugging.
 //!
 //! Nothing in this crate (or anything built on it) consults the wall clock or
@@ -62,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod detmap;
 mod event;
 mod resource;
 mod rng;
@@ -69,6 +73,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use detmap::{hash_probes, take_hash_probes, DetHashMap, DetHashSet, DetState, FxHasher};
 pub use event::{Engine, Handler, PeriodicHandler};
 pub use resource::FcfsResource;
 pub use rng::DetRng;

@@ -504,8 +504,7 @@ mod tests {
 
     #[test]
     fn strategy_labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            VmStrategy::ALL.iter().map(|s| s.label()).collect();
+        let labels: sprite_sim::DetHashSet<_> = VmStrategy::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 }

@@ -207,7 +207,7 @@ mod tests {
             assert!(j.src.ends_with(".c") && j.obj.ends_with(".o"));
         }
         // Distinct paths.
-        let set: std::collections::HashSet<_> = jobs.iter().map(|j| &j.src).collect();
+        let set: sprite_sim::DetHashSet<_> = jobs.iter().map(|j| &j.src).collect();
         assert_eq!(set.len(), 48);
     }
 

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\n{} foreign processes on {borrowed}; each holds ~1MB of dirty memory",
-        cluster.foreign_on(borrowed).len()
+        cluster.foreign_on(borrowed).count()
     );
 
     // The owner of the borrowed machine comes back and touches the keyboard.
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nworkstation reclaimed in {} total; {} foreign processes remain",
         last.elapsed_since(clock),
-        cluster.foreign_on(borrowed).len()
+        cluster.foreign_on(borrowed).count()
     );
 
     // The evicted jobs keep running at home — prove the memory survived.

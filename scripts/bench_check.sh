@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Benchmark regression gate.
+#
+#   scripts/bench_check.sh            # build, run, compare vs checked-in baseline
+#   BENCH_CHECK_FACTOR=1.5 scripts/bench_check.sh   # custom regression factor
+#
+# Three checks, all offline:
+#
+#   1. stdout of a serial run is byte-identical to experiments_output.txt
+#      (the determinism/correctness gate — timing never touches stdout);
+#   2. a parallel run produces the same bytes (runner determinism contract);
+#   3. total_wall_seconds of the fresh serial run has not regressed more
+#      than BENCH_CHECK_FACTOR (default 1.25, i.e. +25%) over the
+#      checked-in BENCH_experiments.json baseline.
+#
+# The fresh run includes the --macro data-plane macrobench, whose stale
+# handle count must be zero.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+factor="${BENCH_CHECK_FACTOR:-1.25}"
+bin=target/release/experiments
+
+echo "==> cargo build --release -p sprite-bench"
+cargo build --release -p sprite-bench
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> serial run (--jobs 1 --macro --json)"
+(cd "$tmp" && "$OLDPWD/$bin" --jobs 1 --macro --json > serial.txt 2> serial.err)
+
+echo "==> stdout vs experiments_output.txt"
+# The macro table is appended after the golden suite output; the golden
+# prefix must match byte-for-byte.
+head -n "$(wc -l < experiments_output.txt)" "$tmp/serial.txt" > "$tmp/serial_prefix.txt"
+if ! cmp -s experiments_output.txt "$tmp/serial_prefix.txt"; then
+    echo "FAIL: serial stdout diverged from checked-in experiments_output.txt" >&2
+    diff experiments_output.txt "$tmp/serial_prefix.txt" | head -40 >&2 || true
+    exit 1
+fi
+
+echo "==> parallel run (--jobs 4) matches serial bytes"
+(cd "$tmp" && "$OLDPWD/$bin" --jobs 4 > parallel.txt 2> /dev/null)
+if ! cmp -s experiments_output.txt "$tmp/parallel.txt"; then
+    echo "FAIL: --jobs 4 stdout diverged from serial output" >&2
+    exit 1
+fi
+
+echo "==> wall-time regression vs BENCH_experiments.json baseline"
+baseline="$(sed -n 's/.*"total_wall_seconds": \([0-9.]*\).*/\1/p' BENCH_experiments.json | head -1)"
+fresh="$(sed -n 's/.*"total_wall_seconds": \([0-9.]*\).*/\1/p' "$tmp/BENCH_experiments.json" | head -1)"
+stale="$(sed -n 's/.*"stale_handle_lookups": \([0-9]*\).*/\1/p' "$tmp/BENCH_experiments.json" | head -1)"
+if [[ -z "$baseline" || -z "$fresh" ]]; then
+    echo "FAIL: could not parse total_wall_seconds (baseline='$baseline' fresh='$fresh')" >&2
+    exit 1
+fi
+if [[ "${stale:-0}" != "0" ]]; then
+    echo "FAIL: macrobench saw $stale stale slab-handle lookups (expected 0)" >&2
+    exit 1
+fi
+awk -v b="$baseline" -v f="$fresh" -v k="$factor" 'BEGIN {
+    limit = b * k
+    printf "    baseline %.3fs, fresh %.3fs, limit %.3fs (factor %s)\n", b, f, limit, k
+    exit !(f <= limit)
+}' || {
+    echo "FAIL: total_wall_seconds $fresh regressed past ${factor}x baseline $baseline" >&2
+    exit 1
+}
+
+echo "==> bench check OK"

@@ -26,10 +26,23 @@ if [[ "$quick" == 1 ]]; then
     exit 0
 fi
 
+echo "==> determinism lint (no default-hasher maps outside crates/sim)"
+# Simulation state must hash deterministically: every map in the data plane
+# goes through sprite_sim::{DetHashMap, DetHashSet}. The std types with
+# RandomState are allowed only inside crates/sim (which wraps them).
+if grep -rEn 'std::collections::\{?[^;{]*Hash(Map|Set)' crates --include='*.rs' \
+        | grep -v '^crates/sim/'; then
+    echo "FAIL: std HashMap/HashSet (RandomState) in simulation code — use sprite_sim::DetHashMap/DetHashSet" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> scripts/bench_check.sh"
+scripts/bench_check.sh
 
 echo "==> CI gate OK"

@@ -154,7 +154,7 @@ fn forked_family_spans_hosts_and_signals_still_route() {
     let t = c.kill(t, h(4), child_b, Signal::Usr1).unwrap();
     for pid in [parent, child_a, child_b] {
         assert_eq!(
-            c.take_signals(pid),
+            c.take_signals(pid).collect::<Vec<_>>(),
             vec![Signal::Usr1],
             "{pid} missed its signal"
         );
@@ -265,7 +265,7 @@ fn eviction_under_load_is_clean_and_bounded() {
         };
         pids.push(pid);
     }
-    assert_eq!(c.foreign_on(h(1)).len(), 6);
+    assert_eq!(c.foreign_on(h(1)).count(), 6);
     c.host_mut(h(1)).console_active = true;
     let reports = m.evict_all(&mut c, t, h(1)).unwrap();
     assert_eq!(reports.len(), 6);

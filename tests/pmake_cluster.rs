@@ -13,7 +13,6 @@ use sprite::net::{CostModel, HostId};
 use sprite::pmake::{prepare_sources, run_build, Action, DepGraph, PmakeConfig};
 use sprite::sim::{DetRng, SimDuration, SimTime};
 use sprite::workloads::CompileWorkload;
-use std::collections::HashMap;
 
 fn h(i: u32) -> HostId {
     HostId::new(i)
@@ -234,7 +233,7 @@ fn incremental_rebuild_touches_only_the_stale_chain() {
     .unwrap();
     // Record build times; then "touch" one object's source by marking that
     // compile target stale (no recorded build time).
-    let mut built: HashMap<usize, sprite::sim::SimTime> =
+    let mut built: sprite::sim::DetHashMap<usize, sprite::sim::SimTime> =
         (0..graph.len()).map(|i| (i, full.finished_at)).collect();
     let touched = graph.index_of("/src/module3.o").unwrap();
     built.remove(&touched);
