@@ -155,9 +155,9 @@ fn bench_fs_and_eviction() {
     });
     bench("simulated_hour_of_gossip", 100, || {
         use sprite_hostsel::{AvailabilityPolicy, HostInfo, HostSelector, Probabilistic};
-        use sprite_net::{CostModel, HostId, Network};
+        use sprite_net::{CostModel, HostId, Transport};
         let hosts = 50;
-        let mut net = Network::new(CostModel::sun3(), hosts);
+        let mut net = Transport::new(CostModel::sun3(), hosts);
         let mut sel = Probabilistic::new(hosts, 4, AvailabilityPolicy::default(), 3);
         let mut t = SimTime::ZERO;
         for _ in 0..60 {

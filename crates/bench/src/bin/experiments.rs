@@ -14,8 +14,9 @@
 
 use std::time::Instant;
 
-use sprite_bench::experiments::m01;
+use sprite_bench::experiments::{e11, m01};
 use sprite_bench::runner;
+use sprite_bench::support::rpc_table_text;
 use sprite_fs::SpritePath;
 
 struct Options {
@@ -24,6 +25,7 @@ struct Options {
     json: bool,
     list: bool,
     macrobench: bool,
+    rpc_table: bool,
 }
 
 fn parse_args() -> Options {
@@ -33,6 +35,7 @@ fn parse_args() -> Options {
         json: false,
         list: false,
         macrobench: false,
+        rpc_table: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +52,7 @@ fn parse_args() -> Options {
             }
             "--json" => opts.json = true,
             "--macro" => opts.macrobench = true,
+            "--rpc-table" => opts.rpc_table = true,
             "list" => opts.list = true,
             _ if arg.starts_with("--jobs=") => match arg["--jobs=".len()..].parse::<usize>() {
                 Ok(n) if n >= 1 => opts.jobs = n,
@@ -58,7 +62,9 @@ fn parse_args() -> Options {
                 }
             },
             _ if arg.starts_with('-') => {
-                eprintln!("unknown flag {arg:?}; flags: --jobs N, --json, --macro, list");
+                eprintln!(
+                    "unknown flag {arg:?}; flags: --jobs N, --json, --macro, --rpc-table, list"
+                );
                 std::process::exit(2);
             }
             _ => opts.ids.push(arg),
@@ -118,6 +124,11 @@ fn main() {
         (report, started.elapsed().as_secs_f64())
     });
 
+    // Like the macrobench, the per-op RPC breakdown runs a dedicated serial
+    // drive (one E11 day) after the suite so the golden stdout of a plain
+    // run stays untouched.
+    let rpc_run = opts.rpc_table.then(|| e11::run(8, 1, e11::FULL_SEED));
+
     println!("# Sprite process migration — reproduction tables\n");
     for r in &results {
         println!("{}", r.rendered);
@@ -126,6 +137,19 @@ fn main() {
     if let Some((report, _)) = &macro_run {
         println!("{}", m01::render(report));
         println!("  [m01: cluster-scale data-plane macrobench]\n");
+    }
+    if let Some(report) = &rpc_run {
+        println!(
+            "{}",
+            rpc_table_text(
+                "Per-op RPC traffic (serial drive: E11 month, 8 hosts x 1 day)",
+                &report.rpc
+            )
+        );
+        println!(
+            "  [rpc-table: NetStats saw {} messages / {} bytes]\n",
+            report.net_messages, report.net_bytes
+        );
     }
     for r in &results {
         eprintln!(
@@ -200,9 +224,33 @@ fn main() {
                 SpritePath::interned_count()
             ));
             json.push_str(&format!(
-                "    \"hash_probes\": {}\n",
+                "    \"hash_probes\": {},\n",
                 runner::hash_probes_total()
             ));
+            json.push_str(&format!(
+                "    \"rpc_total_messages\": {},\n",
+                r.rpc.total_messages()
+            ));
+            json.push_str(&format!(
+                "    \"rpc_total_bytes\": {},\n",
+                r.rpc.total_bytes()
+            ));
+            json.push_str(&format!("    \"net_messages\": {},\n", r.net_messages));
+            json.push_str(&format!("    \"net_bytes\": {},\n", r.net_bytes));
+            json.push_str("    \"rpc_table\": [\n");
+            let rows: Vec<_> = r.rpc.rows().collect();
+            for (i, (op, row)) in rows.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{\"op\": \"{}\", \"calls\": {}, \"messages\": {}, \"bytes\": {}, \"mean_rtt_ms\": {:.3}}}{}\n",
+                    op.label(),
+                    row.calls,
+                    row.messages,
+                    row.bytes,
+                    row.rtt.mean() * 1e3,
+                    if i + 1 == rows.len() { "" } else { "," }
+                ));
+            }
+            json.push_str("    ]\n");
             json.push_str("  }");
         }
         json.push_str("\n}\n");

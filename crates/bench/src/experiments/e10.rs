@@ -12,7 +12,7 @@ use sprite_hostsel::{
     AvailabilityPolicy, CentralServer, HostInfo, HostSelector, MulticastQuery, Probabilistic,
     SharedFileBoard,
 };
-use sprite_net::{CostModel, HostId, Network};
+use sprite_net::{CostModel, HostId, Transport};
 use sprite_sim::{DetRng, SimDuration, SimTime};
 use sprite_workloads::{ActivityModel, ActivityTrace};
 
@@ -44,7 +44,7 @@ pub fn drive(
     duration: SimDuration,
     seed: u64,
 ) -> ArchRow {
-    let mut net = Network::new(CostModel::sun3(), hosts);
+    let mut net = Transport::new(CostModel::sun3(), hosts);
     let mut rng = DetRng::seed_from(seed);
     let model = ActivityModel::default();
     // Start mid-morning on a weekday so ~1/3 of hosts are user-active.

@@ -59,6 +59,12 @@ pub struct MonthReport {
     pub stream_slab_high_water: u64,
     /// Slab lookups rejected for a stale generation (should stay 0).
     pub stale_handle_lookups: u64,
+    /// Per-op RPC traffic recorded by the typed transport.
+    pub rpc: sprite_net::RpcTable,
+    /// Raw network message total (equals `rpc.total_messages()`).
+    pub net_messages: u64,
+    /// Raw network byte total (equals `rpc.total_bytes()`).
+    pub net_bytes: u64,
 }
 
 struct ActiveJob {
@@ -233,6 +239,10 @@ pub fn run_seeded(hosts: usize, days: u64, mut rng: DetRng) -> MonthReport {
     };
     report.migrations = world.migrator.totals().migrations;
     report.sim_events = engine.events_executed();
+    report.rpc = world.cluster.net.rpc_table().clone();
+    let net = world.cluster.net.stats();
+    report.net_messages = net.messages;
+    report.net_bytes = net.bytes;
     let slab = world.cluster.proc_slab_stats();
     report.proc_slab_high_water = slab.high_water as u64;
     report.stale_handle_lookups = slab.stale_lookups + world.cluster.fs.streams().stale_lookups();
@@ -270,6 +280,9 @@ pub fn merge(reports: &[MonthReport]) -> MonthReport {
         out.proc_slab_high_water = out.proc_slab_high_water.max(r.proc_slab_high_water);
         out.stream_slab_high_water = out.stream_slab_high_water.max(r.stream_slab_high_water);
         out.stale_handle_lookups += r.stale_handle_lookups;
+        out.rpc.merge(&r.rpc);
+        out.net_messages += r.net_messages;
+        out.net_bytes += r.net_bytes;
         latency_total += r.mean_eviction_secs * r.evictions as f64;
     }
     out.utilization =
@@ -357,6 +370,10 @@ mod tests {
         assert_eq!(r.migrations, r.remote_jobs + r.evictions);
         // The engine drove one tick per simulated minute.
         assert!(r.sim_events >= 2 * 24 * 60 - 2, "events {}", r.sim_events);
+        // Every wire byte is attributed to a typed op.
+        assert!(!r.rpc.is_empty());
+        assert_eq!(r.rpc.total_messages(), r.net_messages);
+        assert_eq!(r.rpc.total_bytes(), r.net_bytes);
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub struct MacroReport {
     /// Generation-mismatch lookups across both workloads (must be 0: the
     /// simulation never dereferences a dead process on purpose).
     pub stale_handle_lookups: u64,
+    /// Per-op RPC traffic across both workloads (month + batch).
+    pub rpc: sprite_net::RpcTable,
+    /// Raw network message total across both workloads.
+    pub net_messages: u64,
+    /// Raw network byte total across both workloads.
+    pub net_bytes: u64,
 }
 
 fn simulation_graph(count: usize, mean_cpu: SimDuration, seed: u64) -> DepGraph {
@@ -113,8 +119,14 @@ pub fn run() -> MacroReport {
     .expect("build");
     let procs = cluster.proc_slab_stats();
     let streams = cluster.fs.streams();
+    let mut rpc = month.rpc.clone();
+    rpc.merge(cluster.net.rpc_table());
+    let batch_net = cluster.net.stats();
 
     MacroReport {
+        rpc,
+        net_messages: month.net_messages + batch_net.messages,
+        net_bytes: month.net_bytes + batch_net.bytes,
         hosts: MACRO_HOSTS,
         sim_jobs: graph.len(),
         sim_makespan: build.makespan,
@@ -179,8 +191,15 @@ pub fn render(r: &MacroReport) -> String {
         "data plane: stale handle lookups".into(),
         r.stale_handle_lookups.to_string(),
     ]);
+    t.row(&[
+        "rpc: typed ops seen".into(),
+        r.rpc.rows().count().to_string(),
+    ]);
+    t.row(&["rpc: messages".into(), r.rpc.total_messages().to_string()]);
+    t.row(&["rpc: bytes".into(), r.rpc.total_bytes().to_string()]);
     t.note("slab slots are reused through free lists: the table footprint is the");
-    t.note("high-water mark, not the process count; stale lookups must stay 0");
+    t.note("high-water mark, not the process count; stale lookups must stay 0;");
+    t.note("rpc totals equal the raw NetStats counters (every byte is typed)");
     t.render()
 }
 

@@ -166,6 +166,32 @@ impl TableWriter {
     }
 }
 
+/// Renders a transport's per-op traffic table ([`sprite_net::RpcTable`])
+/// with a trailing totals row; the totals equal the raw [`NetStats`]
+/// counters because every wire byte is attributed to a typed op.
+///
+/// [`NetStats`]: sprite_net::NetStats
+pub fn rpc_table_text(title: &str, table: &sprite_net::RpcTable) -> String {
+    let mut t = TableWriter::new(title, &["op", "calls", "messages", "bytes", "mean rtt"]);
+    for (op, row) in table.rows() {
+        t.row(&[
+            op.label().into(),
+            row.calls.to_string(),
+            row.messages.to_string(),
+            row.bytes.to_string(),
+            format!("{:.2}ms", row.rtt.mean() * 1e3),
+        ]);
+    }
+    t.row(&[
+        "total".into(),
+        table.total_calls().to_string(),
+        table.total_messages().to_string(),
+        table.total_bytes().to_string(),
+        "".into(),
+    ]);
+    t.render()
+}
+
 /// Formats a duration in milliseconds with two decimals.
 pub fn ms(d: SimDuration) -> String {
     format!("{:.2}", d.as_millis_f64())

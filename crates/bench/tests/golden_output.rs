@@ -1,0 +1,19 @@
+//! Golden assertion: migrating every subsystem onto the typed RPC transport
+//! must not change a single byte of the reproduction tables.
+
+use sprite_bench::runner;
+
+#[test]
+fn suite_stdout_is_byte_identical_to_golden() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../experiments_output.txt");
+    let golden = std::fs::read_to_string(golden_path).expect("read experiments_output.txt");
+    let results = runner::run_suite(sprite_bench::experiments::suite(), 2);
+    let mut out = String::from("# Sprite process migration — reproduction tables\n\n");
+    for r in &results {
+        out.push_str(&format!("{}\n  [{}: {}]\n\n", r.rendered, r.id, r.desc));
+    }
+    assert_eq!(
+        out, golden,
+        "reproduction tables drifted from experiments_output.txt"
+    );
+}

@@ -31,7 +31,7 @@
 
 use sprite_fs::SpritePath;
 use sprite_kernel::{Cluster, KernelError, ProcessId};
-use sprite_net::HostId;
+use sprite_net::{HostId, RpcOp};
 use sprite_sim::{SimDuration, SimTime};
 use sprite_vm::{transfer, TransferParams, TransferReport, VmStrategy};
 
@@ -303,7 +303,10 @@ impl Migrator {
         let mut phases = PhaseBreakdown::default();
 
         // Phase 1: negotiation — will the target take it?
-        let t = cluster.net.rpc(now, from, to, 128, 64, None).done;
+        let t = cluster
+            .net
+            .send(RpcOp::MigrateNegotiate, now, from, to, None)
+            .done;
         phases.negotiate = t.elapsed_since(now);
 
         // Phase 2: freeze at a safe point.
@@ -362,7 +365,11 @@ impl Migrator {
         let state_start = t;
         let bytes = Self::process_state_bytes(cluster, pid);
         let pack = cluster.net.cost().process_state_pack;
-        let t = cluster.net.bulk(t + pack, from, to, bytes).done + pack;
+        let t = cluster
+            .net
+            .stream_bulk(RpcOp::MigrateState, t + pack, from, to, bytes)
+            .done
+            + pack;
         phases.process_state = t.elapsed_since(state_start);
 
         // Phase 6: commit — rebind the process, tell the home kernel, resume.
@@ -372,7 +379,10 @@ impl Migrator {
         let mut t = t;
         if to != home && from != home {
             // Neither endpoint is the home kernel; it learns by RPC.
-            t = cluster.net.rpc(t, to, home, 64, 64, None).done;
+            t = cluster
+                .net
+                .send(RpcOp::MigrateCommit, t, to, home, None)
+                .done;
         }
         t += cluster.net.cost().context_switch;
         cluster.thaw(pid)?;
@@ -426,7 +436,10 @@ impl Migrator {
             }
         };
         let mut phases = PhaseBreakdown::default();
-        let t = cluster.net.rpc(now, from, to, 128, 64, None).done;
+        let t = cluster
+            .net
+            .send(RpcOp::MigrateNegotiate, now, from, to, None)
+            .done;
         phases.negotiate = t.elapsed_since(now);
         cluster.freeze(pid)?;
         let frozen_at = t;
@@ -460,7 +473,11 @@ impl Migrator {
         let state_start = t;
         let bytes = Self::process_state_bytes(cluster, pid) + 2048; // plus exec arguments/environment
         let pack = cluster.net.cost().process_state_pack;
-        let t = cluster.net.bulk(t + pack, from, to, bytes).done + pack;
+        let t = cluster
+            .net
+            .stream_bulk(RpcOp::MigrateState, t + pack, from, to, bytes)
+            .done
+            + pack;
         phases.process_state = t.elapsed_since(state_start);
 
         let commit_start = t;
@@ -469,7 +486,10 @@ impl Migrator {
         let home = pid.home();
         let mut t = t;
         if to != home && from != home {
-            t = cluster.net.rpc(t, to, home, 64, 64, None).done;
+            t = cluster
+                .net
+                .send(RpcOp::MigrateCommit, t, to, home, None)
+                .done;
         }
         // The exec itself now runs on the target host.
         let t = cluster.exec(t, pid, program, heap_pages, stack_pages)?;

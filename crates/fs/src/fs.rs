@@ -15,9 +15,12 @@
 //! * pseudo-devices for IPC with user-level servers \[WO88\].
 //!
 //! Every public operation takes the current simulated time and the shared
-//! [`Network`], and returns its completion time alongside its result.
+//! typed [`Transport`], and returns its completion time alongside its
+//! result. Each server interaction is tagged with its [`RpcOp`] so the
+//! transport's per-op table attributes file traffic to opens, lookups,
+//! block reads/writes, consistency actions and paging separately.
 
-use sprite_net::{HostId, Network, PAGE_SIZE};
+use sprite_net::{wire_size, HostId, RpcOp, Transport, CONTROL_BYTES, PAGE_SIZE};
 use sprite_sim::{DetHashMap, SimDuration, SimTime};
 
 use crate::cache::{BlockAddr, BlockCache};
@@ -133,11 +136,11 @@ pub struct FsStats {
 ///
 /// ```
 /// use sprite_fs::{FsConfig, OpenMode, SpriteFs, SpritePath};
-/// use sprite_net::{CostModel, HostId, Network};
+/// use sprite_net::{CostModel, HostId, Transport};
 /// use sprite_sim::SimTime;
 ///
 /// # fn main() -> Result<(), sprite_fs::FsError> {
-/// let mut net = Network::new(CostModel::sun3(), 4);
+/// let mut net = Transport::new(CostModel::sun3(), 4);
 /// let mut fs = SpriteFs::new(FsConfig::default(), 4);
 /// fs.add_server(HostId::new(0), SpritePath::new("/"));
 ///
@@ -263,13 +266,39 @@ impl SpriteFs {
         }
     }
 
-    /// Charges one client→server service interaction: a local kernel call if
-    /// the client *is* the server machine, otherwise an RPC whose service
-    /// time queues on the server CPU.
-    #[allow(clippy::too_many_arguments)]
-    fn charge_service(
+    /// Charges one client→server service interaction at the op's canonical
+    /// wire sizes: a local kernel call if the client *is* the server
+    /// machine, otherwise a typed RPC whose service time queues on the
+    /// server CPU.
+    fn charge_typed(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
+        op: RpcOp,
+        now: SimTime,
+        client: HostId,
+        server: HostId,
+        extra: SimDuration,
+    ) -> SimTime {
+        let size = wire_size(op);
+        self.charge_sized(
+            net,
+            op,
+            now,
+            client,
+            server,
+            size.request,
+            size.reply,
+            extra,
+        )
+    }
+
+    /// Like [`SpriteFs::charge_typed`] but with caller-sized payloads, for
+    /// ops that move variable amounts of data (block writes, page flushes).
+    #[allow(clippy::too_many_arguments)]
+    fn charge_sized(
+        &mut self,
+        net: &mut Transport,
+        op: RpcOp,
         now: SimTime,
         client: HostId,
         server: HostId,
@@ -283,7 +312,8 @@ impl SpriteFs {
             srv.cpu
                 .acquire(now + local, extra + net.cost().cache_block_op)
         } else {
-            net.rpc_with_service(
+            net.send_sized(
+                op,
                 now,
                 client,
                 server,
@@ -299,7 +329,7 @@ impl SpriteFs {
     /// Flushes one dirty block to its server, charging transfer + service.
     fn write_back_block(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         from: HostId,
         addr: BlockAddr,
@@ -307,7 +337,16 @@ impl SpriteFs {
     ) -> SimTime {
         let server = self.home_of(addr.file).expect("file has a home");
         let extra = net.cost().cache_block_op;
-        let done = self.charge_service(net, now, from, server, data.len() as u64 + 64, 64, extra);
+        let done = self.charge_sized(
+            net,
+            RpcOp::FsBlockWrite,
+            now,
+            from,
+            server,
+            data.len() as u64 + CONTROL_BYTES,
+            CONTROL_BYTES,
+            extra,
+        );
         let srv = self.srv_mut(server);
         srv.touch_block(addr.file, addr.block);
         if let Some(file) = srv.file_mut(addr.file) {
@@ -321,7 +360,7 @@ impl SpriteFs {
     /// flush). Returns completion time.
     fn recall_dirty(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         file: FileId,
@@ -335,7 +374,7 @@ impl SpriteFs {
         let mut t = if host == server {
             now
         } else {
-            net.rpc(now, server, host, 64, 64, None).done
+            net.send(RpcOp::FsConsistency, now, server, host, None).done
         };
         for (addr, data) in dirty {
             t = self.write_back_block(net, t, host, addr, data);
@@ -348,7 +387,7 @@ impl SpriteFs {
     /// back first (caching got disabled).
     fn invalidate_on_host(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         file: FileId,
@@ -366,7 +405,7 @@ impl SpriteFs {
     /// Creates a regular file at `path`.
     pub fn create(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         path: SpritePath,
@@ -377,7 +416,7 @@ impl SpriteFs {
     /// Creates a backing (swap) file for the VM system.
     pub fn create_backing(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         path: SpritePath,
@@ -388,7 +427,7 @@ impl SpriteFs {
     /// Creates a pseudo-device served by a user process on `server_host`.
     pub fn create_pseudo_device(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         path: SpritePath,
@@ -407,7 +446,7 @@ impl SpriteFs {
 
     fn create_kind(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         path: SpritePath,
@@ -415,7 +454,7 @@ impl SpriteFs {
     ) -> FsResult<(FileId, SimTime)> {
         let server = self.resolve(&path)?;
         let lookup = net.cost().name_lookup_component * path.depth();
-        let done = self.charge_service(net, now, host, server, 128, 64, lookup);
+        let done = self.charge_typed(net, RpcOp::FsLookup, now, host, server, lookup);
         self.stats.lookups += 1;
         let id = FileId::new(self.next_file);
         let srv = self.srv_mut(server);
@@ -438,14 +477,14 @@ impl SpriteFs {
     /// (pinned by `unlink_while_open_reads_eof`).
     pub fn unlink(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         path: &SpritePath,
     ) -> FsResult<SimTime> {
         let server = self.resolve(path)?;
         let lookup = net.cost().name_lookup_component * path.depth();
-        let done = self.charge_service(net, now, host, server, 128, 64, lookup);
+        let done = self.charge_typed(net, RpcOp::FsLookup, now, host, server, lookup);
         self.stats.lookups += 1;
         let srv = self.srv_mut(server);
         if let Some(id) = srv.lookup(path) {
@@ -466,7 +505,7 @@ impl SpriteFs {
     /// Opens `path` from `host`, running the consistency protocol.
     pub fn open(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         path: SpritePath,
@@ -482,7 +521,7 @@ impl SpriteFs {
             self.stats.lookups += 1;
             net.cost().name_lookup_component * path.depth()
         };
-        let mut t = self.charge_service(net, now, host, server, 128, 128, lookup);
+        let mut t = self.charge_typed(net, RpcOp::FsOpen, now, host, server, lookup);
         let srv = self.srv_mut(server);
         let Some(id) = srv.lookup(&path) else {
             self.name_caches[host.index()].remove(&path);
@@ -498,7 +537,9 @@ impl SpriteFs {
             for inv_host in &actions.invalidate_on {
                 // Notify the host (server-initiated) then drop its blocks.
                 if *inv_host != server {
-                    t = net.rpc(t, server, *inv_host, 64, 64, None).done;
+                    t = net
+                        .send(RpcOp::FsConsistency, t, server, *inv_host, None)
+                        .done;
                 }
                 t = self.invalidate_on_host(net, t, *inv_host, id);
             }
@@ -544,7 +585,7 @@ impl SpriteFs {
     /// Reads up to `len` bytes from `stream` at its access position.
     pub fn read(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         stream: StreamId,
@@ -560,7 +601,14 @@ impl SpriteFs {
         let mut t = now + net.cost().local_kernel_call;
         if shadowed {
             // The access position lives at the I/O server.
-            t = self.charge_service(net, t, host, server, 64, 64, SimDuration::ZERO);
+            t = self.charge_typed(
+                net,
+                RpcOp::FsShadowStream,
+                t,
+                host,
+                server,
+                SimDuration::ZERO,
+            );
             self.stats.shadow_ops += 1;
         }
         let cacheable = self.server_file_cacheable(server, file);
@@ -588,7 +636,7 @@ impl SpriteFs {
             } else {
                 self.stats.uncached_ops += 1;
                 let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, block);
-                t = self.charge_service(net, t, host, server, 64, PAGE_SIZE + 64, extra);
+                t = self.charge_typed(net, RpcOp::FsBlockRead, t, host, server, extra);
                 self.server_block(server, file, block)
             };
             let have = bytes.len().min(take_to);
@@ -613,7 +661,7 @@ impl SpriteFs {
     /// Writes `bytes` at the stream's access position.
     pub fn write(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         stream: StreamId,
@@ -628,7 +676,14 @@ impl SpriteFs {
         }
         let mut t = now + net.cost().local_kernel_call;
         if shadowed {
-            t = self.charge_service(net, t, host, server, 64, 64, SimDuration::ZERO);
+            t = self.charge_typed(
+                net,
+                RpcOp::FsShadowStream,
+                t,
+                host,
+                server,
+                SimDuration::ZERO,
+            );
             self.stats.shadow_ops += 1;
         }
         let cacheable = self.server_file_cacheable(server, file);
@@ -663,7 +718,16 @@ impl SpriteFs {
             } else {
                 self.stats.uncached_ops += 1;
                 let extra = net.cost().cache_block_op;
-                t = self.charge_service(net, t, host, server, chunk.len() as u64 + 64, 64, extra);
+                t = self.charge_sized(
+                    net,
+                    RpcOp::FsBlockWrite,
+                    t,
+                    host,
+                    server,
+                    chunk.len() as u64 + CONTROL_BYTES,
+                    CONTROL_BYTES,
+                    extra,
+                );
                 let srv = self.srv_mut(server);
                 srv.touch_block(file, block);
                 if let Some(f) = srv.file_mut(file) {
@@ -683,7 +747,7 @@ impl SpriteFs {
     /// Forces a host's dirty blocks for the stream's file to the server.
     pub fn fsync(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         stream: StreamId,
@@ -700,7 +764,7 @@ impl SpriteFs {
     /// Closes one reference to `stream` held by `host`.
     pub fn close(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         stream: StreamId,
@@ -718,7 +782,7 @@ impl SpriteFs {
                         t = self.write_back_block(net, t, host, addr, data);
                     }
                 }
-                t = self.charge_service(net, t, host, server, 64, 64, SimDuration::ZERO);
+                t = self.charge_typed(net, RpcOp::FsClose, t, host, server, SimDuration::ZERO);
                 let srv = self.srv_mut(server);
                 srv.close(file, host, mode);
             }
@@ -733,7 +797,7 @@ impl SpriteFs {
                             t = self.write_back_block(net, t, host, addr, data);
                         }
                     }
-                    t = self.charge_service(net, t, host, server, 64, 64, SimDuration::ZERO);
+                    t = self.charge_typed(net, RpcOp::FsClose, t, host, server, SimDuration::ZERO);
                     let srv = self.srv_mut(server);
                     srv.close(file, host, mode);
                 }
@@ -751,7 +815,7 @@ impl SpriteFs {
     /// whether the stream is now shadowed.
     pub fn migrate_stream(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         stream: StreamId,
         from: HostId,
@@ -778,7 +842,8 @@ impl SpriteFs {
         // 3. One RPC to the I/O server to move the open records; the server
         //    is the single synchronization point, which is what made
         //    Sprite's stream migration safe in the presence of sharing.
-        t = self.charge_service(net, t, from, server, 128, 64, net.cost().cache_block_op);
+        let block_op = net.cost().cache_block_op;
+        t = self.charge_typed(net, RpcOp::StreamTransfer, t, from, server, block_op);
         let outcome = self
             .streams
             .move_refs(stream, from, to, nrefs)
@@ -809,7 +874,7 @@ impl SpriteFs {
     /// paging or migration). Bypasses the client cache.
     pub fn page_out(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         file: FileId,
@@ -818,7 +883,16 @@ impl SpriteFs {
     ) -> FsResult<SimTime> {
         let server = self.backing_server(file)?;
         let extra = net.cost().cache_block_op;
-        let t = self.charge_service(net, now, host, server, bytes.len() as u64 + 64, 64, extra);
+        let t = self.charge_sized(
+            net,
+            RpcOp::VmPageFlush,
+            now,
+            host,
+            server,
+            bytes.len() as u64 + CONTROL_BYTES,
+            CONTROL_BYTES,
+            extra,
+        );
         let srv = self.srv_mut(server);
         srv.touch_block(file, page);
         srv.file_mut(file)
@@ -831,7 +905,7 @@ impl SpriteFs {
     /// Reads one page from a backing file (demand page-in).
     pub fn page_in(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         file: FileId,
@@ -839,7 +913,7 @@ impl SpriteFs {
     ) -> FsResult<(Vec<u8>, SimTime)> {
         let server = self.backing_server(file)?;
         let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, page);
-        let t = self.charge_service(net, now, host, server, 64, PAGE_SIZE + 64, extra);
+        let t = self.charge_typed(net, RpcOp::VmPageFetch, now, host, server, extra);
         let srv = self.srv_mut(server);
         let mut data = srv
             .file(file)
@@ -871,7 +945,7 @@ impl SpriteFs {
     #[allow(clippy::too_many_arguments)]
     pub fn pseudo_request(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         stream: StreamId,
@@ -895,7 +969,8 @@ impl SpriteFs {
         } else {
             let switch = cost.context_switch * 2;
             let done = net
-                .rpc_with_service(
+                .send_sized(
+                    RpcOp::FsPseudo,
                     now,
                     host,
                     server_process_host,
@@ -967,7 +1042,7 @@ impl SpriteFs {
 
     fn disk_penalty(
         &mut self,
-        net: &Network,
+        net: &Transport,
         server: HostId,
         file: FileId,
         block: u64,
@@ -983,7 +1058,7 @@ impl SpriteFs {
     #[allow(clippy::too_many_arguments)]
     fn fetch_block(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         server: HostId,
@@ -992,7 +1067,7 @@ impl SpriteFs {
         version: u64,
     ) -> SimTime {
         let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, block);
-        let t = self.charge_service(net, now, host, server, 64, PAGE_SIZE + 64, extra);
+        let t = self.charge_typed(net, RpcOp::FsBlockRead, now, host, server, extra);
         let mut data = self.server_block(server, file, block);
         if data.is_empty() {
             // Sparse or unwritten region: cache a zero block so the entry
@@ -1016,8 +1091,8 @@ mod tests {
     use super::*;
     use sprite_net::CostModel;
 
-    fn setup(hosts: usize) -> (Network, SpriteFs) {
-        let net = Network::new(CostModel::sun3(), hosts);
+    fn setup(hosts: usize) -> (Transport, SpriteFs) {
+        let net = Transport::new(CostModel::sun3(), hosts);
         let mut fs = SpriteFs::new(FsConfig::default(), hosts);
         fs.add_server(HostId::new(0), SpritePath::new("/"));
         (net, fs)
@@ -1426,7 +1501,7 @@ mod tests {
 
     #[test]
     fn name_cache_skips_lookup_cost_on_repeat_opens() {
-        let mut net = Network::new(sprite_net::CostModel::sun3(), 2);
+        let mut net = Transport::new(sprite_net::CostModel::sun3(), 2);
         let mut fs = SpriteFs::new(
             FsConfig {
                 client_name_caching: true,
@@ -1464,7 +1539,7 @@ mod tests {
 
     #[test]
     fn second_server_owns_its_domain() {
-        let mut net = Network::new(sprite_net::CostModel::sun3(), 3);
+        let mut net = Transport::new(sprite_net::CostModel::sun3(), 3);
         let mut fs = SpriteFs::new(FsConfig::default(), 3);
         fs.add_server(h(0), SpritePath::new("/"));
         fs.add_server(h(2), SpritePath::new("/swap"));

@@ -26,7 +26,7 @@ fn cases(base: usize) -> usize {
 /// Mint distinct FileIds through a real SpriteFs (the constructor is
 /// intentionally private).
 fn mint_file_ids(n: usize) -> Vec<sprite_fs::FileId> {
-    let mut net = sprite_net::Network::new(sprite_net::CostModel::sun3(), 2);
+    let mut net = sprite_net::Transport::new(sprite_net::CostModel::sun3(), 2);
     let mut fs = SpriteFs::new(sprite_fs::FsConfig::default(), 2);
     fs.add_server(HostId::new(0), SpritePath::new("/"));
     let _ = (FileKind::Regular, OpenMode::Read); // exercised elsewhere

@@ -24,7 +24,7 @@
 
 use std::collections::BTreeMap;
 
-use sprite_net::{HostId, Network};
+use sprite_net::{HostId, RpcOp, Transport, CONTROL_BYTES, LOAD_REPORT_BYTES};
 use sprite_sim::{DetRng, FcfsResource, OnlineStats, SimDuration, SimTime};
 
 use crate::load::{AvailabilityPolicy, HostInfo};
@@ -59,10 +59,10 @@ pub struct SelectorStats {
 ///
 /// ```
 /// use sprite_hostsel::{AvailabilityPolicy, CentralServer, HostInfo, HostSelector};
-/// use sprite_net::{CostModel, HostId, Network};
+/// use sprite_net::{CostModel, HostId, Transport};
 /// use sprite_sim::{SimDuration, SimTime};
 ///
-/// let mut net = Network::new(CostModel::sun3(), 4);
+/// let mut net = Transport::new(CostModel::sun3(), 4);
 /// let mut migd = CentralServer::new(HostId::new(0), AvailabilityPolicy::default());
 /// // Load daemons report in...
 /// let world: Vec<HostInfo> = (0..4)
@@ -81,12 +81,12 @@ pub trait HostSelector {
     fn name(&self) -> &'static str;
 
     /// Periodic status report from `info.host`'s load daemon.
-    fn report(&mut self, net: &mut Network, now: SimTime, info: HostInfo) -> SimTime;
+    fn report(&mut self, net: &mut Transport, now: SimTime, info: HostInfo) -> SimTime;
 
     /// Picks one available host for `requester`, or `None`.
     fn select(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         requester: HostId,
         truth: &[HostInfo],
@@ -95,7 +95,7 @@ pub trait HostSelector {
     /// Returns `host` to the pool.
     fn release(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         requester: HostId,
         host: HostId,
@@ -169,7 +169,7 @@ impl CentralServer {
         self.holdings.get(&requester).copied().unwrap_or(0)
     }
 
-    fn round_trip(&mut self, net: &mut Network, now: SimTime, from: HostId) -> SimTime {
+    fn round_trip(&mut self, net: &mut Transport, now: SimTime, from: HostId) -> SimTime {
         self.stats.messages += 2;
         if from == self.server {
             self.cpu.acquire(
@@ -177,12 +177,11 @@ impl CentralServer {
                 self.per_request_service,
             )
         } else {
-            net.rpc_with_service(
+            net.send_with_service(
+                RpcOp::HostselQuery,
                 now,
                 from,
                 self.server,
-                128,
-                128,
                 self.per_request_service,
                 Some(&mut self.cpu),
             )
@@ -196,7 +195,7 @@ impl HostSelector for CentralServer {
         "central-server"
     }
 
-    fn report(&mut self, net: &mut Network, now: SimTime, info: HostInfo) -> SimTime {
+    fn report(&mut self, net: &mut Transport, now: SimTime, info: HostInfo) -> SimTime {
         // Only idle/busy *transitions* are reported — Theimer and Lantz
         // showed a central server scales to thousands of clients when
         // updates are limited this way [TL88].
@@ -218,12 +217,19 @@ impl HostSelector for CentralServer {
             return now;
         }
         self.stats.messages += 1;
-        net.datagram(now, info.host, self.server, 96).done
+        net.send_datagram(
+            RpcOp::HostselReport,
+            now,
+            info.host,
+            self.server,
+            LOAD_REPORT_BYTES,
+        )
+        .done
     }
 
     fn select(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         requester: HostId,
         truth: &[HostInfo],
@@ -281,7 +287,7 @@ impl HostSelector for CentralServer {
 
     fn release(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         requester: HostId,
         host: HostId,
@@ -327,30 +333,33 @@ impl SharedFileBoard {
             entries: BTreeMap::new(),
             assigned: BTreeMap::new(),
             server_cpu: FcfsResource::new(),
-            entry_bytes: 64,
+            entry_bytes: CONTROL_BYTES,
             stats: SelectorStats::default(),
         }
     }
 
     fn server_rpc(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
+        op: RpcOp,
         now: SimTime,
         from: HostId,
         req: u64,
         reply: u64,
     ) -> SimTime {
         self.stats.messages += 2;
+        let service = net.cost().cache_block_op;
         if from == self.file_server {
-            self.server_cpu.acquire(now, net.cost().cache_block_op)
+            self.server_cpu.acquire(now, service)
         } else {
-            net.rpc_with_service(
+            net.send_sized(
+                op,
                 now,
                 from,
                 self.file_server,
                 req,
                 reply,
-                net.cost().cache_block_op,
+                service,
                 Some(&mut self.server_cpu),
             )
             .done
@@ -363,29 +372,50 @@ impl HostSelector for SharedFileBoard {
         "shared-file"
     }
 
-    fn report(&mut self, net: &mut Network, now: SimTime, info: HostInfo) -> SimTime {
+    fn report(&mut self, net: &mut Transport, now: SimTime, info: HostInfo) -> SimTime {
         // The file is concurrently write-shared by every host, so client
         // caching is off and *every* update is a server write.
-        let t = self.server_rpc(net, now, info.host, self.entry_bytes + 64, 64);
+        let t = self.server_rpc(
+            net,
+            RpcOp::HostselReport,
+            now,
+            info.host,
+            self.entry_bytes + CONTROL_BYTES,
+            CONTROL_BYTES,
+        );
         self.entries.insert(info.host, (info, now));
         t
     }
 
     fn select(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         requester: HostId,
         truth: &[HostInfo],
     ) -> (Option<HostId>, SimTime) {
         self.stats.requests += 1;
         // Lock the file.
-        let mut t = self.server_rpc(net, now, requester, 64, 64);
+        let mut t = self.server_rpc(
+            net,
+            RpcOp::HostselQuery,
+            now,
+            requester,
+            CONTROL_BYTES,
+            CONTROL_BYTES,
+        );
         // Read the whole table, uncached, a block at a time.
         let total = self.entries.len() as u64 * self.entry_bytes;
         let blocks = total.div_ceil(sprite_net::PAGE_SIZE).max(1);
         for _ in 0..blocks {
-            t = self.server_rpc(net, t, requester, 64, sprite_net::PAGE_SIZE);
+            t = self.server_rpc(
+                net,
+                RpcOp::HostselQuery,
+                t,
+                requester,
+                CONTROL_BYTES,
+                sprite_net::PAGE_SIZE,
+            );
         }
         let mut candidates: Vec<HostInfo> = self
             .entries
@@ -409,9 +439,24 @@ impl HostSelector for SharedFileBoard {
         if let Some(host) = chosen {
             self.assigned.insert(host, requester);
             // Write the assignment entry, then unlock.
-            t = self.server_rpc(net, t, requester, self.entry_bytes + 64, 64);
+            t = self.server_rpc(
+                net,
+                RpcOp::HostselQuery,
+                t,
+                requester,
+                self.entry_bytes + CONTROL_BYTES,
+                CONTROL_BYTES,
+            );
         }
-        t = self.server_rpc(net, t, requester, 64, 64); // unlock
+        // Unlock.
+        t = self.server_rpc(
+            net,
+            RpcOp::HostselQuery,
+            t,
+            requester,
+            CONTROL_BYTES,
+            CONTROL_BYTES,
+        );
         if chosen.is_some() {
             self.stats.granted += 1;
         } else {
@@ -425,13 +470,20 @@ impl HostSelector for SharedFileBoard {
 
     fn release(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         requester: HostId,
         host: HostId,
     ) -> SimTime {
         self.assigned.remove(&host);
-        self.server_rpc(net, now, requester, self.entry_bytes + 64, 64)
+        self.server_rpc(
+            net,
+            RpcOp::HostselRelease,
+            now,
+            requester,
+            self.entry_bytes + CONTROL_BYTES,
+            CONTROL_BYTES,
+        )
     }
 
     fn stats(&self) -> &SelectorStats {
@@ -479,7 +531,7 @@ impl HostSelector for Probabilistic {
         "probabilistic"
     }
 
-    fn report(&mut self, net: &mut Network, now: SimTime, info: HostInfo) -> SimTime {
+    fn report(&mut self, net: &mut Transport, now: SimTime, info: HostInfo) -> SimTime {
         let mut t = now;
         for _ in 0..self.fanout {
             let peer = HostId::new(self.rng.uniform_u64(self.hosts as u64) as u32);
@@ -487,7 +539,9 @@ impl HostSelector for Probabilistic {
                 continue;
             }
             self.stats.messages += 1;
-            t = net.datagram(t, info.host, peer, 96).done;
+            t = net
+                .send_datagram(RpcOp::HostselReport, t, info.host, peer, LOAD_REPORT_BYTES)
+                .done;
             self.tables[peer.index()].insert(info.host, (info, now));
         }
         t
@@ -495,7 +549,7 @@ impl HostSelector for Probabilistic {
 
     fn select(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         requester: HostId,
         truth: &[HostInfo],
@@ -544,7 +598,7 @@ impl HostSelector for Probabilistic {
 
     fn release(
         &mut self,
-        _net: &mut Network,
+        _net: &mut Transport,
         now: SimTime,
         requester: HostId,
         host: HostId,
@@ -591,14 +645,14 @@ impl HostSelector for MulticastQuery {
         "multicast"
     }
 
-    fn report(&mut self, _net: &mut Network, now: SimTime, _info: HostInfo) -> SimTime {
+    fn report(&mut self, _net: &mut Transport, now: SimTime, _info: HostInfo) -> SimTime {
         // No advance state: nothing to report.
         now
     }
 
     fn select(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         requester: HostId,
         truth: &[HostInfo],
@@ -606,7 +660,9 @@ impl HostSelector for MulticastQuery {
         self.stats.requests += 1;
         // One query on the wire...
         self.stats.messages += 1;
-        let mut t = net.multicast(now, requester, 96).done;
+        let mut t = net
+            .send_multicast(RpcOp::HostselMulticast, now, requester, LOAD_REPORT_BYTES)
+            .done;
         // ...and every available host replies. This reply implosion is what
         // limits the design to a few hundred hosts [TL88].
         let mut responders: Vec<HostId> = truth
@@ -621,7 +677,9 @@ impl HostSelector for MulticastQuery {
         responders.sort();
         for r in &responders {
             self.stats.messages += 1;
-            t = net.datagram(t, *r, requester, 64).done;
+            t = net
+                .send_datagram(RpcOp::HostselReply, t, *r, requester, CONTROL_BYTES)
+                .done;
         }
         let chosen = responders.first().copied();
         match chosen {
@@ -639,7 +697,7 @@ impl HostSelector for MulticastQuery {
 
     fn release(
         &mut self,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         requester: HostId,
         host: HostId,
@@ -649,7 +707,8 @@ impl HostSelector for MulticastQuery {
             return now;
         }
         self.stats.messages += 1;
-        net.datagram(now, requester, host, 64).done
+        net.send_datagram(RpcOp::HostselRelease, now, requester, host, CONTROL_BYTES)
+            .done
     }
 
     fn stats(&self) -> &SelectorStats {
@@ -666,8 +725,8 @@ mod tests {
         HostId::new(i)
     }
 
-    fn net(hosts: usize) -> Network {
-        Network::new(CostModel::sun3(), hosts)
+    fn net(hosts: usize) -> Transport {
+        Transport::new(CostModel::sun3(), hosts)
     }
 
     /// Ground truth: hosts 1..n idle for (60 + i) seconds; host 0 busy.
@@ -688,7 +747,7 @@ mod tests {
             .collect()
     }
 
-    fn feed_reports<S: HostSelector + ?Sized>(s: &mut S, net: &mut Network, truth: &[HostInfo]) {
+    fn feed_reports<S: HostSelector + ?Sized>(s: &mut S, net: &mut Transport, truth: &[HostInfo]) {
         let mut t = SimTime::ZERO;
         for info in truth {
             t = s.report(net, t, *info);

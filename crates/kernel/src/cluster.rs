@@ -4,7 +4,8 @@
 //! "Each host runs a distinct copy of the Sprite kernel, but the kernels
 //! work closely together using a remote-procedure-call mechanism" (Ch. 3.2).
 //! In the simulation all kernels live in one address space — [`Cluster`] —
-//! and their cooperation costs are charged to the shared [`Network`]. The
+//! and their cooperation costs are charged through the shared typed
+//! [`Transport`] (one [`RpcOp`] per kind of cross-kernel interaction). The
 //! migration mechanism (the `sprite-core` crate) mutates this structure
 //! through the primitives at the bottom of the impl: freeze/thaw,
 //! relocation, and access to PCBs and hosts.
@@ -15,7 +16,7 @@
 //! PID order — the order every per-process cost charge relies on.
 
 use sprite_fs::{FileId, FsConfig, FsError, OpenMode, SpriteFs, SpritePath};
-use sprite_net::{CostModel, HostId, Network, PAGE_SIZE};
+use sprite_net::{CostModel, HostId, RpcOp, Transport, PAGE_SIZE};
 use sprite_sim::{DetHashMap, FcfsResource, SimDuration, SimTime, Trace};
 use sprite_vm::AddressSpace;
 
@@ -160,8 +161,8 @@ pub struct Program {
 /// ```
 #[derive(Debug)]
 pub struct Cluster {
-    /// The shared Ethernet + RPC transport.
-    pub net: Network,
+    /// The shared Ethernet + typed RPC transport.
+    pub net: Transport,
     /// The shared file system.
     pub fs: SpriteFs,
     /// Optional narrative log of cluster events (disabled by default; turn
@@ -188,7 +189,7 @@ impl Cluster {
     /// Creates a cluster with explicit file-system tunables.
     pub fn with_fs_config(cost: CostModel, hosts: usize, fs_config: FsConfig) -> Self {
         Cluster {
-            net: Network::new(cost, hosts),
+            net: Transport::new(cost, hosts),
             fs: SpriteFs::new(fs_config, hosts),
             trace: Trace::disabled(),
             hosts: (0..hosts)
@@ -210,9 +211,10 @@ impl Cluster {
 
     /// Starts recording a narrative of cluster events (spawns, execs,
     /// migrations, exits, signals), keeping the most recent `capacity`
-    /// lines.
+    /// lines. The transport starts its own `"rpc"` narrative alongside.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Trace::enabled(capacity);
+        self.net.enable_trace(capacity);
     }
 
     /// Number of hosts.
@@ -436,7 +438,10 @@ impl Cluster {
         // A foreign parent's fork notifies the home kernel so the family
         // bookkeeping there stays current.
         if host != home {
-            t = self.net.rpc(t, host, home, 128, 64, None).done;
+            t = self
+                .net
+                .send(RpcOp::ProcNotifyHome, t, host, home, None)
+                .done;
         }
         t += self.net.cost().context_switch;
         self.stats.created += 1;
@@ -531,7 +536,10 @@ impl Cluster {
         // A foreign exit reports home: the home kernel owns the family
         // state.
         if host != home {
-            t = self.net.rpc(t, host, home, 128, 64, None).done;
+            t = self
+                .net
+                .send(RpcOp::ProcNotifyHome, t, host, home, None)
+                .done;
         }
         self.stats.exits += 1;
         self.trace
@@ -561,7 +569,10 @@ impl Cluster {
         };
         let mut t = now + self.net.cost().local_kernel_call;
         if host != home {
-            t = self.net.rpc(t, host, home, 64, 64, None).done;
+            t = self
+                .net
+                .send(RpcOp::HomeCallForward, t, host, home, None)
+                .done;
             self.stats.calls_forwarded += 1;
         }
         // Scan the child list in place (two shared borrows of the table;
@@ -638,11 +649,17 @@ impl Cluster {
         let mut t = now + self.net.cost().local_kernel_call;
         // Hop 1: to the home kernel (which knows the current location).
         if from_host != home {
-            t = self.net.rpc(t, from_host, home, 64, 64, None).done;
+            t = self
+                .net
+                .send(RpcOp::SignalForward, t, from_host, home, None)
+                .done;
         }
         // Hop 2: home forwards to wherever the process runs.
         if home != current {
-            t = self.net.rpc(t, home, current, 64, 64, None).done;
+            t = self
+                .net
+                .send(RpcOp::SignalForward, t, home, current, None)
+                .done;
         }
         self.procs
             .get_mut(target)
@@ -671,7 +688,10 @@ impl Cluster {
     ) -> KernelResult<SimTime> {
         let mut t = now + self.net.cost().local_kernel_call;
         if from_host != home {
-            t = self.net.rpc(t, from_host, home, 64, 64, None).done;
+            t = self
+                .net
+                .send(RpcOp::SignalForward, t, from_host, home, None)
+                .done;
         }
         // Collect the members into the reusable scratch list (delivery can
         // reap processes, so the iteration must not borrow the table). The
@@ -693,7 +713,10 @@ impl Cluster {
             let current = p.current;
             p.pending_signals.push(signal);
             if current != home {
-                t = self.net.rpc(t, home, current, 64, 64, None).done;
+                t = self
+                    .net
+                    .send(RpcOp::SignalForward, t, home, current, None)
+                    .done;
             }
             self.stats.signals += 1;
             if signal == Signal::Kill {
@@ -751,7 +774,10 @@ impl Cluster {
                     Ok(now + local)
                 } else {
                     self.stats.calls_forwarded += 1;
-                    Ok(self.net.rpc(now + local, current, home, 64, 64, None).done)
+                    Ok(self
+                        .net
+                        .send(RpcOp::HomeCallForward, now + local, current, home, None)
+                        .done)
                 }
             }
             Disposition::FileSystem => {

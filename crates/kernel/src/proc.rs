@@ -162,8 +162,8 @@ mod tests {
     fn fd_table_reuses_lowest_slot() {
         // Mint real stream IDs through a real (tiny) file system.
         use sprite_fs::{FsConfig, OpenMode, SpriteFs};
-        use sprite_net::{CostModel, Network};
-        let mut net = Network::new(CostModel::sun3(), 2);
+        use sprite_net::{CostModel, Transport};
+        let mut net = Transport::new(CostModel::sun3(), 2);
         let mut fs = SpriteFs::new(FsConfig::default(), 2);
         fs.add_server(HostId::new(0), SpritePath::new("/"));
         let h1 = HostId::new(1);

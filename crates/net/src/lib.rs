@@ -27,7 +27,12 @@
 mod cost;
 mod host;
 mod network;
+mod transport;
 
 pub use cost::{CostModel, PAGE_SIZE};
 pub use host::HostId;
 pub use network::{Delivery, MessageKind, NetStats, Network};
+pub use transport::{
+    wire_size, Ideal, LinkPolicy, OpStats, RpcOp, RpcTable, Transport, WireSize, CONTROL_BYTES,
+    HANDLE_BYTES, LOAD_REPORT_BYTES, PAGE_REPLY_BYTES,
+};

@@ -1,0 +1,88 @@
+//! Differential check: for every [`RpcOp`], driving the typed [`Transport`]
+//! and the raw [`Network`] with the same inputs must produce identical
+//! completion times and identical [`NetStats`]. This is the refactor's
+//! core contract — the transport is an accounting layer, not a timing
+//! change.
+
+use sprite_net::{wire_size, CostModel, HostId, Network, RpcOp, Transport};
+use sprite_sim::{SimDuration, SimTime};
+
+const HOSTS: usize = 6;
+
+fn pair() -> (Transport, Network) {
+    (
+        Transport::new(CostModel::sun3(), HOSTS),
+        Network::new(CostModel::sun3(), HOSTS),
+    )
+}
+
+#[test]
+fn every_op_times_identically_to_the_raw_network() {
+    let from = HostId::new(1);
+    let to = HostId::new(2);
+    // A non-zero start plus a second send at a busy time exercises wire
+    // queueing identically on both sides.
+    let starts = [
+        SimTime::ZERO + SimDuration::from_millis(5),
+        SimTime::ZERO + SimDuration::from_millis(6),
+    ];
+    for op in RpcOp::ALL {
+        let ws = wire_size(op);
+        let (mut typed, mut raw) = pair();
+        for now in starts {
+            let (a, b) = if op == RpcOp::HostselMulticast {
+                (
+                    typed.send_multicast(op, now, from, ws.request).done,
+                    raw.multicast(now, from, ws.request).done,
+                )
+            } else if op == RpcOp::FsPseudo {
+                // Fully caller-sized request/reply exchange.
+                let (req, reply, extra) = (3_000, 2_000, SimDuration::from_millis(2));
+                (
+                    typed
+                        .send_sized(op, now, from, to, req, reply, extra, None)
+                        .done,
+                    raw.rpc_with_service(now, from, to, req, reply, extra, None)
+                        .done,
+                )
+            } else if ws.reply == 0 {
+                // One-way load reports and replies.
+                (
+                    typed.send_datagram(op, now, from, to, ws.request).done,
+                    raw.datagram(now, from, to, ws.request).done,
+                )
+            } else if op == RpcOp::MigrateState || op == RpcOp::VmBulkImage {
+                // Fragmented bulk transfers (caller-sized).
+                let bytes = 100_000;
+                (
+                    typed.stream_bulk(op, now, from, to, bytes).done,
+                    raw.bulk(now, from, to, bytes).done,
+                )
+            } else if ws.request == 0 {
+                // Caller-sized request with a typed control reply.
+                let (req, extra) = (5_000, SimDuration::from_millis(1));
+                (
+                    typed
+                        .send_sized(op, now, from, to, req, ws.reply, extra, None)
+                        .done,
+                    raw.rpc_with_service(now, from, to, req, ws.reply, extra, None)
+                        .done,
+                )
+            } else {
+                (
+                    typed.send(op, now, from, to, None).done,
+                    raw.rpc(now, from, to, ws.request, ws.reply, None).done,
+                )
+            };
+            assert_eq!(a, b, "{op}: typed and raw completion times diverged");
+        }
+        let (ts, rs) = (typed.stats(), raw.stats());
+        assert_eq!(ts.messages, rs.messages, "{op}: message counts diverged");
+        assert_eq!(ts.bytes, rs.bytes, "{op}: byte counts diverged");
+        assert_eq!(ts.rpcs, rs.rpcs, "{op}: rpc counts diverged");
+        // And the transport's own ledger agrees with the raw counters.
+        assert_eq!(typed.rpc_table().total_messages(), rs.messages, "{op}");
+        assert_eq!(typed.rpc_table().total_bytes(), rs.bytes, "{op}");
+        assert_eq!(typed.rpc_table().get(op).calls, 2, "{op}");
+    }
+}

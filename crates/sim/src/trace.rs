@@ -102,6 +102,15 @@ impl Trace {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Distinct subsystem tags among retained entries, sorted — so callers
+    /// can discover which narratives a trace holds before filtering on one.
+    pub fn tags(&self) -> Vec<&'static str> {
+        let mut tags: Vec<&'static str> = self.entries.iter().map(|e| e.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +138,17 @@ mod tests {
         let kept: Vec<_> = trace.entries().map(|e| e.message.clone()).collect();
         assert_eq!(kept, vec!["e3", "e4"]);
         assert_eq!(trace.dropped(), 3);
+    }
+
+    #[test]
+    fn tags_are_distinct_and_sorted() {
+        let mut trace = Trace::enabled(8);
+        trace.record(SimTime::ZERO, "proc", || "spawn".into());
+        trace.record(SimTime::ZERO, "rpc", || "fs-open".into());
+        trace.record(SimTime::ZERO, "proc", || "exit".into());
+        trace.record(SimTime::ZERO, "migrate", || "pid 1".into());
+        assert_eq!(trace.tags(), vec!["migrate", "proc", "rpc"]);
+        assert!(Trace::disabled().tags().is_empty());
     }
 
     #[test]

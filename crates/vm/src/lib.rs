@@ -11,12 +11,12 @@
 //!
 //! ```
 //! use sprite_fs::{FsConfig, SpriteFs, SpritePath};
-//! use sprite_net::{CostModel, HostId, Network};
+//! use sprite_net::{CostModel, HostId, Transport};
 //! use sprite_sim::SimTime;
 //! use sprite_vm::{transfer, AddressSpace, SegmentKind, TransferParams, VirtAddr, VmStrategy};
 //!
 //! # fn main() -> Result<(), sprite_fs::FsError> {
-//! let mut net = Network::new(CostModel::sun3(), 3);
+//! let mut net = Transport::new(CostModel::sun3(), 3);
 //! let mut fs = SpriteFs::new(FsConfig::default(), 3);
 //! fs.add_server(HostId::new(0), SpritePath::new("/"));
 //!

@@ -15,7 +15,7 @@
 use std::fmt;
 
 use sprite_fs::{FileId, FsResult, SpriteFs};
-use sprite_net::{HostId, Network, PAGE_SIZE};
+use sprite_net::{HostId, RpcOp, Transport, PAGE_SIZE};
 use sprite_sim::SimTime;
 
 /// The three segments of a Sprite process image.
@@ -155,12 +155,12 @@ pub struct VmStats {
 ///
 /// ```
 /// use sprite_fs::{FsConfig, SpriteFs, SpritePath};
-/// use sprite_net::{CostModel, HostId, Network};
+/// use sprite_net::{CostModel, HostId, Transport};
 /// use sprite_sim::SimTime;
 /// use sprite_vm::{AddressSpace, SegmentKind, VirtAddr};
 ///
 /// # fn main() -> Result<(), sprite_fs::FsError> {
-/// let mut net = Network::new(CostModel::sun3(), 2);
+/// let mut net = Transport::new(CostModel::sun3(), 2);
 /// let mut fs = SpriteFs::new(FsConfig::default(), 2);
 /// fs.add_server(HostId::new(0), SpritePath::new("/"));
 /// let host = HostId::new(1);
@@ -192,7 +192,7 @@ impl AddressSpace {
     #[allow(clippy::too_many_arguments)]
     pub fn create(
         fs: &mut SpriteFs,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         tag: &str,
@@ -251,7 +251,7 @@ impl AddressSpace {
     pub fn fork_copy(
         &mut self,
         fs: &mut SpriteFs,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         tag: &str,
@@ -390,7 +390,7 @@ impl AddressSpace {
     fn fault_in(
         &mut self,
         fs: &mut SpriteFs,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         segment: SegmentKind,
@@ -435,7 +435,7 @@ impl AddressSpace {
                     t + net.cost().page_copy
                 } else {
                     self.stats.remote_fetches += 1;
-                    net.rpc(t, host, source, 64, PAGE_SIZE + 64, None).done
+                    net.send(RpcOp::VmPageFetch, t, host, source, None).done
                 };
                 let seg = self.segment_mut(segment);
                 let p = &mut seg.pages[page as usize];
@@ -461,7 +461,7 @@ impl AddressSpace {
     pub fn read(
         &mut self,
         fs: &mut SpriteFs,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         addr: VirtAddr,
@@ -497,7 +497,7 @@ impl AddressSpace {
     pub fn write(
         &mut self,
         fs: &mut SpriteFs,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
         addr: VirtAddr,
@@ -531,7 +531,7 @@ impl AddressSpace {
     pub fn flush_dirty(
         &mut self,
         fs: &mut SpriteFs,
-        net: &mut Network,
+        net: &mut Transport,
         now: SimTime,
         host: HostId,
     ) -> FsResult<SimTime> {
@@ -641,8 +641,8 @@ mod tests {
     use sprite_fs::{FsConfig, SpritePath};
     use sprite_net::CostModel;
 
-    fn setup() -> (Network, SpriteFs) {
-        let net = Network::new(CostModel::sun3(), 3);
+    fn setup() -> (Transport, SpriteFs) {
+        let net = Transport::new(CostModel::sun3(), 3);
         let mut fs = SpriteFs::new(FsConfig::default(), 3);
         fs.add_server(HostId::new(0), SpritePath::new("/"));
         (net, fs)
@@ -653,7 +653,7 @@ mod tests {
     }
 
     /// Creates a four-page "program" file plus an address space over it.
-    fn space(fs: &mut SpriteFs, net: &mut Network, tag: &str) -> (AddressSpace, SimTime) {
+    fn space(fs: &mut SpriteFs, net: &mut Transport, tag: &str) -> (AddressSpace, SimTime) {
         let (prog, t) = fs
             .create(
                 net,

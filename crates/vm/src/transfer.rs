@@ -22,7 +22,7 @@
 //!   file server — which the process depends on anyway.
 
 use sprite_fs::{FsResult, SpriteFs};
-use sprite_net::{HostId, Network, PAGE_SIZE};
+use sprite_net::{HostId, RpcOp, Transport, PAGE_SIZE};
 use sprite_sim::{SimDuration, SimTime};
 
 use crate::space::AddressSpace;
@@ -128,7 +128,7 @@ pub fn transfer(
     space: &mut AddressSpace,
     strategy: VmStrategy,
     fs: &mut SpriteFs,
-    net: &mut Network,
+    net: &mut Transport,
     now: SimTime,
     from: HostId,
     to: HostId,
@@ -150,7 +150,7 @@ fn page_table_bytes(space: &AddressSpace) -> u64 {
 fn full_copy(
     space: &mut AddressSpace,
     fs: &mut SpriteFs,
-    net: &mut Network,
+    net: &mut Transport,
     now: SimTime,
     from: HostId,
     to: HostId,
@@ -159,7 +159,9 @@ fn full_copy(
     let pages = space.resident_pages();
     let bytes = pages * PAGE_SIZE + page_table_bytes(space);
     let copy_cpu = net.cost().copy_time(pages * PAGE_SIZE);
-    let done = net.bulk(now + copy_cpu, from, to, bytes).done;
+    let done = net
+        .stream_bulk(RpcOp::VmBulkImage, now + copy_cpu, from, to, bytes)
+        .done;
     // Pages are now resident on the target; the in-memory representation
     // already holds the bytes, so only the location bookkeeping changes.
     let elapsed = done.elapsed_since(now);
@@ -177,7 +179,7 @@ fn full_copy(
 fn pre_copy(
     space: &mut AddressSpace,
     fs: &mut SpriteFs,
-    net: &mut Network,
+    net: &mut Transport,
     now: SimTime,
     from: HostId,
     to: HostId,
@@ -193,7 +195,9 @@ fn pre_copy(
     while to_move > params.precopy_threshold_pages && rounds < params.precopy_max_rounds {
         let bytes = to_move * PAGE_SIZE;
         let copy_cpu = net.cost().copy_time(bytes);
-        let done = net.bulk(t + copy_cpu, from, to, bytes).done;
+        let done = net
+            .stream_bulk(RpcOp::VmBulkImage, t + copy_cpu, from, to, bytes)
+            .done;
         let round_time = done.elapsed_since(t);
         pages_moved += to_move;
         bytes_moved += bytes;
@@ -207,7 +211,9 @@ fn pre_copy(
     // Final frozen round.
     let bytes = to_move * PAGE_SIZE + page_table_bytes(space);
     let copy_cpu = net.cost().copy_time(to_move * PAGE_SIZE);
-    let done = net.bulk(t + copy_cpu, from, to, bytes).done;
+    let done = net
+        .stream_bulk(RpcOp::VmBulkImage, t + copy_cpu, from, to, bytes)
+        .done;
     pages_moved += to_move;
     bytes_moved += bytes;
     let freeze = done.elapsed_since(t);
@@ -224,14 +230,16 @@ fn pre_copy(
 
 fn copy_on_reference(
     space: &mut AddressSpace,
-    net: &mut Network,
+    net: &mut Transport,
     now: SimTime,
     from: HostId,
     to: HostId,
 ) -> TransferReport {
     // Freeze: ship page tables only; every resident page stays behind.
     let bytes = page_table_bytes(space);
-    let done = net.bulk(now, from, to, bytes).done;
+    let done = net
+        .stream_bulk(RpcOp::VmBulkImage, now, from, to, bytes)
+        .done;
     space.leave_at_source(from);
     let freeze = done.elapsed_since(now);
     TransferReport {
@@ -248,7 +256,7 @@ fn copy_on_reference(
 fn sprite_flush(
     space: &mut AddressSpace,
     fs: &mut SpriteFs,
-    net: &mut Network,
+    net: &mut Transport,
     now: SimTime,
     from: HostId,
     _to: HostId,
@@ -276,8 +284,8 @@ mod tests {
     use sprite_fs::{FsConfig, SpritePath};
     use sprite_net::CostModel;
 
-    fn setup() -> (Network, SpriteFs) {
-        let net = Network::new(CostModel::sun3(), 3);
+    fn setup() -> (Transport, SpriteFs) {
+        let net = Transport::new(CostModel::sun3(), 3);
         let mut fs = SpriteFs::new(FsConfig::default(), 3);
         fs.add_server(HostId::new(0), SpritePath::new("/"));
         (net, fs)
@@ -290,7 +298,7 @@ mod tests {
     /// An address space with `touched` heap pages resident and dirty.
     fn dirty_space(
         fs: &mut SpriteFs,
-        net: &mut Network,
+        net: &mut Transport,
         tag: &str,
         touched: u64,
     ) -> (AddressSpace, SimTime) {

@@ -5,7 +5,7 @@
 //! source host after each strategy's migration and observe who loses state.
 
 use sprite_fs::{FsConfig, SpriteFs, SpritePath};
-use sprite_net::{CostModel, HostId, Network, PAGE_SIZE};
+use sprite_net::{CostModel, HostId, Transport, PAGE_SIZE};
 use sprite_sim::SimTime;
 use sprite_vm::{transfer, AddressSpace, SegmentKind, TransferParams, VirtAddr, VmStrategy};
 
@@ -13,8 +13,8 @@ fn h(i: u32) -> HostId {
     HostId::new(i)
 }
 
-fn setup() -> (Network, SpriteFs) {
-    let net = Network::new(CostModel::sun3(), 3);
+fn setup() -> (Transport, SpriteFs) {
+    let net = Transport::new(CostModel::sun3(), 3);
     let mut fs = SpriteFs::new(FsConfig::default(), 3);
     fs.add_server(h(0), SpritePath::new("/"));
     (net, fs)
@@ -22,7 +22,7 @@ fn setup() -> (Network, SpriteFs) {
 
 fn migrated_space(
     fs: &mut SpriteFs,
-    net: &mut Network,
+    net: &mut Transport,
     strategy: VmStrategy,
     tag: &str,
 ) -> (AddressSpace, SimTime, Vec<u8>) {

@@ -8,7 +8,7 @@
 //! the case count.
 
 use sprite_fs::{FsConfig, SpriteFs, SpritePath};
-use sprite_net::{CostModel, HostId, Network, PAGE_SIZE};
+use sprite_net::{CostModel, HostId, Transport, PAGE_SIZE};
 use sprite_sim::{DetRng, SimTime};
 use sprite_vm::{AddressSpace, SegmentKind, VirtAddr};
 
@@ -60,7 +60,7 @@ fn memory_matches_flat_model_under_any_transfer_mix() {
         let nops = 1 + rng.pick_index(39);
         let ops: Vec<VmOp> = (0..nops).map(|_| vm_op(&mut rng)).collect();
 
-        let mut net = Network::new(CostModel::sun3(), 4);
+        let mut net = Transport::new(CostModel::sun3(), 4);
         let mut fs = SpriteFs::new(FsConfig::default(), 4);
         fs.add_server(HostId::new(0), SpritePath::new("/"));
         let (prog, t0) = fs

@@ -52,12 +52,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The owner of the borrowed machine comes back and touches the keyboard.
     println!("\n*** owner returns to {borrowed} at {clock} ***\n");
     cluster.host_mut(borrowed).console_active = true;
+    // Watch the wire while eviction runs: the typed transport narrates
+    // every RPC it carries under the "rpc" trace tag.
+    cluster.enable_trace(256);
     let reports = migrator.evict_all(&mut cluster, clock, borrowed)?;
     for r in &reports {
         println!(
             "evicted {} back to {} in {} (froze {})",
             r.pid, r.to, r.total_time, r.freeze_time
         );
+    }
+    let trace = cluster.net.trace();
+    let rpc_lines: Vec<String> = trace
+        .entries()
+        .filter(|e| e.tag == "rpc")
+        .map(|e| e.to_string())
+        .collect();
+    println!(
+        "\nwire traffic during eviction ({} RPCs traced, tags {:?}; last 6):",
+        rpc_lines.len(),
+        trace.tags()
+    );
+    for line in rpc_lines.iter().rev().take(6).rev() {
+        println!("  {line}");
     }
     let last = reports.last().unwrap().resumed_at;
     println!(

@@ -10,7 +10,7 @@ use sprite::hostsel::{
     AvailabilityPolicy, CentralServer, HostInfo, HostSelector, MulticastQuery, Probabilistic,
     SharedFileBoard,
 };
-use sprite::net::{CostModel, HostId, Network};
+use sprite::net::{CostModel, HostId, Transport};
 use sprite::sim::{DetRng, SimDuration, SimTime};
 use sprite::workloads::{ActivityModel, ActivityTrace};
 
@@ -47,7 +47,7 @@ fn drive(
     hosts: usize,
     duration: SimDuration,
 ) -> (&'static str, u64, u64, f64, f64, u64) {
-    let mut net = Network::new(CostModel::sun3(), hosts);
+    let mut net = Transport::new(CostModel::sun3(), hosts);
     let mut rng = DetRng::seed_from(99);
     let model = ActivityModel::default();
     let start = SimTime::ZERO + SimDuration::from_secs(2 * 86_400 + 10 * 3_600);

@@ -36,6 +36,17 @@ if grep -rEn 'std::collections::\{?[^;{]*Hash(Map|Set)' crates --include='*.rs' 
     exit 1
 fi
 
+echo "==> transport lint (no raw Network sends outside crates/net)"
+# Every cross-kernel interaction goes through the typed Transport facade so
+# the per-op RpcTable accounts for all wire traffic. Raw Network::{rpc,bulk,
+# multicast} calls are allowed only inside crates/net (where Transport wraps
+# them).
+if grep -rEn 'net\.(rpc|bulk|multicast)\(' crates --include='*.rs' \
+        | grep -v '^crates/net/'; then
+    echo "FAIL: raw Network send in simulation code — route it through sprite_net::Transport (send/send_sized/stream_bulk/...)" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -16,7 +16,7 @@ use sprite::fs::{FsConfig, OpenMode, SpriteFs, SpritePath, StreamId};
 use sprite::hostsel::{AvailabilityPolicy, CentralServer, HostInfo, HostSelector};
 use sprite::kernel::Cluster;
 use sprite::migration::{MigrationConfig, Migrator};
-use sprite::net::{CostModel, HostId, Network};
+use sprite::net::{CostModel, HostId, Transport};
 use sprite::sim::{DetRng, SimDuration, SimTime};
 use sprite::vm::{SegmentKind, VirtAddr};
 
@@ -95,7 +95,7 @@ fn fs_matches_flat_model() {
         let nops = 1 + rng.pick_index(59);
         let ops: Vec<FsOp> = (0..nops).map(|_| fs_op(&mut rng)).collect();
 
-        let mut net = Network::new(CostModel::sun3(), HOSTS);
+        let mut net = Transport::new(CostModel::sun3(), HOSTS);
         let mut fs = SpriteFs::new(FsConfig::default(), HOSTS);
         fs.add_server(h(0), SpritePath::new("/"));
         let mut t = SimTime::ZERO;
@@ -362,7 +362,7 @@ fn central_server_assignment_invariants() {
             .map(|_| (rng.uniform_u64(8) as u8, rng.chance(0.5)))
             .collect();
 
-        let mut net = Network::new(CostModel::sun3(), hosts);
+        let mut net = Transport::new(CostModel::sun3(), hosts);
         let mut sel = CentralServer::new(h(0), AvailabilityPolicy::default());
         let truth: Vec<HostInfo> = (0..hosts as u32)
             .map(|i| HostInfo {
