@@ -6,6 +6,7 @@
 //! cargo run -p sprite-bench --release --bin experiments -- list     # index
 //! cargo run -p sprite-bench --release --bin experiments -- --jobs 4 # parallel
 //! cargo run -p sprite-bench --release --bin experiments -- --json   # sidecar
+//! cargo run -p sprite-bench --release --bin experiments -- --faults 42:0.1
 //! ```
 //!
 //! Tables go to stdout and are byte-identical for every `--jobs` value
@@ -14,9 +15,9 @@
 
 use std::time::Instant;
 
-use sprite_bench::experiments::{e11, m01};
+use sprite_bench::experiments::{e11, f01, m01};
 use sprite_bench::runner;
-use sprite_bench::support::rpc_table_text;
+use sprite_bench::support::{fault_table_text, rpc_table_text};
 use sprite_fs::SpritePath;
 
 struct Options {
@@ -26,6 +27,17 @@ struct Options {
     list: bool,
     macrobench: bool,
     rpc_table: bool,
+    /// `--faults seed:rate` — run the F1 fault sweep after the suite.
+    faults: Option<(u64, f64)>,
+}
+
+/// Parses the `--faults` operand: `<seed>:<rate>` with an integer seed and
+/// a drop rate in `[0, 1]`.
+fn parse_faults(v: &str) -> Option<(u64, f64)> {
+    let (seed, rate) = v.split_once(':')?;
+    let seed = seed.parse::<u64>().ok()?;
+    let rate = rate.parse::<f64>().ok()?;
+    (0.0..=1.0).contains(&rate).then_some((seed, rate))
 }
 
 fn parse_args() -> Options {
@@ -36,6 +48,7 @@ fn parse_args() -> Options {
         list: false,
         macrobench: false,
         rpc_table: false,
+        faults: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,6 +66,16 @@ fn parse_args() -> Options {
             "--json" => opts.json = true,
             "--macro" => opts.macrobench = true,
             "--rpc-table" => opts.rpc_table = true,
+            "--faults" => {
+                let v = args.next().unwrap_or_default();
+                match parse_faults(&v) {
+                    Some(f) => opts.faults = Some(f),
+                    None => {
+                        eprintln!("--faults needs <seed>:<rate> with rate in [0,1], got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "list" => opts.list = true,
             _ if arg.starts_with("--jobs=") => match arg["--jobs=".len()..].parse::<usize>() {
                 Ok(n) if n >= 1 => opts.jobs = n,
@@ -61,9 +84,16 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 }
             },
+            _ if arg.starts_with("--faults=") => match parse_faults(&arg["--faults=".len()..]) {
+                Some(f) => opts.faults = Some(f),
+                None => {
+                    eprintln!("bad {arg:?}; --faults needs <seed>:<rate> with rate in [0,1]");
+                    std::process::exit(2);
+                }
+            },
             _ if arg.starts_with('-') => {
                 eprintln!(
-                    "unknown flag {arg:?}; flags: --jobs N, --json, --macro, --rpc-table, list"
+                    "unknown flag {arg:?}; flags: --jobs N, --json, --macro, --rpc-table, --faults SEED:RATE, list"
                 );
                 std::process::exit(2);
             }
@@ -129,6 +159,15 @@ fn main() {
     // run stays untouched.
     let rpc_run = opts.rpc_table.then(|| e11::run(8, 1, e11::FULL_SEED));
 
+    // The fault sweep is a pure function of (seed, rate) and runs serially
+    // after the suite, so the golden stdout of a plain run stays untouched
+    // and the appended block is identical for every --jobs value.
+    let fault_run = opts.faults.map(|(seed, rate)| {
+        let started = Instant::now();
+        let report = f01::sweep(seed, rate);
+        (report, started.elapsed().as_secs_f64())
+    });
+
     println!("# Sprite process migration — reproduction tables\n");
     for r in &results {
         println!("{}", r.rendered);
@@ -151,6 +190,23 @@ fn main() {
             report.net_messages, report.net_bytes
         );
     }
+    if let Some((report, _)) = &fault_run {
+        println!("{}", f01::render(report));
+        println!("  [f01: fault-injection sweep]\n");
+        println!(
+            "{}",
+            fault_table_text(
+                "Per-op fault events (merged across the sweep)",
+                &report.faults
+            )
+        );
+        println!(
+            "  [fault-table: {} drops, {} retries, {} giveups]\n",
+            report.faults.total_drops(),
+            report.faults.total_retries(),
+            report.faults.total_giveups()
+        );
+    }
     for r in &results {
         eprintln!(
             "[timing] {}: {:.2}s cpu across {} unit{}",
@@ -169,6 +225,13 @@ fn main() {
         eprintln!(
             "[timing] m01: {macro_wall:.2}s wall serial at {} hosts",
             report.hosts
+        );
+    }
+    if let Some((report, fault_wall)) = &fault_run {
+        eprintln!(
+            "[timing] f01: {fault_wall:.2}s wall serial across {} rates (seed {})",
+            report.rows.len(),
+            report.seed
         );
     }
     eprintln!(
@@ -247,6 +310,48 @@ fn main() {
                     row.messages,
                     row.bytes,
                     row.rtt.mean() * 1e3,
+                    if i + 1 == rows.len() { "" } else { "," }
+                ));
+            }
+            json.push_str("    ]\n");
+            json.push_str("  }");
+        }
+        if let Some((r, fault_wall)) = &fault_run {
+            json.push_str(",\n  \"faults\": {\n");
+            json.push_str("    \"id\": \"f01\",\n");
+            json.push_str("    \"description\": \"fault-injection sweep: migration outcomes vs drop rate\",\n");
+            json.push_str(&format!("    \"seed\": {},\n", r.seed));
+            json.push_str(&format!("    \"wall_seconds\": {fault_wall:.3},\n"));
+            json.push_str("    \"rows\": [\n");
+            for (i, row) in r.rows.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{\"rate\": {:.6}, \"attempts\": {}, \"completed\": {}, \"aborts\": {}, \"failures\": {}, \"drops\": {}, \"retries\": {}, \"giveups\": {}, \"crash_kills\": {}, \"survivors\": {}}}{}\n",
+                    row.rate,
+                    row.attempts,
+                    row.completed,
+                    row.aborts,
+                    row.failures,
+                    row.drops,
+                    row.retries,
+                    row.giveups,
+                    row.fault_kills,
+                    row.survivors,
+                    if i + 1 == r.rows.len() { "" } else { "," }
+                ));
+            }
+            json.push_str("    ],\n");
+            json.push_str("    \"fault_table\": [\n");
+            let rows: Vec<_> = r.faults.rows().collect();
+            for (i, (op, row)) in rows.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{\"op\": \"{}\", \"drops\": {}, \"delays\": {}, \"partitions\": {}, \"crashes\": {}, \"retries\": {}, \"giveups\": {}}}{}\n",
+                    op.label(),
+                    row.drops,
+                    row.delays,
+                    row.partitions,
+                    row.crashes,
+                    row.retries,
+                    row.giveups,
                     if i + 1 == rows.len() { "" } else { "," }
                 ));
             }

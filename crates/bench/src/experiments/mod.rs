@@ -22,6 +22,7 @@ pub mod e09;
 pub mod e10;
 pub mod e11;
 pub mod e12;
+pub mod f01;
 pub mod m01;
 
 use crate::runner::{merge_e10, merge_e11, merge_single, Experiment, Partial, Unit};

@@ -192,6 +192,38 @@ pub fn rpc_table_text(title: &str, table: &sprite_net::RpcTable) -> String {
     t.render()
 }
 
+/// Renders a per-op fault breakdown ([`sprite_net::FaultStats`]): only ops
+/// that saw at least one fault event appear, in table order.
+pub fn fault_table_text(title: &str, table: &sprite_net::FaultStats) -> String {
+    let mut t = TableWriter::new(
+        title,
+        &[
+            "op",
+            "drops",
+            "delays",
+            "partitions",
+            "crashes",
+            "retries",
+            "giveups",
+        ],
+    );
+    for (op, row) in table.rows() {
+        t.row(&[
+            op.label().into(),
+            row.drops.to_string(),
+            row.delays.to_string(),
+            row.partitions.to_string(),
+            row.crashes.to_string(),
+            row.retries.to_string(),
+            row.giveups.to_string(),
+        ]);
+    }
+    if table.is_empty() {
+        t.note("no fault events recorded");
+    }
+    t.render()
+}
+
 /// Formats a duration in milliseconds with two decimals.
 pub fn ms(d: SimDuration) -> String {
     format!("{:.2}", d.as_millis_f64())

@@ -23,7 +23,7 @@ mod protocol;
 pub use checkpoint::{checkpoint_restart, CheckpointReport};
 pub use protocol::{
     MigrationConfig, MigrationError, MigrationReport, MigrationResult, MigrationTotals, Migrator,
-    PhaseBreakdown,
+    PhaseBreakdown, EVICTION_RETRY_LIMIT,
 };
 
 #[cfg(test)]

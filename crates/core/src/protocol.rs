@@ -29,11 +29,18 @@
 //! demand-pages on the target, which is why Sprite steers most migrations
 //! through `exec` (Ch. 4.2.1).
 
-use sprite_fs::SpritePath;
+use sprite_fs::{FsError, SpritePath, StreamId};
 use sprite_kernel::{Cluster, KernelError, ProcessId};
-use sprite_net::{HostId, RpcOp};
+use sprite_net::{HostId, RpcError, RpcOp};
 use sprite_sim::{SimDuration, SimTime};
 use sprite_vm::{transfer, TransferParams, TransferReport, VmStrategy};
+
+/// How many times eviction retries a migration that failed on a
+/// *transient* transport fault (a timed-out RPC from message loss). The
+/// owner wants the workstation back, so eviction keeps trying through a
+/// lossy network; persistent failures (partition, peer crash) surface
+/// immediately — retrying into a dead link only delays the owner further.
+pub const EVICTION_RETRY_LIMIT: u32 = 3;
 
 /// Migration tunables.
 #[derive(Debug, Clone)]
@@ -74,8 +81,28 @@ pub enum MigrationError {
     /// The process cannot migrate (e.g. it shares writable memory; Sprite
     /// simply disallows those — Ch. 4.2.1).
     NotMigratable(ProcessId, &'static str),
+    /// A kernel-to-kernel RPC failed mid-protocol (timeout after retries,
+    /// partition, or peer crash). The migration aborted and the process
+    /// was rolled back to runnable at the source.
+    Rpc(RpcError),
     /// Kernel or file-system failure underneath.
     Kernel(KernelError),
+}
+
+impl MigrationError {
+    /// The transport failure underneath, if this error is one.
+    pub fn rpc_failure(&self) -> Option<&RpcError> {
+        match self {
+            MigrationError::Rpc(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True if retrying the migration could plausibly succeed (the failure
+    /// was message loss, not a partition or a dead peer).
+    pub fn is_transient(&self) -> bool {
+        self.rpc_failure().is_some_and(|e| e.is_transient())
+    }
 }
 
 impl std::fmt::Display for MigrationError {
@@ -89,6 +116,7 @@ impl std::fmt::Display for MigrationError {
             MigrationError::TargetRefused(h) => write!(f, "target {h} refused the process"),
             MigrationError::AlreadyThere(p) => write!(f, "{p} is already on the target host"),
             MigrationError::NotMigratable(p, why) => write!(f, "{p} cannot migrate: {why}"),
+            MigrationError::Rpc(e) => write!(f, "rpc failed: {e}"),
             MigrationError::Kernel(e) => write!(f, "kernel: {e}"),
         }
     }
@@ -97,6 +125,7 @@ impl std::fmt::Display for MigrationError {
 impl std::error::Error for MigrationError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            MigrationError::Rpc(e) => Some(e),
             MigrationError::Kernel(e) => Some(e),
             _ => None,
         }
@@ -105,13 +134,25 @@ impl std::error::Error for MigrationError {
 
 impl From<KernelError> for MigrationError {
     fn from(e: KernelError) -> Self {
-        MigrationError::Kernel(e)
+        match e {
+            KernelError::Rpc(rpc) => MigrationError::Rpc(rpc),
+            other => MigrationError::Kernel(other),
+        }
     }
 }
 
-impl From<sprite_fs::FsError> for MigrationError {
-    fn from(e: sprite_fs::FsError) -> Self {
-        MigrationError::Kernel(KernelError::Fs(e))
+impl From<FsError> for MigrationError {
+    fn from(e: FsError) -> Self {
+        match e {
+            FsError::Rpc(rpc) => MigrationError::Rpc(rpc),
+            other => MigrationError::Kernel(KernelError::Fs(other)),
+        }
+    }
+}
+
+impl From<RpcError> for MigrationError {
+    fn from(e: RpcError) -> Self {
+        MigrationError::Rpc(e)
     }
 }
 
@@ -178,6 +219,10 @@ pub struct MigrationTotals {
     pub evictions: u64,
     /// Migrations refused or failed.
     pub failures: u64,
+    /// Of the failures, migrations aborted *after* the freeze point and
+    /// rolled back: the process was thawed runnable at the source, exactly
+    /// once, on exactly one host (counted in `failures` too).
+    pub aborts: u64,
     /// Sum of freeze time across migrations.
     pub total_freeze: SimDuration,
 }
@@ -280,6 +325,53 @@ impl Migrator {
         1024 + 256 * pcb.open_fds().count() as u64 + 64 * pcb.pending_signals.len() as u64
     }
 
+    /// Aborts a migration that failed after the freeze point: streams
+    /// already moved to the target come back, the process thaws, and it is
+    /// runnable at the source as though the migration never started —
+    /// "on any error the process keeps running at the source". Returns the
+    /// error so call sites can `return Err(self.abort(...))`.
+    #[allow(clippy::too_many_arguments)]
+    fn abort(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        pid: ProcessId,
+        from: HostId,
+        to: HostId,
+        moved_streams: &[StreamId],
+        err: MigrationError,
+    ) -> MigrationError {
+        let mut t = now;
+        for stream in moved_streams {
+            // Moving a stream back crosses the same faulty network. If the
+            // undo is lost too, the I/O server keeps the target-side open
+            // record; the server is the synchronization point, so the
+            // record re-syncs at the stream's next successful operation.
+            match cluster
+                .fs
+                .migrate_stream(&mut cluster.net, t, *stream, to, from, 1)
+            {
+                Ok((_, t2)) => t = t2,
+                Err(FsError::Rpc(e)) => {
+                    t = e.at();
+                    cluster.trace.record(t, "fault", || {
+                        format!("{pid} abort: stream undo to {from} lost: {e}")
+                    });
+                }
+                Err(_) => {}
+            }
+        }
+        // The freeze/thaw pair is local state; thaw cannot fail here
+        // because abort only runs once, on a process this call froze.
+        cluster.thaw(pid).expect("aborting a frozen process");
+        self.totals.failures += 1;
+        self.totals.aborts += 1;
+        cluster.trace.record(t, "fault", || {
+            format!("{pid} migration {from} -> {to} aborted, runnable at source: {err}")
+        });
+        err
+    }
+
     /// Migrates `pid` to `to`, moving its entire execution state.
     ///
     /// # Errors
@@ -302,21 +394,32 @@ impl Migrator {
         };
         let mut phases = PhaseBreakdown::default();
 
-        // Phase 1: negotiation — will the target take it?
-        let t = cluster
+        // Phase 1: negotiation — will the target take it? A transport
+        // failure here costs nothing to undo: the process never froze.
+        let t = match cluster
             .net
             .send(RpcOp::MigrateNegotiate, now, from, to, None)
-            .done;
+        {
+            Ok(d) => d.done,
+            Err(e) => {
+                self.totals.failures += 1;
+                return Err(e.into());
+            }
+        };
         phases.negotiate = t.elapsed_since(now);
 
-        // Phase 2: freeze at a safe point.
+        // Phase 2: freeze at a safe point. From here on, every failure
+        // goes through [`Migrator::abort`] so the process thaws runnable
+        // at the source.
         cluster.freeze(pid)?;
         let frozen_at = t;
 
         // Phase 3: virtual memory, by the configured strategy. The address
         // space is taken out of the PCB while the transfer engine works on
         // it, then reinstalled — mirroring how Sprite's VM module
-        // encapsulated its own state independent of the process module.
+        // encapsulated its own state independent of the process module. A
+        // failed transfer leaves every page where it was (see
+        // [`sprite_vm::transfer`]), so the abort has no VM state to undo.
         let space = cluster.pcb_mut(pid).expect("validated").space.take();
         let (vm_report, t) = match space {
             Some(mut sp) => {
@@ -331,15 +434,26 @@ impl Migrator {
                     &self.config.transfer_params,
                 );
                 cluster.pcb_mut(pid).expect("validated").space = Some(sp);
-                let r = r?;
-                let done = r.resumed_at;
-                (Some(r), done)
+                match r {
+                    Ok(r) => {
+                        let done = r.resumed_at;
+                        (Some(r), done)
+                    }
+                    Err(e) => {
+                        let at = match &e {
+                            FsError::Rpc(rpc) => rpc.at(),
+                            _ => t,
+                        };
+                        return Err(self.abort(cluster, at, pid, from, to, &[], e.into()));
+                    }
+                }
             }
             None => (None, t),
         };
         phases.virtual_memory = t.elapsed_since(frozen_at);
 
-        // Phase 4: open streams, one I/O-server update each.
+        // Phase 4: open streams, one I/O-server update each. On failure,
+        // streams that already moved come back in the abort.
         let fds: Vec<_> = cluster
             .pcb(pid)
             .expect("validated")
@@ -349,15 +463,27 @@ impl Migrator {
         let streams_start = t;
         let mut t = t;
         let mut shadows = 0u64;
+        let mut moved: Vec<StreamId> = Vec::new();
         for stream in &fds {
-            let (outcome, t2) =
-                cluster
-                    .fs
-                    .migrate_stream(&mut cluster.net, t, *stream, from, to, 1)?;
-            if outcome.shadowed {
-                shadows += 1;
+            match cluster
+                .fs
+                .migrate_stream(&mut cluster.net, t, *stream, from, to, 1)
+            {
+                Ok((outcome, t2)) => {
+                    if outcome.shadowed {
+                        shadows += 1;
+                    }
+                    t = t2;
+                    moved.push(*stream);
+                }
+                Err(e) => {
+                    let at = match &e {
+                        FsError::Rpc(rpc) => rpc.at(),
+                        _ => t,
+                    };
+                    return Err(self.abort(cluster, at, pid, from, to, &moved, e.into()));
+                }
             }
-            t = t2;
         }
         phases.streams = t.elapsed_since(streams_start);
 
@@ -365,24 +491,37 @@ impl Migrator {
         let state_start = t;
         let bytes = Self::process_state_bytes(cluster, pid);
         let pack = cluster.net.cost().process_state_pack;
-        let t = cluster
+        let t = match cluster
             .net
             .stream_bulk(RpcOp::MigrateState, t + pack, from, to, bytes)
-            .done
-            + pack;
+        {
+            Ok(d) => d.done + pack,
+            Err(e) => {
+                let at = e.at();
+                return Err(self.abort(cluster, at, pid, from, to, &fds, e.into()));
+            }
+        };
         phases.process_state = t.elapsed_since(state_start);
 
         // Phase 6: commit — rebind the process, tell the home kernel, resume.
+        // Relocation is the local atomic rebind (it updates the home
+        // kernel's forwarding pointer with it); a lost commit notification
+        // only delays the home kernel's bookkeeping, so it is best-effort.
         let commit_start = t;
         cluster.relocate(pid, to)?;
         let home = pid.home();
         let mut t = t;
         if to != home && from != home {
             // Neither endpoint is the home kernel; it learns by RPC.
-            t = cluster
-                .net
-                .send(RpcOp::MigrateCommit, t, to, home, None)
-                .done;
+            match cluster.net.send(RpcOp::MigrateCommit, t, to, home, None) {
+                Ok(d) => t = d.done,
+                Err(e) => {
+                    t = e.at();
+                    cluster.trace.record(t, "fault", || {
+                        format!("{pid} commit notify to {home} lost: {e}")
+                    });
+                }
+            }
         }
         t += cluster.net.cost().context_switch;
         cluster.thaw(pid)?;
@@ -436,16 +575,25 @@ impl Migrator {
             }
         };
         let mut phases = PhaseBreakdown::default();
-        let t = cluster
+        let t = match cluster
             .net
             .send(RpcOp::MigrateNegotiate, now, from, to, None)
-            .done;
+        {
+            Ok(d) => d.done,
+            Err(e) => {
+                self.totals.failures += 1;
+                return Err(e.into());
+            }
+        };
         phases.negotiate = t.elapsed_since(now);
         cluster.freeze(pid)?;
         let frozen_at = t;
 
-        // Discard the old image entirely: exec was going to anyway.
-        cluster.pcb_mut(pid).expect("validated").space = None;
+        // The old image is kept until the streams and process state have
+        // safely crossed: the exec has not happened yet, so an aborted
+        // exec-migration must leave the process able to keep running (and
+        // exec locally) at the source. Discarding it here used to make
+        // mid-protocol faults unrecoverable.
         phases.virtual_memory = SimDuration::ZERO;
 
         // Streams survive exec (modulo close-on-exec, not modelled) and
@@ -458,41 +606,76 @@ impl Migrator {
             .collect();
         let mut t = t;
         let mut shadows = 0u64;
+        let mut moved: Vec<StreamId> = Vec::new();
         for stream in &fds {
-            let (outcome, t2) =
-                cluster
-                    .fs
-                    .migrate_stream(&mut cluster.net, t, *stream, from, to, 1)?;
-            if outcome.shadowed {
-                shadows += 1;
+            match cluster
+                .fs
+                .migrate_stream(&mut cluster.net, t, *stream, from, to, 1)
+            {
+                Ok((outcome, t2)) => {
+                    if outcome.shadowed {
+                        shadows += 1;
+                    }
+                    t = t2;
+                    moved.push(*stream);
+                }
+                Err(e) => {
+                    let at = match &e {
+                        FsError::Rpc(rpc) => rpc.at(),
+                        _ => t,
+                    };
+                    return Err(self.abort(cluster, at, pid, from, to, &moved, e.into()));
+                }
             }
-            t = t2;
         }
         phases.streams = t.elapsed_since(frozen_at);
 
         let state_start = t;
         let bytes = Self::process_state_bytes(cluster, pid) + 2048; // plus exec arguments/environment
         let pack = cluster.net.cost().process_state_pack;
-        let t = cluster
+        let t = match cluster
             .net
             .stream_bulk(RpcOp::MigrateState, t + pack, from, to, bytes)
-            .done
-            + pack;
+        {
+            Ok(d) => d.done + pack,
+            Err(e) => {
+                let at = e.at();
+                return Err(self.abort(cluster, at, pid, from, to, &fds, e.into()));
+            }
+        };
         phases.process_state = t.elapsed_since(state_start);
 
+        // The point of no return: discard the image, rebind, resume on
+        // the target. The commit notification is best-effort, as in
+        // [`Migrator::migrate`].
         let commit_start = t;
+        cluster.pcb_mut(pid).expect("validated").space = None;
         cluster.relocate(pid, to)?;
         cluster.thaw(pid)?;
         let home = pid.home();
         let mut t = t;
         if to != home && from != home {
-            t = cluster
-                .net
-                .send(RpcOp::MigrateCommit, t, to, home, None)
-                .done;
+            match cluster.net.send(RpcOp::MigrateCommit, t, to, home, None) {
+                Ok(d) => t = d.done,
+                Err(e) => {
+                    t = e.at();
+                    cluster.trace.record(t, "fault", || {
+                        format!("{pid} commit notify to {home} lost: {e}")
+                    });
+                }
+            }
         }
         // The exec itself now runs on the target host.
-        let t = cluster.exec(t, pid, program, heap_pages, stack_pages)?;
+        let t = match cluster.exec(t, pid, program, heap_pages, stack_pages) {
+            Ok(t) => t,
+            Err(e) => {
+                // Post-commit: the process is already rebound to the
+                // target; a failed exec surfaces like a local exec failure
+                // there, with the process alive and imageless.
+                self.totals.failures += 1;
+                return Err(e.into());
+            }
+        };
         phases.commit = t.elapsed_since(commit_start);
 
         let freeze_time = t.elapsed_since(frozen_at);
@@ -531,12 +714,32 @@ impl Migrator {
         let mut t = now;
         for pid in foreign {
             let home = pid.home();
-            // Eviction must succeed even if the owner is at the home
-            // console — it is the user's own process coming back.
-            let respect = std::mem::replace(&mut self.config.respect_console, false);
-            let r = self.migrate(cluster, t, pid, home);
-            self.config.respect_console = respect;
-            let report = r?;
+            let mut attempts = 0u32;
+            let report = loop {
+                // Eviction must succeed even if the owner is at the home
+                // console — it is the user's own process coming back.
+                let respect = std::mem::replace(&mut self.config.respect_console, false);
+                let r = self.migrate(cluster, t, pid, home);
+                self.config.respect_console = respect;
+                match r {
+                    Ok(report) => break report,
+                    Err(e) => {
+                        attempts += 1;
+                        // Transient losses retry (the abort already rolled
+                        // the process back to runnable here); persistent
+                        // faults and non-transport errors surface.
+                        if attempts >= EVICTION_RETRY_LIMIT || !e.is_transient() {
+                            return Err(e);
+                        }
+                        if let Some(rpc) = e.rpc_failure() {
+                            t = rpc.at();
+                        }
+                        cluster.trace.record(t, "fault", || {
+                            format!("eviction of {pid} retrying after {e}")
+                        });
+                    }
+                }
+            };
             t = report.resumed_at;
             self.totals.evictions += 1;
             reports.push(report);
@@ -582,6 +785,14 @@ impl Migrator {
                     }
                     Err(MigrationError::TargetRefused(_))
                     | Err(MigrationError::VersionMismatch { .. }) => continue,
+                    // A candidate behind a lossy or severed link is as
+                    // useless as one that refused; try the next.
+                    Err(e) if e.rpc_failure().is_some() => {
+                        if let Some(rpc) = e.rpc_failure() {
+                            t = rpc.at();
+                        }
+                        continue;
+                    }
                     Err(other) => return Err(other),
                 }
             }

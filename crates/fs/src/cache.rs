@@ -163,6 +163,19 @@ impl BlockCache {
         }
     }
 
+    /// Re-marks a cached block dirty — used when a write-back RPC failed
+    /// and the copy must stay scheduled for a future flush instead of being
+    /// silently lost. Returns true if the block was still cached.
+    pub fn mark_dirty(&mut self, addr: BlockAddr) -> bool {
+        match self.blocks.get_mut(&addr) {
+            Some(block) => {
+                block.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Re-stamps every cached block of `file` with `version`: the server
     /// confirmed at open time that this host's copies are still current
     /// (it was the last writer), even though the version number advanced.

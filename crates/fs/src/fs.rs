@@ -20,7 +20,7 @@
 //! transport's per-op table attributes file traffic to opens, lookups,
 //! block reads/writes, consistency actions and paging separately.
 
-use sprite_net::{wire_size, HostId, RpcOp, Transport, CONTROL_BYTES, PAGE_SIZE};
+use sprite_net::{wire_size, HostId, RpcError, RpcOp, Transport, CONTROL_BYTES, PAGE_SIZE};
 use sprite_sim::{DetHashMap, SimDuration, SimTime};
 
 use crate::cache::{BlockAddr, BlockCache};
@@ -75,6 +75,9 @@ pub enum FsError {
     BadMode(StreamId),
     /// Operation not valid for this file kind.
     WrongKind(FileId),
+    /// A cross-kernel RPC the operation depended on failed (timeout,
+    /// partition, crashed peer); carries the transport's diagnosis.
+    Rpc(RpcError),
 }
 
 impl std::fmt::Display for FsError {
@@ -86,11 +89,18 @@ impl std::fmt::Display for FsError {
             FsError::BadStream(s) => write!(f, "bad stream reference: {s}"),
             FsError::BadMode(s) => write!(f, "operation violates open mode of {s}"),
             FsError::WrongKind(id) => write!(f, "operation not valid for {id}"),
+            FsError::Rpc(e) => write!(f, "rpc failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for FsError {}
+
+impl From<RpcError> for FsError {
+    fn from(e: RpcError) -> Self {
+        FsError::Rpc(e)
+    }
+}
 
 /// Result alias for file-system operations.
 pub type FsResult<T> = Result<T, FsError>;
@@ -269,7 +279,8 @@ impl SpriteFs {
     /// Charges one client→server service interaction at the op's canonical
     /// wire sizes: a local kernel call if the client *is* the server
     /// machine, otherwise a typed RPC whose service time queues on the
-    /// server CPU.
+    /// server CPU. Remote charges surface the transport's [`RpcError`] as
+    /// [`FsError::Rpc`]; local calls cannot fail.
     fn charge_typed(
         &mut self,
         net: &mut Transport,
@@ -278,7 +289,7 @@ impl SpriteFs {
         client: HostId,
         server: HostId,
         extra: SimDuration,
-    ) -> SimTime {
+    ) -> FsResult<SimTime> {
         let size = wire_size(op);
         self.charge_sized(
             net,
@@ -305,14 +316,15 @@ impl SpriteFs {
         req_bytes: u64,
         reply_bytes: u64,
         extra: SimDuration,
-    ) -> SimTime {
+    ) -> FsResult<SimTime> {
         let srv = self.srv_mut(server);
         if client == server {
             let local = net.cost().local_kernel_call;
-            srv.cpu
-                .acquire(now + local, extra + net.cost().cache_block_op)
+            Ok(srv
+                .cpu
+                .acquire(now + local, extra + net.cost().cache_block_op))
         } else {
-            net.send_sized(
+            let d = net.send_sized(
                 op,
                 now,
                 client,
@@ -321,12 +333,15 @@ impl SpriteFs {
                 reply_bytes,
                 extra,
                 Some(&mut srv.cpu),
-            )
-            .done
+            )?;
+            Ok(d.done)
         }
     }
 
     /// Flushes one dirty block to its server, charging transfer + service.
+    /// If the write-back RPC fails, the block is re-marked dirty in the
+    /// client's cache (its clean copy stayed resident), so the bytes remain
+    /// scheduled for a future flush rather than silently lost.
     fn write_back_block(
         &mut self,
         net: &mut Transport,
@@ -334,10 +349,10 @@ impl SpriteFs {
         from: HostId,
         addr: BlockAddr,
         data: Vec<u8>,
-    ) -> SimTime {
+    ) -> FsResult<SimTime> {
         let server = self.home_of(addr.file).expect("file has a home");
         let extra = net.cost().cache_block_op;
-        let done = self.charge_sized(
+        let done = match self.charge_sized(
             net,
             RpcOp::FsBlockWrite,
             now,
@@ -346,14 +361,20 @@ impl SpriteFs {
             data.len() as u64 + CONTROL_BYTES,
             CONTROL_BYTES,
             extra,
-        );
+        ) {
+            Ok(done) => done,
+            Err(e) => {
+                self.clients[from.index()].mark_dirty(addr);
+                return Err(e);
+            }
+        };
         let srv = self.srv_mut(server);
         srv.touch_block(addr.file, addr.block);
         if let Some(file) = srv.file_mut(addr.file) {
             file.write_at(addr.block * PAGE_SIZE, &data);
         }
         self.stats.block_writebacks += 1;
-        done
+        Ok(done)
     }
 
     /// Recalls all dirty blocks of `file` from `host` (server-initiated
@@ -364,23 +385,24 @@ impl SpriteFs {
         now: SimTime,
         host: HostId,
         file: FileId,
-    ) -> SimTime {
+    ) -> FsResult<SimTime> {
         let server = self.home_of(file).expect("file has a home");
         let dirty = self.clients[host.index()].take_dirty_blocks(file);
         if dirty.is_empty() {
-            return now;
+            return Ok(now);
         }
         // The recall request itself.
         let mut t = if host == server {
             now
         } else {
-            net.send(RpcOp::FsConsistency, now, server, host, None).done
+            net.send(RpcOp::FsConsistency, now, server, host, None)?
+                .done
         };
         for (addr, data) in dirty {
-            t = self.write_back_block(net, t, host, addr, data);
+            t = self.write_back_block(net, t, host, addr, data)?;
         }
         self.stats.consistency_recalls += 1;
-        t
+        Ok(t)
     }
 
     /// Drops every cached block of `file` on `host`, writing dirty ones
@@ -391,13 +413,13 @@ impl SpriteFs {
         now: SimTime,
         host: HostId,
         file: FileId,
-    ) -> SimTime {
+    ) -> FsResult<SimTime> {
         let dirty = self.clients[host.index()].invalidate_file(file);
         let mut t = now;
         for (addr, data) in dirty {
-            t = self.write_back_block(net, t, host, addr, data);
+            t = self.write_back_block(net, t, host, addr, data)?;
         }
-        t
+        Ok(t)
     }
 
     // ----- namespace operations -------------------------------------------
@@ -454,7 +476,7 @@ impl SpriteFs {
     ) -> FsResult<(FileId, SimTime)> {
         let server = self.resolve(&path)?;
         let lookup = net.cost().name_lookup_component * path.depth();
-        let done = self.charge_typed(net, RpcOp::FsLookup, now, host, server, lookup);
+        let done = self.charge_typed(net, RpcOp::FsLookup, now, host, server, lookup)?;
         self.stats.lookups += 1;
         let id = FileId::new(self.next_file);
         let srv = self.srv_mut(server);
@@ -484,7 +506,7 @@ impl SpriteFs {
     ) -> FsResult<SimTime> {
         let server = self.resolve(path)?;
         let lookup = net.cost().name_lookup_component * path.depth();
-        let done = self.charge_typed(net, RpcOp::FsLookup, now, host, server, lookup);
+        let done = self.charge_typed(net, RpcOp::FsLookup, now, host, server, lookup)?;
         self.stats.lookups += 1;
         let srv = self.srv_mut(server);
         if let Some(id) = srv.lookup(path) {
@@ -521,7 +543,7 @@ impl SpriteFs {
             self.stats.lookups += 1;
             net.cost().name_lookup_component * path.depth()
         };
-        let mut t = self.charge_typed(net, RpcOp::FsOpen, now, host, server, lookup);
+        let mut t = self.charge_typed(net, RpcOp::FsOpen, now, host, server, lookup)?;
         let srv = self.srv_mut(server);
         let Some(id) = srv.lookup(&path) else {
             self.name_caches[host.index()].remove(&path);
@@ -530,7 +552,7 @@ impl SpriteFs {
         let kind = srv.file(id).expect("looked-up file").kind;
         let actions = srv.open(id, host, mode);
         for flush_host in &actions.flush_from {
-            t = self.recall_dirty(net, t, *flush_host, id);
+            t = self.recall_dirty(net, t, *flush_host, id)?;
         }
         if !actions.invalidate_on.is_empty() {
             self.stats.cache_disables += 1;
@@ -538,10 +560,10 @@ impl SpriteFs {
                 // Notify the host (server-initiated) then drop its blocks.
                 if *inv_host != server {
                     t = net
-                        .send(RpcOp::FsConsistency, t, server, *inv_host, None)
+                        .send(RpcOp::FsConsistency, t, server, *inv_host, None)?
                         .done;
                 }
-                t = self.invalidate_on_host(net, t, *inv_host, id);
+                t = self.invalidate_on_host(net, t, *inv_host, id)?;
             }
         }
         // Bring the opener's cache in line with the (possibly bumped)
@@ -551,7 +573,7 @@ impl SpriteFs {
                 let version = self.server_file_version(server, id);
                 self.clients[host.index()].revalidate_file(id, version);
             } else {
-                t = self.invalidate_on_host(net, t, host, id);
+                t = self.invalidate_on_host(net, t, host, id)?;
             }
         }
         if self.config.client_name_caching {
@@ -608,7 +630,7 @@ impl SpriteFs {
                 host,
                 server,
                 SimDuration::ZERO,
-            );
+            )?;
             self.stats.shadow_ops += 1;
         }
         let cacheable = self.server_file_cacheable(server, file);
@@ -627,7 +649,7 @@ impl SpriteFs {
                 match self.clients[host.index()].lookup(addr, version) {
                     Some(b) => b,
                     None => {
-                        t = self.fetch_block(net, t, host, server, file, block, version);
+                        t = self.fetch_block(net, t, host, server, file, block, version)?;
                         self.clients[host.index()]
                             .lookup(addr, version)
                             .expect("block just inserted")
@@ -636,7 +658,7 @@ impl SpriteFs {
             } else {
                 self.stats.uncached_ops += 1;
                 let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, block);
-                t = self.charge_typed(net, RpcOp::FsBlockRead, t, host, server, extra);
+                t = self.charge_typed(net, RpcOp::FsBlockRead, t, host, server, extra)?;
                 self.server_block(server, file, block)
             };
             let have = bytes.len().min(take_to);
@@ -683,7 +705,7 @@ impl SpriteFs {
                 host,
                 server,
                 SimDuration::ZERO,
-            );
+            )?;
             self.stats.shadow_ops += 1;
         }
         let cacheable = self.server_file_cacheable(server, file);
@@ -709,7 +731,7 @@ impl SpriteFs {
                 if let Some((evicted, data)) =
                     self.clients[host.index()].insert_dirty(addr, version, current)
                 {
-                    t = self.write_back_block(net, t, host, evicted, data);
+                    t = self.write_back_block(net, t, host, evicted, data)?;
                 }
                 // Metadata-only size update rides along with the next RPC in
                 // the real system; the logical size must grow now so reads
@@ -727,7 +749,7 @@ impl SpriteFs {
                     chunk.len() as u64 + CONTROL_BYTES,
                     CONTROL_BYTES,
                     extra,
-                );
+                )?;
                 let srv = self.srv_mut(server);
                 srv.touch_block(file, block);
                 if let Some(f) = srv.file_mut(file) {
@@ -756,7 +778,7 @@ impl SpriteFs {
         let dirty = self.clients[host.index()].take_dirty_blocks(file);
         let mut t = now;
         for (addr, data) in dirty {
-            t = self.write_back_block(net, t, host, addr, data);
+            t = self.write_back_block(net, t, host, addr, data)?;
         }
         Ok(t)
     }
@@ -779,10 +801,10 @@ impl SpriteFs {
                 if self.config.flush_on_close {
                     let dirty = self.clients[host.index()].take_dirty_blocks(file);
                     for (addr, data) in dirty {
-                        t = self.write_back_block(net, t, host, addr, data);
+                        t = self.write_back_block(net, t, host, addr, data)?;
                     }
                 }
-                t = self.charge_typed(net, RpcOp::FsClose, t, host, server, SimDuration::ZERO);
+                t = self.charge_typed(net, RpcOp::FsClose, t, host, server, SimDuration::ZERO)?;
                 let srv = self.srv_mut(server);
                 srv.close(file, host, mode);
             }
@@ -794,10 +816,11 @@ impl SpriteFs {
                     if self.config.flush_on_close {
                         let dirty = self.clients[host.index()].take_dirty_blocks(file);
                         for (addr, data) in dirty {
-                            t = self.write_back_block(net, t, host, addr, data);
+                            t = self.write_back_block(net, t, host, addr, data)?;
                         }
                     }
-                    t = self.charge_typed(net, RpcOp::FsClose, t, host, server, SimDuration::ZERO);
+                    t =
+                        self.charge_typed(net, RpcOp::FsClose, t, host, server, SimDuration::ZERO)?;
                     let srv = self.srv_mut(server);
                     srv.close(file, host, mode);
                 }
@@ -828,7 +851,7 @@ impl SpriteFs {
         let dirty = self.clients[from.index()].take_dirty_blocks(file);
         let mut t = now;
         for (addr, data) in dirty {
-            t = self.write_back_block(net, t, from, addr, data);
+            t = self.write_back_block(net, t, from, addr, data)?;
         }
         // 2. The arriving host may hold stale cached blocks for this file
         //    from an earlier visit; migration acts like an open for
@@ -837,13 +860,13 @@ impl SpriteFs {
         //    data from the server.
         let stale_dirty = self.clients[to.index()].invalidate_file(file);
         for (addr, data) in stale_dirty {
-            t = self.write_back_block(net, t, to, addr, data);
+            t = self.write_back_block(net, t, to, addr, data)?;
         }
         // 3. One RPC to the I/O server to move the open records; the server
         //    is the single synchronization point, which is what made
         //    Sprite's stream migration safe in the presence of sharing.
         let block_op = net.cost().cache_block_op;
-        t = self.charge_typed(net, RpcOp::StreamTransfer, t, from, server, block_op);
+        t = self.charge_typed(net, RpcOp::StreamTransfer, t, from, server, block_op)?;
         let outcome = self
             .streams
             .move_refs(stream, from, to, nrefs)
@@ -862,7 +885,7 @@ impl SpriteFs {
         if !cacheable {
             self.stats.cache_disables += 1;
             for h in holders {
-                t = self.invalidate_on_host(net, t, h, file);
+                t = self.invalidate_on_host(net, t, h, file)?;
             }
         }
         Ok((outcome, t))
@@ -892,7 +915,7 @@ impl SpriteFs {
             bytes.len() as u64 + CONTROL_BYTES,
             CONTROL_BYTES,
             extra,
-        );
+        )?;
         let srv = self.srv_mut(server);
         srv.touch_block(file, page);
         srv.file_mut(file)
@@ -913,7 +936,7 @@ impl SpriteFs {
     ) -> FsResult<(Vec<u8>, SimTime)> {
         let server = self.backing_server(file)?;
         let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, page);
-        let t = self.charge_typed(net, RpcOp::VmPageFetch, now, host, server, extra);
+        let t = self.charge_typed(net, RpcOp::VmPageFetch, now, host, server, extra)?;
         let srv = self.srv_mut(server);
         let mut data = srv
             .file(file)
@@ -978,7 +1001,7 @@ impl SpriteFs {
                     reply_bytes,
                     service + switch,
                     None,
-                )
+                )?
                 .done;
             Ok(done)
         }
@@ -1065,9 +1088,9 @@ impl SpriteFs {
         file: FileId,
         block: u64,
         version: u64,
-    ) -> SimTime {
+    ) -> FsResult<SimTime> {
         let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, block);
-        let t = self.charge_typed(net, RpcOp::FsBlockRead, now, host, server, extra);
+        let t = self.charge_typed(net, RpcOp::FsBlockRead, now, host, server, extra)?;
         let mut data = self.server_block(server, file, block);
         if data.is_empty() {
             // Sparse or unwritten region: cache a zero block so the entry
@@ -1077,12 +1100,12 @@ impl SpriteFs {
         let addr = BlockAddr { file, block };
         if let Some((evicted, dirty)) = self.clients[host.index()].insert_clean(addr, version, data)
         {
-            let t2 = self.write_back_block(net, t, host, evicted, dirty);
+            let t2 = self.write_back_block(net, t, host, evicted, dirty)?;
             self.stats.block_fetches += 1;
-            return t2;
+            return Ok(t2);
         }
         self.stats.block_fetches += 1;
-        t
+        Ok(t)
     }
 }
 

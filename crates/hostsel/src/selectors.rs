@@ -24,7 +24,7 @@
 
 use std::collections::BTreeMap;
 
-use sprite_net::{HostId, RpcOp, Transport, CONTROL_BYTES, LOAD_REPORT_BYTES};
+use sprite_net::{HostId, RpcError, RpcOp, Transport, CONTROL_BYTES, LOAD_REPORT_BYTES};
 use sprite_sim::{DetRng, FcfsResource, OnlineStats, SimDuration, SimTime};
 
 use crate::load::{AvailabilityPolicy, HostInfo};
@@ -169,23 +169,29 @@ impl CentralServer {
         self.holdings.get(&requester).copied().unwrap_or(0)
     }
 
-    fn round_trip(&mut self, net: &mut Transport, now: SimTime, from: HostId) -> SimTime {
+    fn round_trip(
+        &mut self,
+        net: &mut Transport,
+        now: SimTime,
+        from: HostId,
+    ) -> Result<SimTime, RpcError> {
         self.stats.messages += 2;
         if from == self.server {
-            self.cpu.acquire(
+            Ok(self.cpu.acquire(
                 now + net.cost().context_switch * 2,
                 self.per_request_service,
-            )
+            ))
         } else {
-            net.send_with_service(
-                RpcOp::HostselQuery,
-                now,
-                from,
-                self.server,
-                self.per_request_service,
-                Some(&mut self.cpu),
-            )
-            .done
+            Ok(net
+                .send_with_service(
+                    RpcOp::HostselQuery,
+                    now,
+                    from,
+                    self.server,
+                    self.per_request_service,
+                    Some(&mut self.cpu),
+                )?
+                .done)
         }
     }
 }
@@ -211,20 +217,29 @@ impl HostSelector for CentralServer {
             self.table.insert(info.host, info);
             return now;
         }
-        self.last_reported_available.insert(info.host, avail);
-        self.table.insert(info.host, info);
         if info.host == self.server {
+            self.last_reported_available.insert(info.host, avail);
+            self.table.insert(info.host, info);
             return now;
         }
         self.stats.messages += 1;
-        net.send_datagram(
+        match net.send_datagram(
             RpcOp::HostselReport,
             now,
             info.host,
             self.server,
             LOAD_REPORT_BYTES,
-        )
-        .done
+        ) {
+            Ok(d) => {
+                self.last_reported_available.insert(info.host, avail);
+                self.table.insert(info.host, info);
+                d.done
+            }
+            // The transition report never reached the daemon: its table
+            // keeps the stale entry, and the host will re-announce the
+            // (still unacknowledged) transition on its next timer tick.
+            Err(e) => e.at(),
+        }
     }
 
     fn select(
@@ -235,7 +250,18 @@ impl HostSelector for CentralServer {
         truth: &[HostInfo],
     ) -> (Option<HostId>, SimTime) {
         self.stats.requests += 1;
-        let t = self.round_trip(net, now, requester);
+        let t = match self.round_trip(net, now, requester) {
+            Ok(t) => t,
+            // The daemon is unreachable: the request is denied outright.
+            Err(e) => {
+                self.stats.denied += 1;
+                let t = e.at();
+                self.stats
+                    .select_latency
+                    .record_duration(t.elapsed_since(now));
+                return (None, t);
+            }
+        };
         // Fair allocation: a requester at its share gets denied before the
         // server even searches.
         if let Some(limit) = self.fair_share {
@@ -292,7 +318,12 @@ impl HostSelector for CentralServer {
         requester: HostId,
         host: HostId,
     ) -> SimTime {
-        let t = self.round_trip(net, now, requester);
+        let t = match self.round_trip(net, now, requester) {
+            Ok(t) => t,
+            // A lost release leaves the daemon's table stale: the host
+            // stays assigned out until somebody reaches the server again.
+            Err(e) => return e.at(),
+        };
         self.assigned.remove(&host);
         if let Some(held) = self.holdings.get_mut(&requester) {
             *held = held.saturating_sub(1);
@@ -346,55 +377,37 @@ impl SharedFileBoard {
         from: HostId,
         req: u64,
         reply: u64,
-    ) -> SimTime {
+    ) -> Result<SimTime, RpcError> {
         self.stats.messages += 2;
         let service = net.cost().cache_block_op;
         if from == self.file_server {
-            self.server_cpu.acquire(now, service)
+            Ok(self.server_cpu.acquire(now, service))
         } else {
-            net.send_sized(
-                op,
-                now,
-                from,
-                self.file_server,
-                req,
-                reply,
-                service,
-                Some(&mut self.server_cpu),
-            )
-            .done
+            Ok(net
+                .send_sized(
+                    op,
+                    now,
+                    from,
+                    self.file_server,
+                    req,
+                    reply,
+                    service,
+                    Some(&mut self.server_cpu),
+                )?
+                .done)
         }
     }
-}
 
-impl HostSelector for SharedFileBoard {
-    fn name(&self) -> &'static str {
-        "shared-file"
-    }
-
-    fn report(&mut self, net: &mut Transport, now: SimTime, info: HostInfo) -> SimTime {
-        // The file is concurrently write-shared by every host, so client
-        // caching is off and *every* update is a server write.
-        let t = self.server_rpc(
-            net,
-            RpcOp::HostselReport,
-            now,
-            info.host,
-            self.entry_bytes + CONTROL_BYTES,
-            CONTROL_BYTES,
-        );
-        self.entries.insert(info.host, (info, now));
-        t
-    }
-
-    fn select(
+    /// The fallible body of [`HostSelector::select`]: lock, read the whole
+    /// board, pick, write the assignment, unlock. Any RPC that cannot reach
+    /// the file server aborts the sequence (the lock lease simply expires).
+    fn try_select(
         &mut self,
         net: &mut Transport,
         now: SimTime,
         requester: HostId,
         truth: &[HostInfo],
-    ) -> (Option<HostId>, SimTime) {
-        self.stats.requests += 1;
+    ) -> Result<(Option<HostId>, SimTime), RpcError> {
         // Lock the file.
         let mut t = self.server_rpc(
             net,
@@ -403,7 +416,7 @@ impl HostSelector for SharedFileBoard {
             requester,
             CONTROL_BYTES,
             CONTROL_BYTES,
-        );
+        )?;
         // Read the whole table, uncached, a block at a time.
         let total = self.entries.len() as u64 * self.entry_bytes;
         let blocks = total.div_ceil(sprite_net::PAGE_SIZE).max(1);
@@ -415,7 +428,7 @@ impl HostSelector for SharedFileBoard {
                 requester,
                 CONTROL_BYTES,
                 sprite_net::PAGE_SIZE,
-            );
+            )?;
         }
         let mut candidates: Vec<HostInfo> = self
             .entries
@@ -437,8 +450,8 @@ impl HostSelector for SharedFileBoard {
             self.stats.conflicts += 1;
         }
         if let Some(host) = chosen {
-            self.assigned.insert(host, requester);
-            // Write the assignment entry, then unlock.
+            // Write the assignment entry, then unlock. The entry exists
+            // only once the write reaches the board.
             t = self.server_rpc(
                 net,
                 RpcOp::HostselQuery,
@@ -446,7 +459,8 @@ impl HostSelector for SharedFileBoard {
                 requester,
                 self.entry_bytes + CONTROL_BYTES,
                 CONTROL_BYTES,
-            );
+            )?;
+            self.assigned.insert(host, requester);
         }
         // Unlock.
         t = self.server_rpc(
@@ -456,7 +470,51 @@ impl HostSelector for SharedFileBoard {
             requester,
             CONTROL_BYTES,
             CONTROL_BYTES,
-        );
+        )?;
+        Ok((chosen, t))
+    }
+}
+
+impl HostSelector for SharedFileBoard {
+    fn name(&self) -> &'static str {
+        "shared-file"
+    }
+
+    fn report(&mut self, net: &mut Transport, now: SimTime, info: HostInfo) -> SimTime {
+        // The file is concurrently write-shared by every host, so client
+        // caching is off and *every* update is a server write.
+        match self.server_rpc(
+            net,
+            RpcOp::HostselReport,
+            now,
+            info.host,
+            self.entry_bytes + CONTROL_BYTES,
+            CONTROL_BYTES,
+        ) {
+            Ok(t) => {
+                self.entries.insert(info.host, (info, now));
+                t
+            }
+            // The write never reached the board: the file keeps the host's
+            // old (stale) entry until a later report gets through.
+            Err(e) => e.at(),
+        }
+    }
+
+    fn select(
+        &mut self,
+        net: &mut Transport,
+        now: SimTime,
+        requester: HostId,
+        truth: &[HostInfo],
+    ) -> (Option<HostId>, SimTime) {
+        self.stats.requests += 1;
+        let (chosen, t) = match self.try_select(net, now, requester, truth) {
+            Ok(r) => r,
+            // Somewhere in the lock/read/write/unlock chain the file
+            // server became unreachable: the selection is denied.
+            Err(e) => (None, e.at()),
+        };
         if chosen.is_some() {
             self.stats.granted += 1;
         } else {
@@ -475,15 +533,22 @@ impl HostSelector for SharedFileBoard {
         requester: HostId,
         host: HostId,
     ) -> SimTime {
-        self.assigned.remove(&host);
-        self.server_rpc(
+        match self.server_rpc(
             net,
             RpcOp::HostselRelease,
             now,
             requester,
             self.entry_bytes + CONTROL_BYTES,
             CONTROL_BYTES,
-        )
+        ) {
+            Ok(t) => {
+                self.assigned.remove(&host);
+                t
+            }
+            // The board still shows the host as assigned; it stays
+            // unselectable until a successful write clears the entry.
+            Err(e) => e.at(),
+        }
     }
 
     fn stats(&self) -> &SelectorStats {
@@ -539,10 +604,15 @@ impl HostSelector for Probabilistic {
                 continue;
             }
             self.stats.messages += 1;
-            t = net
-                .send_datagram(RpcOp::HostselReport, t, info.host, peer, LOAD_REPORT_BYTES)
-                .done;
-            self.tables[peer.index()].insert(info.host, (info, now));
+            match net.send_datagram(RpcOp::HostselReport, t, info.host, peer, LOAD_REPORT_BYTES) {
+                Ok(d) => {
+                    t = d.done;
+                    self.tables[peer.index()].insert(info.host, (info, now));
+                }
+                // The gossip packet vanished: the peer keeps its old entry,
+                // which will age out if no later round gets through.
+                Err(e) => t = e.at(),
+            }
         }
         t
     }
@@ -660,9 +730,19 @@ impl HostSelector for MulticastQuery {
         self.stats.requests += 1;
         // One query on the wire...
         self.stats.messages += 1;
-        let mut t = net
-            .send_multicast(RpcOp::HostselMulticast, now, requester, LOAD_REPORT_BYTES)
-            .done;
+        let mut t =
+            match net.send_multicast(RpcOp::HostselMulticast, now, requester, LOAD_REPORT_BYTES) {
+                Ok(d) => d.done,
+                // Nobody heard the query: nobody answers.
+                Err(e) => {
+                    self.stats.denied += 1;
+                    let t = e.at();
+                    self.stats
+                        .select_latency
+                        .record_duration(t.elapsed_since(now));
+                    return (None, t);
+                }
+            };
         // ...and every available host replies. This reply implosion is what
         // limits the design to a few hundred hosts [TL88].
         let mut responders: Vec<HostId> = truth
@@ -675,13 +755,20 @@ impl HostSelector for MulticastQuery {
             .map(|i| i.host)
             .collect();
         responders.sort();
+        let mut heard: Vec<HostId> = Vec::new();
         for r in &responders {
             self.stats.messages += 1;
-            t = net
-                .send_datagram(RpcOp::HostselReply, t, *r, requester, CONTROL_BYTES)
-                .done;
+            match net.send_datagram(RpcOp::HostselReply, t, *r, requester, CONTROL_BYTES) {
+                Ok(d) => {
+                    t = d.done;
+                    heard.push(*r);
+                }
+                // A reply that never arrives drops that host from the
+                // requester's view of who volunteered.
+                Err(e) => t = e.at(),
+            }
         }
-        let chosen = responders.first().copied();
+        let chosen = heard.first().copied();
         match chosen {
             Some(host) => {
                 self.claimed.insert(host, requester);
@@ -702,13 +789,17 @@ impl HostSelector for MulticastQuery {
         requester: HostId,
         host: HostId,
     ) -> SimTime {
+        // The claim lives in the requester's memory, so it is forgotten
+        // even if the courtesy release datagram below is lost.
         self.claimed.remove(&host);
         if requester == host {
             return now;
         }
         self.stats.messages += 1;
-        net.send_datagram(RpcOp::HostselRelease, now, requester, host, CONTROL_BYTES)
-            .done
+        match net.send_datagram(RpcOp::HostselRelease, now, requester, host, CONTROL_BYTES) {
+            Ok(d) => d.done,
+            Err(e) => e.at(),
+        }
     }
 
     fn stats(&self) -> &SelectorStats {
@@ -960,6 +1051,44 @@ mod tests {
         let (pick2, _) = s.select(&mut n, t3, h(1), &world);
         assert!(pick2.is_some());
         assert_eq!(s.held_by(h(1)), 3);
+    }
+
+    #[test]
+    fn lost_load_reports_leave_the_central_table_stale() {
+        use sprite_net::PartitionPolicy;
+
+        let mut world = truth(4);
+        world[2].idle = SimDuration::from_secs(600); // most attractive host
+        let mut s = CentralServer::new(h(0), AvailabilityPolicy::default());
+        let mut n = net(4);
+        feed_reports(&mut s, &mut n, &world);
+
+        // Cut host 2 off, then have it report that its owner came back.
+        let start = SimTime::ZERO + SimDuration::from_secs(1);
+        n.set_policy(Box::new(PartitionPolicy::new(
+            vec![h(2)],
+            start,
+            start + SimDuration::from_secs(3600),
+        )));
+        world[2] = HostInfo {
+            host: h(2),
+            load: 3.0,
+            idle: SimDuration::ZERO,
+            console_active: true,
+        };
+        let t = s.report(&mut n, start, world[2]);
+
+        // The transition report was lost: the daemon still advertises the
+        // now-busy host, tries it first, and pays a conflict against
+        // ground truth instead of granting it.
+        let before = s.stats().conflicts;
+        let (pick, _) = s.select(&mut n, t, h(1), &world);
+        assert!(pick.is_some(), "another idle host exists");
+        assert_ne!(pick, Some(h(2)), "ground truth vetoes the stale entry");
+        assert!(
+            s.stats().conflicts > before,
+            "the stale advertisement must cost a conflict"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! PID order — the order every per-process cost charge relies on.
 
 use sprite_fs::{FileId, FsConfig, FsError, OpenMode, SpriteFs, SpritePath};
-use sprite_net::{CostModel, HostId, RpcOp, Transport, PAGE_SIZE};
+use sprite_net::{CostModel, HostId, RpcError, RpcOp, Transport, PAGE_SIZE};
 use sprite_sim::{DetHashMap, FcfsResource, SimDuration, SimTime, Trace};
 use sprite_vm::AddressSpace;
 
@@ -77,6 +77,11 @@ pub enum KernelError {
     BadFd(usize),
     /// Underlying file-system failure.
     Fs(FsError),
+    /// A kernel-to-kernel RPC failed (timeout, partition, or peer crash)
+    /// and the operation could not complete. Transient losses the kernel
+    /// absorbs (signal forwards, home notifications) never surface this —
+    /// only operations whose semantics require the remote answer do.
+    Rpc(RpcError),
 }
 
 impl std::fmt::Display for KernelError {
@@ -87,6 +92,7 @@ impl std::fmt::Display for KernelError {
             KernelError::NoSuchProgram(p) => write!(f, "no such program: {p}"),
             KernelError::BadFd(fd) => write!(f, "bad file descriptor {fd}"),
             KernelError::Fs(e) => write!(f, "file system: {e}"),
+            KernelError::Rpc(e) => write!(f, "rpc failed: {e}"),
         }
     }
 }
@@ -95,6 +101,7 @@ impl std::error::Error for KernelError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             KernelError::Fs(e) => Some(e),
+            KernelError::Rpc(e) => Some(e),
             _ => None,
         }
     }
@@ -102,7 +109,18 @@ impl std::error::Error for KernelError {
 
 impl From<FsError> for KernelError {
     fn from(e: FsError) -> Self {
-        KernelError::Fs(e)
+        // An FS failure that was really a transport failure keeps its RPC
+        // identity, so callers can match on transience uniformly.
+        match e {
+            FsError::Rpc(rpc) => KernelError::Rpc(rpc),
+            other => KernelError::Fs(other),
+        }
+    }
+}
+
+impl From<RpcError> for KernelError {
+    fn from(e: RpcError) -> Self {
+        KernelError::Rpc(e)
     }
 }
 
@@ -128,6 +146,13 @@ pub struct KernelStats {
     pub calls_forwarded: u64,
     /// Kernel calls routed through the file system.
     pub calls_fs: u64,
+    /// Signal forwards lost to network faults (delivery is best-effort, as
+    /// with UNIX `kill` once the request leaves the caller).
+    pub signal_losses: u64,
+    /// Home-kernel notifications (fork/exit bookkeeping) lost to faults.
+    pub notify_losses: u64,
+    /// Processes killed by fail-stop crash recovery ([`Cluster::crash_host`]).
+    pub fault_kills: u64,
 }
 
 /// A registered program: its executable file and text size.
@@ -436,12 +461,19 @@ impl Cluster {
             .children
             .push(child);
         // A foreign parent's fork notifies the home kernel so the family
-        // bookkeeping there stays current.
+        // bookkeeping there stays current. The notification is best-effort:
+        // the child exists either way, and the home kernel's view catches
+        // up at the next successful family operation.
         if host != home {
-            t = self
-                .net
-                .send(RpcOp::ProcNotifyHome, t, host, home, None)
-                .done;
+            match self.net.send(RpcOp::ProcNotifyHome, t, host, home, None) {
+                Ok(d) => t = d.done,
+                Err(e) => {
+                    t = e.at();
+                    self.stats.notify_losses += 1;
+                    self.trace
+                        .record(t, "fault", || format!("fork notify to {home} lost: {e}"));
+                }
+            }
         }
         t += self.net.cost().context_switch;
         self.stats.created += 1;
@@ -516,11 +548,25 @@ impl Cluster {
         let mut t = now;
         // Close every open stream, reading the descriptor table in place
         // while the FS charges the closes (disjoint borrows, no fd list
-        // collected).
+        // collected). Exit is fail-stop local: a close whose server RPC
+        // fails is recorded and skipped — the process dies on this kernel
+        // no matter what the network does, so the local state transition
+        // below must run unconditionally. (The stream itself was released
+        // locally before the charge; only the server's view goes stale.)
         {
             let p = self.procs.get(pid).expect("checked above");
-            for (_, stream) in p.open_fds() {
-                t = self.fs.close(&mut self.net, t, host, stream)?;
+            for (fd, stream) in p.open_fds() {
+                match self.fs.close(&mut self.net, t, host, stream) {
+                    Ok(done) => t = done,
+                    Err(FsError::Rpc(e)) => {
+                        t = e.at();
+                        self.stats.notify_losses += 1;
+                        self.trace.record(t, "fault", || {
+                            format!("{pid} exit: close of fd {fd} lost: {e}")
+                        });
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
         }
         {
@@ -534,12 +580,17 @@ impl Cluster {
         }
         self.hosts[host.index()].remove(pid);
         // A foreign exit reports home: the home kernel owns the family
-        // state.
+        // state. Best-effort — the process is dead on this kernel already.
         if host != home {
-            t = self
-                .net
-                .send(RpcOp::ProcNotifyHome, t, host, home, None)
-                .done;
+            match self.net.send(RpcOp::ProcNotifyHome, t, host, home, None) {
+                Ok(d) => t = d.done,
+                Err(e) => {
+                    t = e.at();
+                    self.stats.notify_losses += 1;
+                    self.trace
+                        .record(t, "fault", || format!("exit notify to {home} lost: {e}"));
+                }
+            }
         }
         self.stats.exits += 1;
         self.trace
@@ -569,9 +620,11 @@ impl Cluster {
         };
         let mut t = now + self.net.cost().local_kernel_call;
         if host != home {
+            // Waiting needs the home kernel's answer; a transport failure
+            // surfaces to the caller, who may retry after the backoff.
             t = self
                 .net
-                .send(RpcOp::HomeCallForward, t, host, home, None)
+                .send(RpcOp::HomeCallForward, t, host, home, None)?
                 .done;
             self.stats.calls_forwarded += 1;
         }
@@ -648,18 +701,34 @@ impl Cluster {
         };
         let mut t = now + self.net.cost().local_kernel_call;
         // Hop 1: to the home kernel (which knows the current location).
+        // Signal delivery is best-effort past this point — like UNIX kill,
+        // success means "the request left the caller", so a forwarding hop
+        // lost to a fault drops the signal rather than failing the call.
         if from_host != home {
-            t = self
+            match self
                 .net
                 .send(RpcOp::SignalForward, t, from_host, home, None)
-                .done;
+            {
+                Ok(d) => t = d.done,
+                Err(e) => {
+                    self.stats.signal_losses += 1;
+                    self.trace
+                        .record(e.at(), "fault", || format!("signal to {target} lost: {e}"));
+                    return Ok(e.at());
+                }
+            }
         }
         // Hop 2: home forwards to wherever the process runs.
         if home != current {
-            t = self
-                .net
-                .send(RpcOp::SignalForward, t, home, current, None)
-                .done;
+            match self.net.send(RpcOp::SignalForward, t, home, current, None) {
+                Ok(d) => t = d.done,
+                Err(e) => {
+                    self.stats.signal_losses += 1;
+                    self.trace
+                        .record(e.at(), "fault", || format!("signal to {target} lost: {e}"));
+                    return Ok(e.at());
+                }
+            }
         }
         self.procs
             .get_mut(target)
@@ -688,10 +757,20 @@ impl Cluster {
     ) -> KernelResult<SimTime> {
         let mut t = now + self.net.cost().local_kernel_call;
         if from_host != home {
-            t = self
+            // Losing the hop to home loses the whole group delivery (the
+            // home kernel is the fan-out point); best-effort, as in `kill`.
+            match self
                 .net
                 .send(RpcOp::SignalForward, t, from_host, home, None)
-                .done;
+            {
+                Ok(d) => t = d.done,
+                Err(e) => {
+                    self.stats.signal_losses += 1;
+                    self.trace
+                        .record(e.at(), "fault", || format!("pgrp {pgrp} signal lost: {e}"));
+                    return Ok(e.at());
+                }
+            }
         }
         // Collect the members into the reusable scratch list (delivery can
         // reap processes, so the iteration must not borrow the table). The
@@ -711,13 +790,25 @@ impl Cluster {
                 continue;
             };
             let current = p.current;
-            p.pending_signals.push(signal);
+            // Deliver the remote hop before recording delivery: a lost hop
+            // means this member simply never sees the signal.
             if current != home {
-                t = self
-                    .net
-                    .send(RpcOp::SignalForward, t, home, current, None)
-                    .done;
+                match self.net.send(RpcOp::SignalForward, t, home, current, None) {
+                    Ok(d) => t = d.done,
+                    Err(e) => {
+                        self.stats.signal_losses += 1;
+                        self.trace
+                            .record(e.at(), "fault", || format!("signal to {pid} lost: {e}"));
+                        t = e.at();
+                        continue;
+                    }
+                }
             }
+            self.procs
+                .get_mut(pid)
+                .expect("member looked up above")
+                .pending_signals
+                .push(signal);
             self.stats.signals += 1;
             if signal == Signal::Kill {
                 match self.exit(t, pid, 128 + 9) {
@@ -774,9 +865,11 @@ impl Cluster {
                     Ok(now + local)
                 } else {
                     self.stats.calls_forwarded += 1;
+                    // A home-forwarded call needs the home kernel's answer;
+                    // transport failures surface to the caller.
                     Ok(self
                         .net
-                        .send(RpcOp::HomeCallForward, now + local, current, home, None)
+                        .send(RpcOp::HomeCallForward, now + local, current, home, None)?
                         .done)
                 }
             }
@@ -928,5 +1021,76 @@ impl Cluster {
         self.hosts[from.index()].remove(pid);
         self.hosts[to.index()].add(pid);
         Ok(())
+    }
+
+    // ----- fail-stop crash recovery ------------------------------------------------
+
+    /// Applies the fail-stop consequences of host `dead` crashing at `now`
+    /// (Ch. 3.6 fault model, after DEMOS/MP \[PM83\]): every process resident
+    /// on the dead host dies with it; every remote process whose *home*
+    /// kernel was `dead` is killed by its current host (the home kernel
+    /// owned its family state and location, so the process cannot continue
+    /// transparently without it); and a process still demand-loading pages
+    /// from an image left on `dead` loses those pages and dies too.
+    ///
+    /// Only local state changes — a dead host can neither send nor receive,
+    /// so no RPCs are charged. The caller is expected to have installed a
+    /// matching [`sprite_net::CrashSchedule`] so the transport refuses
+    /// traffic to `dead` from the same instant. Returns the number of
+    /// processes killed.
+    pub fn crash_host(&mut self, now: SimTime, dead: HostId) -> usize {
+        let live: Vec<ProcessId> = self
+            .procs
+            .iter()
+            .filter(|p| p.state != ProcState::Zombie)
+            .map(|p| p.pid)
+            .collect();
+        let mut killed = 0;
+        for pid in live {
+            // A cascade reap from an earlier victim may have removed this
+            // process already.
+            let Some(p) = self.procs.get_mut(pid) else {
+                continue;
+            };
+            let resident_there = p.current == dead;
+            let home_died = p.pid.home() == dead;
+            // Residual dependency (Ch. 2.3): copy-on-reference pages still
+            // owed by the dead host evaporate, and the process with them.
+            let pages_lost = p.space.as_mut().map_or(0, |s| s.source_host_failed(dead));
+            if resident_there || home_died || pages_lost > 0 {
+                self.fault_kill(now, pid, dead);
+                killed += 1;
+            }
+        }
+        self.trace.record(now, "fault", || {
+            format!("{dead} crashed; {killed} processes killed")
+        });
+        killed
+    }
+
+    /// Kills `pid` locally because `dead` crashed: the state transition of
+    /// [`Cluster::exit`] without any stream closes or home notification —
+    /// the peer those RPCs would talk to is gone, and fail-stop recovery
+    /// must not block on an unreachable host.
+    fn fault_kill(&mut self, now: SimTime, pid: ProcessId, dead: HostId) {
+        let Some(p) = self.procs.get_mut(pid) else {
+            return;
+        };
+        let (pid, host, parent) = (p.pid, p.current, p.parent);
+        p.fds.clear();
+        p.space = None;
+        p.state = ProcState::Zombie;
+        p.exit_status = Some(128 + 9);
+        p.forwarded = None;
+        self.hosts[host.index()].remove(pid);
+        self.stats.exits += 1;
+        self.stats.fault_kills += 1;
+        self.trace.record(now, "fault", || {
+            format!("{pid} killed on {host} by crash of {dead}")
+        });
+        let parent_alive = parent.map(|pp| self.procs.contains(pp)).unwrap_or(false);
+        if !parent_alive {
+            self.reap(pid);
+        }
     }
 }

@@ -229,4 +229,58 @@ mod tests {
         let s = t.stats();
         assert_eq!((s.live, s.high_water), (1, 3));
     }
+
+    /// Killing a scattered process group while the file server is
+    /// partitioned away must not leave a live slot holding a stale
+    /// forwarding entry. Before `exit` became fail-stop local, a member
+    /// whose stream close could not reach its server aborted `exit`
+    /// midway: the slot stayed `Active` and resident with `forwarded`
+    /// still set even though the kill had already been delivered — exactly
+    /// the dangling-entry aliasing this table exists to rule out.
+    #[test]
+    fn kill_pgrp_leaves_no_stale_forwarded_entry_when_the_server_is_unreachable() {
+        use crate::cluster::Cluster;
+        use crate::proc::{ProcState, Signal};
+        use sprite_fs::{OpenMode, SpritePath};
+        use sprite_net::{CostModel, PartitionPolicy};
+        use sprite_sim::SimDuration;
+
+        let mut c = Cluster::new(CostModel::sun3(), 3);
+        c.add_file_server(h(0), SpritePath::new("/"));
+        let t = c
+            .install_program(SimTime::ZERO, SpritePath::new("/bin/sh"), 8 * 1024)
+            .unwrap();
+        let (leader, t) = c.spawn(t, h(1), &SpritePath::new("/bin/sh"), 4, 2).unwrap();
+        let (member, t) = c.fork(t, leader).unwrap();
+        c.freeze(member).unwrap();
+        c.relocate(member, h(2)).unwrap();
+        c.thaw(member).unwrap();
+        c.fs.create(&mut c.net, t, h(2), SpritePath::new("/scratch"))
+            .unwrap();
+        let (_fd, t) = c
+            .open_fd(t, member, SpritePath::new("/scratch"), OpenMode::ReadWrite)
+            .unwrap();
+        assert_eq!(c.pcb(member).unwrap().forwarded, Some(h(2)));
+        // Cut the file server off just before the kill: signal hops
+        // between hosts 1 and 2 still deliver, but the member's stream
+        // close cannot reach its server.
+        c.net.set_policy(Box::new(PartitionPolicy::new(
+            vec![h(0)],
+            t,
+            t + SimDuration::from_secs(3600),
+        )));
+        let pgrp = c.pcb(leader).unwrap().pgrp;
+        c.kill_pgrp(t, h(1), h(1), pgrp, Signal::Kill).expect(
+            "kill_pgrp is fail-stop local: the group dies even when closes cannot reach the server",
+        );
+        for p in c.processes() {
+            assert_ne!(p.state, ProcState::Active, "{} survived the kill", p.pid);
+            assert_eq!(p.forwarded, None, "{} left a stale forwarded entry", p.pid);
+        }
+        assert!(
+            c.host(h(2)).resident().is_empty(),
+            "dead member still resident on its host"
+        );
+        assert_eq!(c.locate(member), None, "stale handle must not resolve");
+    }
 }

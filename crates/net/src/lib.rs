@@ -25,11 +25,17 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod fault;
 mod host;
 mod network;
 mod transport;
 
 pub use cost::{CostModel, PAGE_SIZE};
+pub use fault::{
+    backoff_after, CrashSchedule, DelayPolicy, DropPolicy, FaultPlan, FaultRow, FaultStats,
+    LinkVerdict, PartitionPolicy, RpcError, RpcFailure, RpcResult, MAX_SEND_ATTEMPTS,
+    RETRY_BACKOFF_BASE, RETRY_BACKOFF_CAP, RPC_TIMEOUT,
+};
 pub use host::HostId;
 pub use network::{Delivery, MessageKind, NetStats, Network};
 pub use transport::{

@@ -35,7 +35,7 @@ pub enum MessageKind {
 }
 
 /// Aggregate traffic statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Total messages of any kind put on the wire.
     pub messages: u64,

@@ -16,10 +16,15 @@
 //! 2. tallies a per-op [`RpcTable`] (calls, messages, bytes, round-trip
 //!    time distribution) whose totals always equal [`NetStats`], because
 //!    the table records the network counter *deltas* of each send;
-//! 3. optionally records an `"rpc"`-tagged [`Trace`] line per send;
-//! 4. routes the send through a [`LinkPolicy`] — the extension point for
-//!    injected delay, drops or partitions. The default [`Ideal`] policy
-//!    adds zero delay, keeping today's behaviour.
+//! 3. optionally records an `"rpc"`-tagged [`Trace`] line per send (and a
+//!    `"fault"`-tagged line per surfaced failure);
+//! 4. routes the send through a [`LinkPolicy`] — the fault-injection seam.
+//!    The policy rules on every attempt with a [`LinkVerdict`]; the default
+//!    [`Ideal`] policy always delivers with zero delay, keeping ideal-run
+//!    behaviour (and the golden outputs) bit-identical. Lost round-trip
+//!    attempts are retried with [`RPC_TIMEOUT`] + bounded exponential
+//!    backoff charged to the simulated clock; exhausted or futile sends
+//!    surface an [`RpcError`] instead of panicking.
 //!
 //! Canonical request/reply payloads live in the [`wire_size`] table next
 //! to the [`CostModel`], replacing the magic `64`/`96`/`128` literals that
@@ -28,6 +33,10 @@
 
 use sprite_sim::{FcfsResource, OnlineStats, SimDuration, SimTime, Trace};
 
+use crate::fault::{
+    backoff_after, FaultStats, LinkVerdict, RpcError, RpcFailure, RpcResult, MAX_SEND_ATTEMPTS,
+    RPC_TIMEOUT,
+};
 use crate::{CostModel, Delivery, HostId, NetStats, Network, PAGE_SIZE};
 
 /// Smallest message the protocol sends: an RPC header with a status word
@@ -227,6 +236,10 @@ pub struct OpStats {
 /// Rows are filled from [`NetStats`] counter deltas, so
 /// [`RpcTable::total_messages`]/[`RpcTable::total_bytes`] equal the
 /// network's own totals as long as every send goes through the transport.
+/// Under an injected-fault policy the invariant still holds: wire traffic
+/// charged by lost attempts is folded into the op's message/byte counters
+/// (via the same delta construction), while `calls` counts only sends that
+/// completed.
 #[derive(Debug, Clone)]
 pub struct RpcTable {
     rows: Vec<OpStats>,
@@ -252,6 +265,14 @@ impl RpcTable {
         row.messages += messages;
         row.bytes += bytes;
         row.rtt.record_duration(rtt);
+    }
+
+    /// Wire traffic from a send that ultimately failed: counted so table
+    /// totals keep matching [`NetStats`], but with no completed call or RTT.
+    fn record_failure(&mut self, op: RpcOp, messages: u64, bytes: u64) {
+        let row = &mut self.rows[op.index()];
+        row.messages += messages;
+        row.bytes += bytes;
     }
 
     /// The row for one op.
@@ -298,17 +319,38 @@ impl RpcTable {
     }
 }
 
-/// Per-send hook every transport send passes through — the seam for fault
-/// injection (added latency, drops, partitions) without touching call
-/// sites. The returned duration is added to the send's start time.
+/// Per-attempt hook every transport send passes through — the seam for
+/// fault injection (added latency, drops, partitions, crashes) without
+/// touching call sites. The policy rules on each attempt with a
+/// [`LinkVerdict`]; retries consult it again at the retry's (later)
+/// simulated time, so time-windowed policies see the clock advance.
 pub trait LinkPolicy: std::fmt::Debug {
     /// Extra delay before `op`'s first byte hits the wire. `to` is `None`
-    /// for multicasts.
-    fn delay(&mut self, op: RpcOp, from: HostId, to: Option<HostId>, bytes: u64) -> SimDuration;
+    /// for multicasts. Simple latency-only policies override just this;
+    /// the default adds nothing.
+    fn delay(&mut self, op: RpcOp, from: HostId, to: Option<HostId>, bytes: u64) -> SimDuration {
+        let _ = (op, from, to, bytes);
+        SimDuration::ZERO
+    }
+
+    /// Rules on one send attempt at simulated time `now`. The default
+    /// delivers after [`LinkPolicy::delay`], so latency-only policies and
+    /// [`Ideal`] never see drops.
+    fn verdict(
+        &mut self,
+        op: RpcOp,
+        now: SimTime,
+        from: HostId,
+        to: Option<HostId>,
+        bytes: u64,
+    ) -> LinkVerdict {
+        let _ = now;
+        LinkVerdict::Deliver(self.delay(op, from, to, bytes))
+    }
 }
 
-/// The default link policy: no injected delay, timing identical to calling
-/// [`Network`] directly.
+/// The default link policy: no injected delay, no faults — timing identical
+/// to calling [`Network`] directly.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ideal;
 
@@ -327,16 +369,18 @@ impl LinkPolicy for Ideal {
 /// use sprite_sim::SimTime;
 ///
 /// let mut net = Transport::new(CostModel::sun3(), 4);
-/// let done = net.send(RpcOp::FsOpen, SimTime::ZERO, HostId::new(1), HostId::new(0), None);
+/// let done = net.send(RpcOp::FsOpen, SimTime::ZERO, HostId::new(1), HostId::new(0), None)?;
 /// assert!(done.elapsed(SimTime::ZERO).as_micros() > 2_600);
 /// let row = net.rpc_table().get(RpcOp::FsOpen);
 /// assert_eq!((row.calls, row.messages), (1, 2));
 /// assert_eq!(net.rpc_table().total_bytes(), net.stats().bytes);
+/// # Ok::<(), sprite_net::RpcError>(())
 /// ```
 #[derive(Debug)]
 pub struct Transport {
     net: Network,
     table: RpcTable,
+    faults: FaultStats,
     trace: Trace,
     policy: Box<dyn LinkPolicy>,
 }
@@ -347,6 +391,7 @@ impl Transport {
         Transport {
             net: Network::new(cost, hosts),
             table: RpcTable::new(),
+            faults: FaultStats::new(),
             trace: Trace::disabled(),
             policy: Box::new(Ideal),
         }
@@ -377,16 +422,23 @@ impl Transport {
         self.net.sent_by(host)
     }
 
-    /// Resets the traffic counters *and* the per-op table together, so the
-    /// table's totals keep matching [`NetStats`] across measurement phases.
+    /// Resets the traffic counters, the per-op table *and* the fault table
+    /// together, so every accounting view keeps matching [`NetStats`]
+    /// across measurement phases.
     pub fn reset_stats(&mut self) {
         self.net.reset_stats();
         self.table = RpcTable::new();
+        self.faults = FaultStats::new();
     }
 
     /// The per-op traffic table.
     pub fn rpc_table(&self) -> &RpcTable {
         &self.table
+    }
+
+    /// The per-op fault table (drops, delays, partitions, crashes, retries).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.faults
     }
 
     /// Starts recording an `"rpc"` narrative line per send, keeping the
@@ -420,6 +472,22 @@ impl Transport {
         });
     }
 
+    /// Books a failed send: folds the wire traffic its attempts charged into
+    /// the op's table row (keeping totals == [`NetStats`]), counts the
+    /// giveup, and records a `"fault"` trace line.
+    fn fail(&mut self, err: RpcError, before: NetStats) -> RpcError {
+        let fail = *err.failure();
+        let after = self.net.stats();
+        self.table.record_failure(
+            fail.op,
+            after.messages - before.messages,
+            after.bytes - before.bytes,
+        );
+        self.faults.row_mut(fail.op).giveups += 1;
+        self.trace.record(fail.at, "fault", || format!("{err}"));
+        err
+    }
+
     /// A typed RPC round trip using the op's canonical [`wire_size`].
     pub fn send(
         &mut self,
@@ -428,7 +496,7 @@ impl Transport {
         from: HostId,
         to: HostId,
         server_cpu: Option<&mut FcfsResource>,
-    ) -> Delivery {
+    ) -> RpcResult<Delivery> {
         self.send_with_service(op, now, from, to, SimDuration::ZERO, server_cpu)
     }
 
@@ -441,7 +509,7 @@ impl Transport {
         to: HostId,
         extra_service: SimDuration,
         server_cpu: Option<&mut FcfsResource>,
-    ) -> Delivery {
+    ) -> RpcResult<Delivery> {
         let size = wire_size(op);
         debug_assert!(
             size.request > 0 && size.reply > 0,
@@ -461,6 +529,12 @@ impl Transport {
 
     /// A typed RPC round trip with caller-sized payloads — for ops whose
     /// payload varies (block writes, pseudo-device traffic, board pages).
+    ///
+    /// Round trips retry lost attempts: each drop charges the lost request
+    /// on the wire, waits out [`RPC_TIMEOUT`], and backs off exponentially
+    /// ([`backoff_after`]) before the next try, up to [`MAX_SEND_ATTEMPTS`].
+    /// Partitions and crashes fail after a single detection timeout —
+    /// retrying them is futile within the window.
     #[allow(clippy::too_many_arguments)]
     pub fn send_sized(
         &mut self,
@@ -471,27 +545,81 @@ impl Transport {
         request_bytes: u64,
         reply_bytes: u64,
         extra_service: SimDuration,
-        server_cpu: Option<&mut FcfsResource>,
-    ) -> Delivery {
-        let start = now
-            + self
-                .policy
-                .delay(op, from, Some(to), request_bytes + reply_bytes);
+        mut server_cpu: Option<&mut FcfsResource>,
+    ) -> RpcResult<Delivery> {
         let before = self.net.stats();
-        let d = self.net.rpc_with_service(
-            start,
-            from,
-            to,
-            request_bytes,
-            reply_bytes,
-            extra_service,
-            server_cpu,
-        );
-        self.tally(op, now, before, d.done, from, Some(to));
-        d
+        let wire = request_bytes + reply_bytes;
+        let mut t = now;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.policy.verdict(op, t, from, Some(to), wire) {
+                LinkVerdict::Deliver(extra) => {
+                    if !extra.is_zero() {
+                        self.faults.row_mut(op).delays += 1;
+                    }
+                    let d = self.net.rpc_with_service(
+                        t + extra,
+                        from,
+                        to,
+                        request_bytes,
+                        reply_bytes,
+                        extra_service,
+                        server_cpu.as_deref_mut(),
+                    );
+                    self.tally(op, now, before, d.done, from, Some(to));
+                    return Ok(d);
+                }
+                LinkVerdict::Drop => {
+                    // The request went out and was lost: charge it on the
+                    // wire, then wait out the timeout before deciding.
+                    self.faults.row_mut(op).drops += 1;
+                    let lost = self.net.datagram(t, from, to, request_bytes);
+                    t = lost.done + RPC_TIMEOUT;
+                    if attempts >= MAX_SEND_ATTEMPTS {
+                        let err = RpcError::Timeout(RpcFailure {
+                            op,
+                            from,
+                            to: Some(to),
+                            attempts,
+                            at: t,
+                        });
+                        return Err(self.fail(err, before));
+                    }
+                    self.faults.row_mut(op).retries += 1;
+                    t += backoff_after(attempts);
+                }
+                LinkVerdict::Partitioned => {
+                    self.faults.row_mut(op).partitions += 1;
+                    let lost = self.net.datagram(t, from, to, request_bytes);
+                    let err = RpcError::PartitionUnreachable(RpcFailure {
+                        op,
+                        from,
+                        to: Some(to),
+                        attempts,
+                        at: lost.done + RPC_TIMEOUT,
+                    });
+                    return Err(self.fail(err, before));
+                }
+                LinkVerdict::PeerCrashed => {
+                    self.faults.row_mut(op).crashes += 1;
+                    let lost = self.net.datagram(t, from, to, request_bytes);
+                    let err = RpcError::PeerCrashed(RpcFailure {
+                        op,
+                        from,
+                        to: Some(to),
+                        attempts,
+                        at: lost.done + RPC_TIMEOUT,
+                    });
+                    return Err(self.fail(err, before));
+                }
+            }
+        }
     }
 
-    /// A typed bulk transfer through the fragmenting path.
+    /// A typed bulk transfer through the fragmenting path. Retries like a
+    /// round trip; a lost transfer charges its first fragment (up to one
+    /// page) before the sender times out and starts over.
     pub fn stream_bulk(
         &mut self,
         op: RpcOp,
@@ -499,15 +627,71 @@ impl Transport {
         from: HostId,
         to: HostId,
         bytes: u64,
-    ) -> Delivery {
-        let start = now + self.policy.delay(op, from, Some(to), bytes);
+    ) -> RpcResult<Delivery> {
         let before = self.net.stats();
-        let d = self.net.bulk(start, from, to, bytes);
-        self.tally(op, now, before, d.done, from, Some(to));
-        d
+        let first_fragment = bytes.clamp(CONTROL_BYTES, PAGE_SIZE);
+        let mut t = now;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.policy.verdict(op, t, from, Some(to), bytes) {
+                LinkVerdict::Deliver(extra) => {
+                    if !extra.is_zero() {
+                        self.faults.row_mut(op).delays += 1;
+                    }
+                    let d = self.net.bulk(t + extra, from, to, bytes);
+                    self.tally(op, now, before, d.done, from, Some(to));
+                    return Ok(d);
+                }
+                LinkVerdict::Drop => {
+                    self.faults.row_mut(op).drops += 1;
+                    let lost = self.net.datagram(t, from, to, first_fragment);
+                    t = lost.done + RPC_TIMEOUT;
+                    if attempts >= MAX_SEND_ATTEMPTS {
+                        let err = RpcError::Timeout(RpcFailure {
+                            op,
+                            from,
+                            to: Some(to),
+                            attempts,
+                            at: t,
+                        });
+                        return Err(self.fail(err, before));
+                    }
+                    self.faults.row_mut(op).retries += 1;
+                    t += backoff_after(attempts);
+                }
+                LinkVerdict::Partitioned => {
+                    self.faults.row_mut(op).partitions += 1;
+                    let lost = self.net.datagram(t, from, to, first_fragment);
+                    let err = RpcError::PartitionUnreachable(RpcFailure {
+                        op,
+                        from,
+                        to: Some(to),
+                        attempts,
+                        at: lost.done + RPC_TIMEOUT,
+                    });
+                    return Err(self.fail(err, before));
+                }
+                LinkVerdict::PeerCrashed => {
+                    self.faults.row_mut(op).crashes += 1;
+                    let lost = self.net.datagram(t, from, to, first_fragment);
+                    let err = RpcError::PeerCrashed(RpcFailure {
+                        op,
+                        from,
+                        to: Some(to),
+                        attempts,
+                        at: lost.done + RPC_TIMEOUT,
+                    });
+                    return Err(self.fail(err, before));
+                }
+            }
+        }
     }
 
-    /// A typed one-way datagram.
+    /// A typed one-way datagram. One-ways are never retried — the sender is
+    /// fire-and-forget, so a lost message surfaces as [`RpcError::Dropped`]
+    /// at the send's completion time and the receiver simply never sees it
+    /// (stale load boards fall out of exactly this).
     pub fn send_datagram(
         &mut self,
         op: RpcOp,
@@ -515,33 +699,100 @@ impl Transport {
         from: HostId,
         to: HostId,
         bytes: u64,
-    ) -> Delivery {
-        let start = now + self.policy.delay(op, from, Some(to), bytes);
+    ) -> RpcResult<Delivery> {
         let before = self.net.stats();
-        let d = self.net.datagram(start, from, to, bytes);
-        self.tally(op, now, before, d.done, from, Some(to));
-        d
+        match self.policy.verdict(op, now, from, Some(to), bytes) {
+            LinkVerdict::Deliver(extra) => {
+                if !extra.is_zero() {
+                    self.faults.row_mut(op).delays += 1;
+                }
+                let d = self.net.datagram(now + extra, from, to, bytes);
+                self.tally(op, now, before, d.done, from, Some(to));
+                Ok(d)
+            }
+            verdict => {
+                // The frame still leaves the sender's interface; nobody
+                // useful receives it.
+                let lost = self.net.datagram(now, from, to, bytes);
+                let fail = RpcFailure {
+                    op,
+                    from,
+                    to: Some(to),
+                    attempts: 1,
+                    at: lost.done,
+                };
+                let err = match verdict {
+                    LinkVerdict::Partitioned => {
+                        self.faults.row_mut(op).partitions += 1;
+                        RpcError::PartitionUnreachable(fail)
+                    }
+                    LinkVerdict::PeerCrashed => {
+                        self.faults.row_mut(op).crashes += 1;
+                        RpcError::PeerCrashed(fail)
+                    }
+                    _ => {
+                        self.faults.row_mut(op).drops += 1;
+                        RpcError::Dropped(fail)
+                    }
+                };
+                Err(self.fail(err, before))
+            }
+        }
     }
 
-    /// A typed broadcast to every host.
+    /// A typed broadcast to every host. Like datagrams, multicasts are
+    /// fire-and-forget: a lost broadcast surfaces as [`RpcError::Dropped`]
+    /// with no retry.
     pub fn send_multicast(
         &mut self,
         op: RpcOp,
         now: SimTime,
         from: HostId,
         bytes: u64,
-    ) -> Delivery {
-        let start = now + self.policy.delay(op, from, None, bytes);
+    ) -> RpcResult<Delivery> {
         let before = self.net.stats();
-        let d = self.net.multicast(start, from, bytes);
-        self.tally(op, now, before, d.done, from, None);
-        d
+        match self.policy.verdict(op, now, from, None, bytes) {
+            LinkVerdict::Deliver(extra) => {
+                if !extra.is_zero() {
+                    self.faults.row_mut(op).delays += 1;
+                }
+                let d = self.net.multicast(now + extra, from, bytes);
+                self.tally(op, now, before, d.done, from, None);
+                Ok(d)
+            }
+            verdict => {
+                let lost = self.net.multicast(now, from, bytes);
+                let fail = RpcFailure {
+                    op,
+                    from,
+                    to: None,
+                    attempts: 1,
+                    at: lost.done,
+                };
+                let err = match verdict {
+                    LinkVerdict::Partitioned => {
+                        self.faults.row_mut(op).partitions += 1;
+                        RpcError::PartitionUnreachable(fail)
+                    }
+                    LinkVerdict::PeerCrashed => {
+                        self.faults.row_mut(op).crashes += 1;
+                        RpcError::PeerCrashed(fail)
+                    }
+                    _ => {
+                        self.faults.row_mut(op).drops += 1;
+                        RpcError::Dropped(fail)
+                    }
+                };
+                Err(self.fail(err, before))
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{CrashSchedule, DropPolicy, PartitionPolicy};
 
     fn t(hosts: usize) -> Transport {
         Transport::new(CostModel::sun3(), hosts)
@@ -553,6 +804,15 @@ mod tests {
 
     fn b() -> HostId {
         HostId::new(1)
+    }
+
+    /// Test-only unwrap: the policies in these tests are not supposed to
+    /// surface failures unless the test says so.
+    fn ok(d: RpcResult<Delivery>) -> Delivery {
+        match d {
+            Ok(d) => d,
+            Err(e) => panic!("unexpected rpc failure: {e}"),
+        }
     }
 
     #[test]
@@ -572,7 +832,7 @@ mod tests {
     fn typed_send_matches_raw_network_timing() {
         let mut x = t(2);
         let mut n = Network::new(CostModel::sun3(), 2);
-        let d1 = x.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None);
+        let d1 = ok(x.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None));
         let d2 = n.rpc(SimTime::ZERO, a(), b(), HANDLE_BYTES, HANDLE_BYTES, None);
         assert_eq!(d1.done, d2.done);
     }
@@ -581,17 +841,11 @@ mod tests {
     fn table_totals_equal_net_stats() {
         let mut x = t(4);
         let mut now = SimTime::ZERO;
-        now = x.send(RpcOp::MigrateNegotiate, now, a(), b(), None).done;
-        now = x
-            .stream_bulk(RpcOp::VmBulkImage, now, a(), b(), 300 * 1024)
-            .done;
-        now = x
-            .send_datagram(RpcOp::HostselReport, now, b(), a(), LOAD_REPORT_BYTES)
-            .done;
-        now = x
-            .send_multicast(RpcOp::HostselMulticast, now, a(), LOAD_REPORT_BYTES)
-            .done;
-        let _ = x.send_sized(
+        now = ok(x.send(RpcOp::MigrateNegotiate, now, a(), b(), None)).done;
+        now = ok(x.stream_bulk(RpcOp::VmBulkImage, now, a(), b(), 300 * 1024)).done;
+        now = ok(x.send_datagram(RpcOp::HostselReport, now, b(), a(), LOAD_REPORT_BYTES)).done;
+        now = ok(x.send_multicast(RpcOp::HostselMulticast, now, a(), LOAD_REPORT_BYTES)).done;
+        let _ = ok(x.send_sized(
             RpcOp::FsBlockWrite,
             now,
             a(),
@@ -600,7 +854,7 @@ mod tests {
             CONTROL_BYTES,
             SimDuration::ZERO,
             None,
-        );
+        ));
         let s = x.stats();
         assert_eq!(x.rpc_table().total_messages(), s.messages);
         assert_eq!(x.rpc_table().total_bytes(), s.bytes);
@@ -611,7 +865,7 @@ mod tests {
     #[test]
     fn rtt_distribution_is_recorded() {
         let mut x = t(2);
-        let d = x.send(RpcOp::SignalForward, SimTime::ZERO, a(), b(), None);
+        let d = ok(x.send(RpcOp::SignalForward, SimTime::ZERO, a(), b(), None));
         let row = x.rpc_table().get(RpcOp::SignalForward);
         assert_eq!(row.rtt.count(), 1);
         assert!((row.rtt.mean() - d.elapsed(SimTime::ZERO).as_secs_f64()).abs() < 1e-12);
@@ -620,7 +874,7 @@ mod tests {
     #[test]
     fn reset_clears_table_and_stats_together() {
         let mut x = t(2);
-        x.send(RpcOp::FsClose, SimTime::ZERO, a(), b(), None);
+        ok(x.send(RpcOp::FsClose, SimTime::ZERO, a(), b(), None));
         x.reset_stats();
         assert_eq!(x.stats().messages, 0);
         assert!(x.rpc_table().is_empty());
@@ -631,7 +885,7 @@ mod tests {
     fn trace_records_rpc_lines() {
         let mut x = t(2);
         x.enable_trace(8);
-        x.send(RpcOp::MigrateCommit, SimTime::ZERO, a(), b(), None);
+        ok(x.send(RpcOp::MigrateCommit, SimTime::ZERO, a(), b(), None));
         let lines: Vec<String> = x.trace().entries().map(|e| e.to_string()).collect();
         assert_eq!(lines.len(), 1);
         assert!(lines[0].contains("rpc"), "{}", lines[0]);
@@ -650,8 +904,8 @@ mod tests {
         let mut ideal = t(2);
         let mut slow = t(2);
         slow.set_policy(Box::new(Slow));
-        let d1 = ideal.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None);
-        let d2 = slow.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None);
+        let d1 = ok(ideal.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None));
+        let d2 = ok(slow.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None));
         assert_eq!(d2.done, d1.done + SimDuration::from_millis(5));
         // The injected delay is part of the caller-visible round trip.
         let row = slow.rpc_table().get(RpcOp::FsOpen);
@@ -662,9 +916,9 @@ mod tests {
     fn merge_adds_counts_and_distributions() {
         let mut x = t(2);
         let mut y = t(2);
-        x.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None);
-        y.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None);
-        y.send(RpcOp::FsClose, SimTime::ZERO, a(), b(), None);
+        ok(x.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None));
+        ok(y.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None));
+        ok(y.send(RpcOp::FsClose, SimTime::ZERO, a(), b(), None));
         let mut merged = x.rpc_table().clone();
         merged.merge(y.rpc_table());
         assert_eq!(merged.get(RpcOp::FsOpen).calls, 2);
@@ -674,6 +928,175 @@ mod tests {
             merged.total_messages(),
             x.stats().messages + y.stats().messages
         );
+    }
+
+    /// Drops the first `0.0` attempts of every send, then delivers — a
+    /// deterministic way to exercise the retry path.
+    #[derive(Debug)]
+    struct DropFirst(u32);
+    impl LinkPolicy for DropFirst {
+        fn verdict(
+            &mut self,
+            _: RpcOp,
+            _: SimTime,
+            _: HostId,
+            _: Option<HostId>,
+            _: u64,
+        ) -> LinkVerdict {
+            if self.0 > 0 {
+                self.0 -= 1;
+                LinkVerdict::Drop
+            } else {
+                LinkVerdict::Deliver(SimDuration::ZERO)
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_round_trip_retries_and_charges_the_timeout() {
+        let mut ideal = t(2);
+        let mut lossy = t(2);
+        lossy.set_policy(Box::new(DropFirst(1)));
+        let d1 = ok(ideal.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None));
+        let d2 = ok(lossy.send(RpcOp::FsOpen, SimTime::ZERO, a(), b(), None));
+        // One lost attempt costs at least a timeout plus the first backoff.
+        assert!(d2.done >= d1.done + RPC_TIMEOUT + backoff_after(1));
+        let row = lossy.fault_stats().get(RpcOp::FsOpen);
+        assert_eq!((row.drops, row.retries, row.giveups), (1, 1, 0));
+        // The lost request was charged on the wire, and the table still
+        // matches the network's own totals.
+        assert_eq!(lossy.rpc_table().total_messages(), lossy.stats().messages);
+        assert_eq!(lossy.rpc_table().total_bytes(), lossy.stats().bytes);
+        assert_eq!(lossy.stats().messages, ideal.stats().messages + 1);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_timeout_error() {
+        let mut x = t(2);
+        x.set_policy(Box::new(DropPolicy::new(11, 1.0)));
+        let err = x
+            .send(RpcOp::MigrateNegotiate, SimTime::ZERO, a(), b(), None)
+            .unwrap_err();
+        match err {
+            RpcError::Timeout(f) => {
+                assert_eq!(f.attempts, MAX_SEND_ATTEMPTS);
+                assert_eq!(f.op, RpcOp::MigrateNegotiate);
+                assert!(f.at > SimTime::ZERO + RPC_TIMEOUT * u64::from(MAX_SEND_ATTEMPTS));
+            }
+            other => panic!("expected timeout, got {other}"),
+        }
+        assert!(err.is_transient());
+        let row = x.fault_stats().get(RpcOp::MigrateNegotiate);
+        assert_eq!(row.drops, u64::from(MAX_SEND_ATTEMPTS));
+        assert_eq!(row.retries, u64::from(MAX_SEND_ATTEMPTS) - 1);
+        assert_eq!(row.giveups, 1);
+        // Every lost request was still charged on the wire and folded into
+        // the table, so totals keep matching NetStats.
+        assert_eq!(x.rpc_table().total_messages(), x.stats().messages);
+        assert_eq!(x.rpc_table().total_bytes(), x.stats().bytes);
+        assert_eq!(x.rpc_table().get(RpcOp::MigrateNegotiate).calls, 0);
+    }
+
+    #[test]
+    fn partition_fails_after_one_detection_timeout() {
+        let mut x = t(4);
+        x.set_policy(Box::new(PartitionPolicy::new(
+            vec![b()],
+            SimTime::ZERO,
+            SimTime::from_micros(u64::MAX),
+        )));
+        let err = x
+            .send(RpcOp::SignalForward, SimTime::ZERO, a(), b(), None)
+            .unwrap_err();
+        match err {
+            RpcError::PartitionUnreachable(f) => assert_eq!(f.attempts, 1),
+            other => panic!("expected partition, got {other}"),
+        }
+        assert!(!err.is_transient());
+        assert_eq!(x.fault_stats().get(RpcOp::SignalForward).partitions, 1);
+    }
+
+    #[test]
+    fn crashed_peer_fails_after_one_detection_timeout() {
+        let mut x = t(2);
+        x.set_policy(Box::new(CrashSchedule::new(vec![(b(), SimTime::ZERO)])));
+        let err = x
+            .send(RpcOp::ProcNotifyHome, SimTime::ZERO, a(), b(), None)
+            .unwrap_err();
+        assert!(matches!(err, RpcError::PeerCrashed(f) if f.attempts == 1));
+        assert!(!err.is_transient());
+        assert_eq!(x.fault_stats().get(RpcOp::ProcNotifyHome).crashes, 1);
+    }
+
+    #[test]
+    fn one_way_sends_are_never_retried() {
+        let mut x = t(2);
+        x.set_policy(Box::new(DropPolicy::new(3, 1.0)));
+        let err = x
+            .send_datagram(
+                RpcOp::HostselReport,
+                SimTime::ZERO,
+                a(),
+                b(),
+                LOAD_REPORT_BYTES,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Dropped(f) if f.attempts == 1));
+        let err = x
+            .send_multicast(
+                RpcOp::HostselMulticast,
+                SimTime::ZERO,
+                a(),
+                LOAD_REPORT_BYTES,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Dropped(f) if f.attempts == 1 && f.to.is_none()));
+        // The lost frames still went out on the wire.
+        assert_eq!(x.rpc_table().total_messages(), x.stats().messages);
+        assert_eq!(x.rpc_table().total_bytes(), x.stats().bytes);
+        assert_eq!(x.fault_stats().get(RpcOp::HostselReport).drops, 1);
+    }
+
+    #[test]
+    fn same_fault_seed_replays_identically() {
+        let drive = |seed: u64| {
+            let mut x = t(4);
+            x.set_policy(Box::new(DropPolicy::new(seed, 0.4)));
+            let mut now = SimTime::ZERO;
+            let mut outcomes = Vec::new();
+            for i in 0..40 {
+                let to = HostId::new(1 + i % 3);
+                match x.send(RpcOp::FsOpen, now, a(), to, None) {
+                    Ok(d) => {
+                        now = d.done;
+                        outcomes.push(Ok(d.done));
+                    }
+                    Err(e) => {
+                        now = e.at();
+                        outcomes.push(Err(e));
+                    }
+                }
+            }
+            (outcomes, x.fault_stats().clone(), x.stats())
+        };
+        let (o1, f1, s1) = drive(77);
+        let (o2, f2, s2) = drive(77);
+        assert_eq!(o1, o2);
+        assert_eq!(f1, f2);
+        assert_eq!(s1, s2);
+        let (o3, f3, _) = drive(78);
+        assert!(o1 != o3 || f1 != f3, "different seed, different schedule");
+    }
+
+    #[test]
+    fn reset_clears_fault_stats_with_the_rest() {
+        let mut x = t(2);
+        x.set_policy(Box::new(DropPolicy::new(5, 1.0)));
+        let _ = x.send(RpcOp::FsClose, SimTime::ZERO, a(), b(), None);
+        assert!(!x.fault_stats().is_empty());
+        x.reset_stats();
+        assert!(x.fault_stats().is_empty());
+        assert_eq!(x.rpc_table().total_bytes(), x.stats().bytes);
     }
 
     #[test]

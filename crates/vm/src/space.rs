@@ -435,7 +435,7 @@ impl AddressSpace {
                     t + net.cost().page_copy
                 } else {
                     self.stats.remote_fetches += 1;
-                    net.send(RpcOp::VmPageFetch, t, host, source, None).done
+                    net.send(RpcOp::VmPageFetch, t, host, source, None)?.done
                 };
                 let seg = self.segment_mut(segment);
                 let p = &mut seg.pages[page as usize];

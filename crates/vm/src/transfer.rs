@@ -122,7 +122,9 @@ pub struct TransferReport {
 ///
 /// # Errors
 ///
-/// Propagates file-system errors from flushing (Sprite strategy only).
+/// Propagates file-system errors from flushing and transport failures from
+/// the bulk image transfer; a failed transfer leaves every page where it
+/// was, so the caller can abort the migration cleanly.
 #[allow(clippy::too_many_arguments)]
 pub fn transfer(
     space: &mut AddressSpace,
@@ -135,9 +137,9 @@ pub fn transfer(
     params: &TransferParams,
 ) -> FsResult<TransferReport> {
     match strategy {
-        VmStrategy::FullCopy => Ok(full_copy(space, fs, net, now, from, to)),
-        VmStrategy::PreCopy => Ok(pre_copy(space, fs, net, now, from, to, params)),
-        VmStrategy::CopyOnReference => Ok(copy_on_reference(space, net, now, from, to)),
+        VmStrategy::FullCopy => full_copy(space, fs, net, now, from, to),
+        VmStrategy::PreCopy => pre_copy(space, fs, net, now, from, to, params),
+        VmStrategy::CopyOnReference => copy_on_reference(space, net, now, from, to),
         VmStrategy::SpriteFlush => sprite_flush(space, fs, net, now, from, to),
     }
 }
@@ -154,18 +156,18 @@ fn full_copy(
     now: SimTime,
     from: HostId,
     to: HostId,
-) -> TransferReport {
+) -> FsResult<TransferReport> {
     let _ = fs;
     let pages = space.resident_pages();
     let bytes = pages * PAGE_SIZE + page_table_bytes(space);
     let copy_cpu = net.cost().copy_time(pages * PAGE_SIZE);
     let done = net
-        .stream_bulk(RpcOp::VmBulkImage, now + copy_cpu, from, to, bytes)
+        .stream_bulk(RpcOp::VmBulkImage, now + copy_cpu, from, to, bytes)?
         .done;
     // Pages are now resident on the target; the in-memory representation
     // already holds the bytes, so only the location bookkeeping changes.
     let elapsed = done.elapsed_since(now);
-    TransferReport {
+    Ok(TransferReport {
         strategy: VmStrategy::FullCopy,
         freeze_time: elapsed,
         total_time: elapsed,
@@ -173,7 +175,7 @@ fn full_copy(
         pages_moved: pages,
         residual_source_dependency: false,
         resumed_at: done,
-    }
+    })
 }
 
 fn pre_copy(
@@ -184,7 +186,7 @@ fn pre_copy(
     from: HostId,
     to: HostId,
     params: &TransferParams,
-) -> TransferReport {
+) -> FsResult<TransferReport> {
     let _ = fs;
     let mut to_move = space.resident_pages();
     let mut pages_moved = 0u64;
@@ -196,7 +198,7 @@ fn pre_copy(
         let bytes = to_move * PAGE_SIZE;
         let copy_cpu = net.cost().copy_time(bytes);
         let done = net
-            .stream_bulk(RpcOp::VmBulkImage, t + copy_cpu, from, to, bytes)
+            .stream_bulk(RpcOp::VmBulkImage, t + copy_cpu, from, to, bytes)?
             .done;
         let round_time = done.elapsed_since(t);
         pages_moved += to_move;
@@ -212,12 +214,12 @@ fn pre_copy(
     let bytes = to_move * PAGE_SIZE + page_table_bytes(space);
     let copy_cpu = net.cost().copy_time(to_move * PAGE_SIZE);
     let done = net
-        .stream_bulk(RpcOp::VmBulkImage, t + copy_cpu, from, to, bytes)
+        .stream_bulk(RpcOp::VmBulkImage, t + copy_cpu, from, to, bytes)?
         .done;
     pages_moved += to_move;
     bytes_moved += bytes;
     let freeze = done.elapsed_since(t);
-    TransferReport {
+    Ok(TransferReport {
         strategy: VmStrategy::PreCopy,
         freeze_time: freeze,
         total_time: done.elapsed_since(now),
@@ -225,7 +227,7 @@ fn pre_copy(
         pages_moved,
         residual_source_dependency: false,
         resumed_at: done,
-    }
+    })
 }
 
 fn copy_on_reference(
@@ -234,15 +236,17 @@ fn copy_on_reference(
     now: SimTime,
     from: HostId,
     to: HostId,
-) -> TransferReport {
+) -> FsResult<TransferReport> {
     // Freeze: ship page tables only; every resident page stays behind.
+    // A failed transfer returns before any bookkeeping moves, so the
+    // process is still fully resident at the source.
     let bytes = page_table_bytes(space);
     let done = net
-        .stream_bulk(RpcOp::VmBulkImage, now, from, to, bytes)
+        .stream_bulk(RpcOp::VmBulkImage, now, from, to, bytes)?
         .done;
     space.leave_at_source(from);
     let freeze = done.elapsed_since(now);
-    TransferReport {
+    Ok(TransferReport {
         strategy: VmStrategy::CopyOnReference,
         freeze_time: freeze,
         total_time: freeze,
@@ -250,7 +254,7 @@ fn copy_on_reference(
         pages_moved: 0,
         residual_source_dependency: true,
         resumed_at: done,
-    }
+    })
 }
 
 fn sprite_flush(

@@ -48,6 +48,47 @@ if ! cmp -s experiments_output.txt "$tmp/parallel.txt"; then
     exit 1
 fi
 
+echo "==> fault sweep (--faults 42:0.1) is --jobs invariant"
+# The fault schedule is a pure function of its seed, so the sweep's stdout
+# and its fault_table JSON must not depend on the worker count.
+mkdir -p "$tmp/f1" "$tmp/f4"
+(cd "$tmp/f1" && "$OLDPWD/$bin" e01 --faults 42:0.1 --jobs 1 --json > ../faults1.txt 2> /dev/null)
+(cd "$tmp/f4" && "$OLDPWD/$bin" e01 --faults 42:0.1 --jobs 4 --json > ../faults4.txt 2> /dev/null)
+if ! cmp -s "$tmp/faults1.txt" "$tmp/faults4.txt"; then
+    echo "FAIL: fault sweep stdout diverged between --jobs 1 and --jobs 4" >&2
+    diff "$tmp/faults1.txt" "$tmp/faults4.txt" | head -40 >&2 || true
+    exit 1
+fi
+if ! grep -q '^## F1: migration outcomes under injected faults' "$tmp/faults1.txt"; then
+    echo "FAIL: --faults run printed no F1 table" >&2
+    exit 1
+fi
+# The faults block minus wall-clock timing (the only nondeterministic field).
+for j in f1 f4; do
+    sed -n '/"faults": {/,/^  }/p' "$tmp/$j/BENCH_experiments.json" \
+        | grep -v '"wall_seconds"' > "$tmp/$j.faults.json"
+done
+if ! grep -q '"fault_table"' "$tmp/f1.faults.json"; then
+    echo "FAIL: --faults --json emitted no fault_table block" >&2
+    exit 1
+fi
+if ! cmp -s "$tmp/f1.faults.json" "$tmp/f4.faults.json"; then
+    echo "FAIL: fault_table JSON diverged between --jobs 1 and --jobs 4" >&2
+    diff "$tmp/f1.faults.json" "$tmp/f4.faults.json" | head -40 >&2 || true
+    exit 1
+fi
+
+echo "==> zero-rate fault run keeps the golden stdout byte-stable"
+# At rate 0 the fault layer must be timing-invisible: the suite portion of
+# the output is the same bytes as a run with no --faults flag at all.
+(cd "$tmp" && "$OLDPWD/$bin" --jobs 4 --faults 42:0 > faults0.txt 2> /dev/null)
+head -n "$(wc -l < experiments_output.txt)" "$tmp/faults0.txt" > "$tmp/faults0_prefix.txt"
+if ! cmp -s experiments_output.txt "$tmp/faults0_prefix.txt"; then
+    echo "FAIL: --faults 42:0 perturbed the golden suite output" >&2
+    diff experiments_output.txt "$tmp/faults0_prefix.txt" | head -40 >&2 || true
+    exit 1
+fi
+
 echo "==> wall-time regression vs BENCH_experiments.json baseline"
 baseline="$(sed -n 's/.*"total_wall_seconds": \([0-9.]*\).*/\1/p' BENCH_experiments.json | head -1)"
 fresh="$(sed -n 's/.*"total_wall_seconds": \([0-9.]*\).*/\1/p' "$tmp/BENCH_experiments.json" | head -1)"

@@ -26,6 +26,21 @@ if [[ "$quick" == 1 ]]; then
     exit 0
 fi
 
+echo "==> cargo test -q --test fault_properties"
+# The deterministic chaos suite: 50 fault seeds x 3 drop rates, replayed.
+cargo test -q --test fault_properties
+
+echo "==> fault-handling lint (no unwrap/expect on transport sends)"
+# Every Transport send returns Result<Delivery, RpcError>; swallowing the
+# error with unwrap()/expect() would panic the simulation on an injected
+# fault instead of exercising the recovery paths. Production code must
+# match or propagate; test code uses local ok() helpers instead.
+if grep -rEzl '\.(send|send_with_service|send_sized|send_datagram|send_multicast|stream_bulk)\([^;]*\)[[:space:]]*\.(unwrap|expect)\(' \
+        crates --include='*.rs' | tr '\0' '\n' | grep .; then
+    echo "FAIL: unwrap()/expect() on a Transport send result — handle the RpcError (retry, abort, or surface it)" >&2
+    exit 1
+fi
+
 echo "==> determinism lint (no default-hasher maps outside crates/sim)"
 # Simulation state must hash deterministically: every map in the data plane
 # goes through sprite_sim::{DetHashMap, DetHashSet}. The std types with
