@@ -1,6 +1,6 @@
 # Convenience targets; scripts/ci.sh is the canonical offline CI gate.
 
-.PHONY: ci ci-quick test bench bench-check experiments fmt clippy
+.PHONY: ci ci-quick test bench bench-check experiments fmt clippy lint
 
 ci:
 	scripts/ci.sh
@@ -25,3 +25,6 @@ fmt:
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
+
+lint:
+	cargo run -q -p sprite_lint -- crates src tests examples

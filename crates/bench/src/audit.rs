@@ -1,0 +1,385 @@
+//! The determinism auditor behind `experiments --audit`.
+//!
+//! The suite's stdout is byte-identical for every `--jobs` value, but that
+//! only proves the *rendered tables* agree. The auditor checks something
+//! much stronger: it re-runs the E11 replications with the engine's state
+//! checkpoint hook armed, collecting a stream of whole-cluster digests
+//! (kernel + process table + file system + network) every N executed
+//! events — once across `jobs` worker threads and once serially in-process
+//! — and demands the streams match checkpoint for checkpoint. A scheduling
+//! leak that happens to cancel out in the final tables cannot cancel out
+//! in every intermediate digest.
+//!
+//! On divergence the auditor bisects: it re-runs the offending replication
+//! pair at successively halved checkpoint intervals until the first
+//! disagreeing digest is bracketed by a one-event window, then names that
+//! window (`events (lo, hi]`, simulated time) in its report.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sprite_sim::{Checkpoint, SimTime};
+
+use crate::experiments::e11;
+
+/// Checkpoint interval (executed events) for the audit drive. E11 executes
+/// roughly one event per simulated minute, so a multi-day replication
+/// yields a handful of checkpoints per day — enough stream to compare,
+/// cheap enough to hash.
+pub const AUDIT_EVERY: u64 = 1_000;
+
+/// Hosts in the audit drive (smaller than the full table: the auditor runs
+/// the scenario twice, so it uses a reduced but still multi-day cluster).
+pub const AUDIT_HOSTS: usize = 8;
+/// Simulated days per audited replication.
+pub const AUDIT_DAYS: u64 = 2;
+/// Audited replications (forked serially from [`AUDIT_SEED`]).
+pub const AUDIT_REPS: usize = 4;
+/// Master seed for the audit drive.
+pub const AUDIT_SEED: u64 = 41;
+
+/// Where two checkpoint streams first disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the replication whose streams disagree.
+    pub rep: usize,
+    /// First disagreeing event window: digests agree at `start_events`
+    /// (0 = initial state) and disagree at `end_events`.
+    pub start_events: u64,
+    /// Event count of the first disagreeing checkpoint.
+    pub end_events: u64,
+    /// Simulated time of the first disagreeing checkpoint, if either
+    /// stream still had one there.
+    pub at: Option<SimTime>,
+}
+
+/// Outcome of a full audit: the per-replication streams collected across
+/// worker threads, plus the verdict against the serial reference.
+pub struct AuditOutcome {
+    /// Hosts per replication.
+    pub hosts: usize,
+    /// Days per replication.
+    pub days: u64,
+    /// Checkpoint interval in executed events.
+    pub every: u64,
+    /// One digest stream per replication, in replication order.
+    pub streams: Vec<Vec<Checkpoint>>,
+    /// First divergence between the threaded and serial streams, if any,
+    /// bisected down to its tightest event window.
+    pub divergence: Option<Divergence>,
+}
+
+/// Runs the audited replications across `jobs` worker threads (an atomic
+/// cursor over replication indices; results land in replication order, so
+/// the output is independent of which thread ran what).
+pub fn collect_streams(
+    hosts: usize,
+    days: u64,
+    seed: u64,
+    reps: usize,
+    every: u64,
+    jobs: usize,
+) -> Vec<Vec<Checkpoint>> {
+    let rngs = e11::replication_rngs(seed, reps);
+    if jobs <= 1 {
+        return rngs
+            .into_iter()
+            .map(|rng| e11::run_audited(hosts, days, rng, every).1)
+            .collect();
+    }
+    let results: Vec<Mutex<Option<Vec<Checkpoint>>>> =
+        (0..reps).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = jobs.min(reps.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= reps {
+                    break;
+                }
+                let stream = e11::run_audited(hosts, days, rngs[i].clone(), every).1;
+                *results[i].lock().unwrap() = Some(stream);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|cell| cell.into_inner().unwrap().expect("every replication ran"))
+        .collect()
+}
+
+/// First index at which two checkpoint streams disagree (a length mismatch
+/// counts as disagreement at the shorter length).
+pub fn first_mismatch(a: &[Checkpoint], b: &[Checkpoint]) -> Option<usize> {
+    let n = a.len().min(b.len());
+    for i in 0..n {
+        if a[i] != b[i] {
+            return Some(i);
+        }
+    }
+    if a.len() != b.len() {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Narrows a divergence between two runnable stream producers to its
+/// tightest event window by halving the checkpoint interval. `run_a` and
+/// `run_b` rebuild their streams at a given interval; the window returned
+/// is `(start_events, end_events]` — the digests agree at `start_events`
+/// and first disagree at `end_events`. If a refinement pass suddenly
+/// agrees (a non-reproducible divergence), the last disagreeing window is
+/// reported as-is.
+pub fn bisect_window<FA, FB>(
+    mut every: u64,
+    run_a: FA,
+    run_b: FB,
+) -> Option<(u64, u64, Option<SimTime>)>
+where
+    FA: Fn(u64) -> Vec<Checkpoint>,
+    FB: Fn(u64) -> Vec<Checkpoint>,
+{
+    let (mut a, mut b) = (run_a(every), run_b(every));
+    let mut idx = first_mismatch(&a, &b)?;
+    loop {
+        let end = every * (idx as u64 + 1);
+        let at = a.get(idx).or_else(|| b.get(idx)).map(|cp| cp.at);
+        if every == 1 {
+            return Some((end - 1, end, at));
+        }
+        let finer = (every / 2).max(1);
+        let (fa, fb) = (run_a(finer), run_b(finer));
+        match first_mismatch(&fa, &fb) {
+            Some(fi) => {
+                every = finer;
+                idx = fi;
+                a = fa;
+                b = fb;
+            }
+            // The divergence did not reproduce at the finer interval
+            // (e.g. genuine nondeterminism): report the coarse window.
+            None => return Some((end - every, end, at)),
+        }
+    }
+}
+
+/// Runs the full audit: threaded collection, serial reference, comparison,
+/// and — on mismatch — a bisected divergence report.
+pub fn run(jobs: usize) -> AuditOutcome {
+    let threaded = collect_streams(
+        AUDIT_HOSTS,
+        AUDIT_DAYS,
+        AUDIT_SEED,
+        AUDIT_REPS,
+        AUDIT_EVERY,
+        jobs,
+    );
+    let serial = collect_streams(
+        AUDIT_HOSTS,
+        AUDIT_DAYS,
+        AUDIT_SEED,
+        AUDIT_REPS,
+        AUDIT_EVERY,
+        1,
+    );
+    let mut divergence = None;
+    for (rep, (t, s)) in threaded.iter().zip(&serial).enumerate() {
+        if first_mismatch(t, s).is_some() {
+            let rng = e11::replication_rngs(AUDIT_SEED, AUDIT_REPS)[rep].clone();
+            let rng2 = rng.clone();
+            let run_rep =
+                move |every: u64| e11::run_audited(AUDIT_HOSTS, AUDIT_DAYS, rng.clone(), every).1;
+            let run_rep2 =
+                move |every: u64| e11::run_audited(AUDIT_HOSTS, AUDIT_DAYS, rng2.clone(), every).1;
+            divergence = Some(match bisect_window(AUDIT_EVERY, run_rep, run_rep2) {
+                Some((start, end, at)) => Divergence {
+                    rep,
+                    start_events: start,
+                    end_events: end,
+                    at,
+                },
+                // The in-process replay agrees with itself: the divergence
+                // came from cross-thread interference, not from the
+                // replication's own event stream. Report the coarse window
+                // of the original mismatch.
+                None => {
+                    let (start, end) = first_window(t, s);
+                    Divergence {
+                        rep,
+                        start_events: start,
+                        end_events: end,
+                        at: None,
+                    }
+                }
+            });
+            break;
+        }
+    }
+    AuditOutcome {
+        hosts: AUDIT_HOSTS,
+        days: AUDIT_DAYS,
+        every: AUDIT_EVERY,
+        streams: threaded,
+        divergence,
+    }
+}
+
+/// Coarse event window of the first mismatch between two streams.
+fn first_window(a: &[Checkpoint], b: &[Checkpoint]) -> (u64, u64) {
+    let idx = first_mismatch(a, b).unwrap_or(0) as u64;
+    (idx * AUDIT_EVERY, (idx + 1) * AUDIT_EVERY)
+}
+
+/// Total checkpoints across all streams.
+pub fn total_checkpoints(streams: &[Vec<Checkpoint>]) -> usize {
+    streams.iter().map(Vec::len).sum()
+}
+
+/// Renders the audit block. Deterministic: digests depend only on the
+/// seeded replications, never on `jobs`, so this block is byte-identical
+/// across thread counts — which is exactly what the CI digest gate diffs.
+pub fn render(outcome: &AuditOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Determinism audit ({} hosts x {} days x {} replications, checkpoint every {} events)\n",
+        outcome.hosts,
+        outcome.days,
+        outcome.streams.len(),
+        outcome.every
+    ));
+    out.push_str("  rep  checkpoints  first-digest        last-digest\n");
+    for (i, stream) in outcome.streams.iter().enumerate() {
+        let first = stream.first().map(|c| c.digest).unwrap_or(0);
+        let last = stream.last().map(|c| c.digest).unwrap_or(0);
+        out.push_str(&format!(
+            "  {:<3}  {:<11}  0x{:016x}  0x{:016x}\n",
+            i,
+            stream.len(),
+            first,
+            last
+        ));
+    }
+    match &outcome.divergence {
+        None => out.push_str(&format!(
+            "  verdict: all {} replication digest streams identical across thread schedules\n",
+            outcome.streams.len()
+        )),
+        Some(d) => {
+            out.push_str(&format!(
+                "  verdict: DIVERGENCE in replication {} — first disagreeing digest in event window ({}, {}]",
+                d.rep, d.start_events, d.end_events
+            ));
+            if let Some(at) = d.at {
+                out.push_str(&format!(" at t={}us", at.as_micros()));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A small audited drive for tests: real E11 replications, tiny scale.
+#[cfg(test)]
+fn tiny_streams(jobs: usize) -> Vec<Vec<Checkpoint>> {
+    collect_streams(4, 1, 41, 3, 200, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprite_sim::SimDuration;
+
+    #[test]
+    fn threaded_collection_matches_serial() {
+        let serial = tiny_streams(1);
+        let threaded = tiny_streams(4);
+        assert_eq!(serial, threaded);
+        assert!(total_checkpoints(&serial) > 0);
+    }
+
+    #[test]
+    fn first_mismatch_finds_index_and_length_skew() {
+        let cp = |events, digest| Checkpoint {
+            events,
+            at: SimTime::ZERO + SimDuration::from_secs(events),
+            digest,
+        };
+        let a = vec![cp(10, 1), cp(20, 2), cp(30, 3)];
+        assert_eq!(first_mismatch(&a, &a), None);
+        let mut b = a.clone();
+        b[1].digest = 99;
+        assert_eq!(first_mismatch(&a, &b), Some(1));
+        assert_eq!(first_mismatch(&a, &a[..2]), Some(2));
+    }
+
+    #[test]
+    fn bisect_refines_a_synthetic_divergence_to_one_event() {
+        // Two synthetic "runs" that agree up to event 137 and disagree
+        // after it, at any checkpoint interval.
+        let stream_for = |every: u64, diverge_after: u64| -> Vec<Checkpoint> {
+            (1..=(400 / every))
+                .map(|k| {
+                    let events = k * every;
+                    Checkpoint {
+                        events,
+                        at: SimTime::ZERO + SimDuration::from_secs(events),
+                        digest: if events > diverge_after {
+                            events * 7 + 1
+                        } else {
+                            events * 7
+                        },
+                    }
+                })
+                .collect()
+        };
+        let w = bisect_window(
+            100,
+            move |every| stream_for(every, u64::MAX),
+            move |every| stream_for(every, 137),
+        )
+        .expect("streams diverge");
+        assert_eq!((w.0, w.1), (137, 138));
+    }
+
+    #[test]
+    fn bisect_returns_none_when_streams_agree() {
+        let stream = |every: u64| -> Vec<Checkpoint> {
+            (1..=(300 / every))
+                .map(|k| Checkpoint {
+                    events: k * every,
+                    at: SimTime::ZERO,
+                    digest: k * every,
+                })
+                .collect()
+        };
+        assert_eq!(bisect_window(50, stream, stream), None);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_names_divergences() {
+        let outcome = AuditOutcome {
+            hosts: 4,
+            days: 1,
+            every: 200,
+            streams: tiny_streams(1),
+            divergence: None,
+        };
+        let a = render(&outcome);
+        assert!(a.contains("verdict: all"));
+        let diverged = AuditOutcome {
+            divergence: Some(Divergence {
+                rep: 2,
+                start_events: 137,
+                end_events: 138,
+                at: Some(SimTime::ZERO + SimDuration::from_secs(5)),
+            }),
+            ..outcome
+        };
+        let b = render(&diverged);
+        assert!(b.contains("DIVERGENCE in replication 2"));
+        assert!(b.contains("(137, 138]"));
+        assert!(b.contains("t=5000000us"));
+    }
+}

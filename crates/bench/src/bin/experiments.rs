@@ -7,17 +7,20 @@
 //! cargo run -p sprite-bench --release --bin experiments -- --jobs 4 # parallel
 //! cargo run -p sprite-bench --release --bin experiments -- --json   # sidecar
 //! cargo run -p sprite-bench --release --bin experiments -- --faults 42:0.1
+//! cargo run -p sprite-bench --release --bin experiments -- --audit   # digest audit
 //! ```
 //!
 //! Tables go to stdout and are byte-identical for every `--jobs` value
 //! (see `runner`'s determinism contract); wall-clock timings go to stderr
 //! and, with `--json`, to `BENCH_experiments.json`.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use sprite_bench::experiments::{e11, f01, m01};
-use sprite_bench::runner;
 use sprite_bench::support::{fault_table_text, rpc_table_text};
+use sprite_bench::{audit, runner};
 use sprite_fs::SpritePath;
 
 struct Options {
@@ -29,6 +32,10 @@ struct Options {
     rpc_table: bool,
     /// `--faults seed:rate` — run the F1 fault sweep after the suite.
     faults: Option<(u64, f64)>,
+    /// `--audit` — replay the audit drive with state-digest checkpoints
+    /// across `--jobs` threads and verify the streams against a serial
+    /// in-process reference. Exits 1 on divergence.
+    audit: bool,
 }
 
 /// Parses the `--faults` operand: `<seed>:<rate>` with an integer seed and
@@ -49,6 +56,7 @@ fn parse_args() -> Options {
         macrobench: false,
         rpc_table: false,
         faults: None,
+        audit: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +74,7 @@ fn parse_args() -> Options {
             "--json" => opts.json = true,
             "--macro" => opts.macrobench = true,
             "--rpc-table" => opts.rpc_table = true,
+            "--audit" => opts.audit = true,
             "--faults" => {
                 let v = args.next().unwrap_or_default();
                 match parse_faults(&v) {
@@ -93,7 +102,7 @@ fn parse_args() -> Options {
             },
             _ if arg.starts_with('-') => {
                 eprintln!(
-                    "unknown flag {arg:?}; flags: --jobs N, --json, --macro, --rpc-table, --faults SEED:RATE, list"
+                    "unknown flag {arg:?}; flags: --jobs N, --json, --macro, --rpc-table, --faults SEED:RATE, --audit, list"
                 );
                 std::process::exit(2);
             }
@@ -168,6 +177,16 @@ fn main() {
         (report, started.elapsed().as_secs_f64())
     });
 
+    // The determinism audit replays the audit drive twice — once across
+    // the worker pool, once serially in-process — and compares the digest
+    // streams. Its stdout block depends only on the seeded replications,
+    // never on --jobs, so the CI gate can diff it across thread counts.
+    let audit_run = opts.audit.then(|| {
+        let started = Instant::now();
+        let outcome = audit::run(opts.jobs);
+        (outcome, started.elapsed().as_secs_f64())
+    });
+
     println!("# Sprite process migration — reproduction tables\n");
     for r in &results {
         println!("{}", r.rendered);
@@ -207,6 +226,14 @@ fn main() {
             report.faults.total_giveups()
         );
     }
+    if let Some((outcome, _)) = &audit_run {
+        println!("{}", audit::render(outcome));
+        println!(
+            "  [audit: {} checkpoints across {} replications]\n",
+            audit::total_checkpoints(&outcome.streams),
+            outcome.streams.len()
+        );
+    }
     for r in &results {
         eprintln!(
             "[timing] {}: {:.2}s cpu across {} unit{}",
@@ -232,6 +259,13 @@ fn main() {
             "[timing] f01: {fault_wall:.2}s wall serial across {} rates (seed {})",
             report.rows.len(),
             report.seed
+        );
+    }
+    if let Some((outcome, audit_wall)) = &audit_run {
+        eprintln!(
+            "[timing] audit: {audit_wall:.2}s wall over {} replications ({} jobs + serial reference)",
+            outcome.streams.len(),
+            opts.jobs
         );
     }
     eprintln!(
@@ -358,6 +392,32 @@ fn main() {
             json.push_str("    ]\n");
             json.push_str("  }");
         }
+        if let Some((outcome, audit_wall)) = &audit_run {
+            json.push_str(",\n  \"audit\": {\n");
+            json.push_str(
+                "    \"description\": \"state-digest determinism audit (threaded vs serial)\",\n",
+            );
+            json.push_str(&format!("    \"hosts\": {},\n", outcome.hosts));
+            json.push_str(&format!("    \"days\": {},\n", outcome.days));
+            json.push_str(&format!(
+                "    \"replications\": {},\n",
+                outcome.streams.len()
+            ));
+            json.push_str(&format!(
+                "    \"checkpoint_every_events\": {},\n",
+                outcome.every
+            ));
+            json.push_str(&format!(
+                "    \"checkpoints\": {},\n",
+                audit::total_checkpoints(&outcome.streams)
+            ));
+            json.push_str(&format!("    \"wall_seconds\": {audit_wall:.3},\n"));
+            json.push_str(&format!(
+                "    \"divergent\": {}\n",
+                outcome.divergence.is_some()
+            ));
+            json.push_str("  }");
+        }
         json.push_str("\n}\n");
         let path = "BENCH_experiments.json";
         if let Err(e) = std::fs::write(path, json) {
@@ -365,5 +425,15 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[timing] wrote {path}");
+    }
+
+    if let Some((outcome, _)) = &audit_run {
+        if let Some(d) = &outcome.divergence {
+            eprintln!(
+                "audit FAILED: replication {} diverged in event window ({}, {}]",
+                d.rep, d.start_events, d.end_events
+            );
+            std::process::exit(1);
+        }
     }
 }

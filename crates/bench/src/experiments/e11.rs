@@ -25,7 +25,7 @@ use sprite_fs::SpritePath;
 use sprite_hostsel::{AvailabilityPolicy, CentralServer, HostInfo, HostSelector};
 use sprite_kernel::{Cluster, ProcessId};
 use sprite_net::HostId;
-use sprite_sim::{DetRng, Engine, SimDuration, SimTime};
+use sprite_sim::{Checkpoint, DetRng, Engine, SimDuration, SimTime};
 use sprite_workloads::{ActivityModel, ActivityTrace, DAY};
 
 use crate::support::{h, standard_cluster, standard_migrator, TableWriter};
@@ -193,7 +193,30 @@ fn minute_tick(w: &mut World, t: SimTime) {
 /// Runs one replication from an explicit RNG (forked by the caller for
 /// parallel replications). Keep `hosts`/`days` small in tests; the full
 /// table merges five 6-day replications over 50 hosts.
-pub fn run_seeded(hosts: usize, days: u64, mut rng: DetRng) -> MonthReport {
+pub fn run_seeded(hosts: usize, days: u64, rng: DetRng) -> MonthReport {
+    run_inner(hosts, days, rng, None).0
+}
+
+/// Runs one replication with the engine's audit hook armed: every `every`
+/// executed events the cluster's [`Cluster::digest`] is checkpointed. The
+/// returned stream is what `experiments --audit` compares across `--jobs`
+/// values — identical replication, identical stream, regardless of which
+/// thread ran it.
+pub fn run_audited(
+    hosts: usize,
+    days: u64,
+    rng: DetRng,
+    every: u64,
+) -> (MonthReport, Vec<Checkpoint>) {
+    run_inner(hosts, days, rng, Some(every))
+}
+
+fn run_inner(
+    hosts: usize,
+    days: u64,
+    mut rng: DetRng,
+    audit_every: Option<u64>,
+) -> (MonthReport, Vec<Checkpoint>) {
     let (cluster, setup_done) = standard_cluster(hosts);
     let model = ActivityModel::default();
     let horizon = SimDuration::from_secs(days * DAY);
@@ -223,12 +246,16 @@ pub fn run_seeded(hosts: usize, days: u64, mut rng: DetRng) -> MonthReport {
     let start = SimTime::ZERO.max_of(setup_done);
     let end = SimTime::ZERO + horizon;
     let mut engine: Engine<World> = Engine::new();
+    if let Some(every) = audit_every {
+        engine.audit_every(every, |w: &World| w.cluster.digest());
+    }
     engine.schedule_periodic_at(start, step, move |w: &mut World, e: &mut Engine<World>| {
         let t = e.now();
         minute_tick(w, t);
         t + step < end
     });
     engine.run(&mut world);
+    let audit_stream = engine.take_audit_stream();
 
     let mut report = world.report;
     report.utilization = report.cpu_seconds / (hosts as f64 * horizon.as_secs_f64());
@@ -247,7 +274,7 @@ pub fn run_seeded(hosts: usize, days: u64, mut rng: DetRng) -> MonthReport {
     report.proc_slab_high_water = slab.high_water as u64;
     report.stale_handle_lookups = slab.stale_lookups + world.cluster.fs.streams().stale_lookups();
     report.stream_slab_high_water = world.cluster.fs.streams().high_water() as u64;
-    report
+    (report, audit_stream)
 }
 
 /// Runs the study from a bare seed (single replication).
@@ -401,6 +428,29 @@ mod tests {
         let cpu: f64 = reports.iter().map(|r| r.cpu_seconds).sum();
         assert!((m.cpu_seconds - cpu).abs() < 1e-9);
         assert!(m.utilization > 0.0);
+    }
+
+    #[test]
+    fn audited_runs_match_unaudited_reports_and_each_other() {
+        let rngs = replication_rngs(41, 2);
+        let plain = run_seeded(4, 1, rngs[0].clone());
+        let (audited, stream_a) = run_audited(4, 1, rngs[0].clone(), 100);
+        let (_, stream_b) = run_audited(4, 1, rngs[1].clone(), 100);
+        // Auditing observes the run without perturbing it.
+        assert_eq!(plain.jobs, audited.jobs);
+        assert_eq!(plain.sim_events, audited.sim_events);
+        assert!(
+            !stream_a.is_empty(),
+            "a day of minutes must hit checkpoints"
+        );
+        for (i, cp) in stream_a.iter().enumerate() {
+            assert_eq!(cp.events, 100 * (i as u64 + 1));
+        }
+        // Re-running the same forked RNG reproduces the stream exactly.
+        let (_, again) = run_audited(4, 1, rngs[0].clone(), 100);
+        assert_eq!(stream_a, again);
+        // Different replication RNGs diverge somewhere in their digests.
+        assert_ne!(stream_a, stream_b);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! block reads/writes, consistency actions and paging separately.
 
 use sprite_net::{wire_size, HostId, RpcError, RpcOp, Transport, CONTROL_BYTES, PAGE_SIZE};
-use sprite_sim::{DetHashMap, SimDuration, SimTime};
+use sprite_sim::{DetHashMap, SimDuration, SimTime, StateDigest};
 
 use crate::cache::{BlockAddr, BlockCache};
 use crate::server::ServerState;
@@ -245,6 +245,36 @@ impl SpriteFs {
     /// Read access to the stream table.
     pub fn streams(&self) -> &StreamTable {
         &self.streams
+    }
+
+    /// Folds the file system's observable state into `d`: operation
+    /// counters, the stream table (live streams in slot order plus slab
+    /// occupancy), and each server's CPU horizon, stored-file count and
+    /// disk reads, in host order.
+    pub fn digest_into(&self, d: &mut StateDigest) {
+        d.write_u64(self.stats.lookups);
+        d.write_u64(self.stats.opens);
+        d.write_u64(self.stats.closes);
+        d.write_u64(self.stats.block_fetches);
+        d.write_u64(self.stats.block_writebacks);
+        d.write_u64(self.stats.consistency_recalls);
+        d.write_u64(self.stats.cache_disables);
+        d.write_u64(self.stats.uncached_ops);
+        d.write_u64(self.stats.shadow_ops);
+        d.write_u64(self.stats.bytes_read);
+        d.write_u64(self.stats.bytes_written);
+        d.write_u64(self.stats.pageins);
+        d.write_u64(self.stats.pageouts);
+        d.write_u64(self.stats.pseudo_requests);
+        d.write_u64(self.stats.name_cache_hits);
+        d.write_u64(self.next_file);
+        self.streams.digest_into(d);
+        for server in self.servers.iter().flatten() {
+            d.write_usize(server.host.index());
+            d.write_u64(server.cpu.busy_until().as_micros());
+            d.write_usize(server.file_count());
+            d.write_u64(server.disk_reads());
+        }
     }
 
     /// The server host storing `file`.

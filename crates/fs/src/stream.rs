@@ -20,6 +20,7 @@ use std::cell::Cell;
 use std::fmt;
 
 use sprite_net::HostId;
+use sprite_sim::StateDigest;
 
 use crate::{FileId, FileKind, OpenMode};
 
@@ -315,6 +316,37 @@ impl StreamTable {
                 .as_ref()
                 .map(|s| (StreamId::pack(i as u32, slot.gen), s))
         })
+    }
+
+    /// Folds every live stream (in slot order) plus the slab's occupancy
+    /// counters into `d`.
+    pub fn digest_into(&self, d: &mut StateDigest) {
+        d.write_usize(self.live);
+        d.write_usize(self.high_water);
+        d.write_usize(self.slots.len());
+        d.write_u64(self.stale_lookups.get());
+        for (id, s) in self.iter() {
+            d.write_u64(id.raw());
+            d.write_u64(s.file.raw());
+            d.write_usize(s.server.index());
+            d.write_u8(s.mode as u8);
+            match s.kind {
+                FileKind::Regular => d.write_u8(0),
+                FileKind::Backing => d.write_u8(1),
+                FileKind::Pseudo {
+                    server_process_host,
+                } => {
+                    d.write_u8(2);
+                    d.write_usize(server_process_host.index());
+                }
+            }
+            d.write_u64(s.offset);
+            d.write_usize(s.holders.len());
+            for &(host, refs) in &s.holders {
+                d.write_usize(host.index());
+                d.write_u32(refs);
+            }
+        }
     }
 }
 

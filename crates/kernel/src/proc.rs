@@ -2,7 +2,7 @@
 
 use sprite_fs::{SpritePath, StreamId};
 use sprite_net::HostId;
-use sprite_sim::{SimDuration, SimTime};
+use sprite_sim::{SimDuration, SimTime, StateDigest};
 use sprite_vm::AddressSpace;
 
 use crate::ProcessId;
@@ -139,6 +139,61 @@ impl Pcb {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.map(|s| (i, s)))
+    }
+
+    /// Folds the PCB's observable state into `d`. Identity is hashed as
+    /// `(home, seq)` — slot handles are an implementation detail of the
+    /// process table and stay out of digests.
+    pub fn digest_into(&self, d: &mut StateDigest) {
+        d.write_usize(self.pid.home().index());
+        d.write_u32(self.pid.seq());
+        match self.parent {
+            Some(p) => {
+                d.write_u8(1);
+                d.write_usize(p.home().index());
+                d.write_u32(p.seq());
+            }
+            None => d.write_u8(0),
+        }
+        d.write_usize(self.current.index());
+        d.write_opt_u64(self.forwarded.map(|h| h.index() as u64));
+        d.write_u32(self.pgrp);
+        d.write_u8(self.state as u8);
+        match &self.space {
+            Some(space) => {
+                d.write_u8(1);
+                d.write_u64(space.total_pages());
+                d.write_u64(space.resident_pages());
+                d.write_u64(space.dirty_pages());
+            }
+            None => d.write_u8(0),
+        }
+        d.write_usize(self.fds.len());
+        for (fd, stream) in self.open_fds() {
+            d.write_usize(fd);
+            d.write_u64(stream.raw());
+        }
+        match &self.program {
+            Some(p) => {
+                d.write_u8(1);
+                d.write_str(p.as_str());
+            }
+            None => d.write_u8(0),
+        }
+        d.write_u64(self.cpu_used.as_micros());
+        d.write_usize(self.pending_signals.len());
+        for s in &self.pending_signals {
+            d.write_u8(*s as u8);
+        }
+        d.write_opt_u64(self.exit_status.map(|s| s as u64));
+        d.write_usize(self.children.len());
+        for c in &self.children {
+            d.write_usize(c.home().index());
+            d.write_u32(c.seq());
+        }
+        d.write_bool(self.shares_writable_memory);
+        d.write_u32(self.migrations);
+        d.write_u64(self.created_at.as_micros());
     }
 }
 

@@ -1,0 +1,191 @@
+//! `sprite_lint` — offline static analysis for the workspace's
+//! determinism invariants.
+//!
+//! The reproduction's results are only checkable because serial and
+//! `--jobs N` runs replay byte-identically; that property rests on source
+//! invariants (deterministic hashers, typed transport, no wall clock)
+//! that used to be guarded by three `grep -rE` lints in `scripts/ci.sh`.
+//! This crate replaces them with a real analyzer: a token-level Rust
+//! lexer ([`lexer`]) and a rule engine ([`rules`]) producing typed
+//! diagnostics with `file:line` spans, stable rule IDs, and
+//! `// lint: allow(rule-id)` suppressions.
+//!
+//! Run it over the workspace with:
+//!
+//! ```text
+//! cargo run -q -p sprite_lint -- crates src tests examples
+//! ```
+//!
+//! A diagnostic is suppressed by a `lint: allow(rule-id)` comment on the
+//! same line, the line above, or anywhere inside a block comment whose
+//! span covers the line above. Rule IDs are listed in
+//! [`rules::ALL_RULES`]; see `DESIGN.md` for the rule table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{Diagnostic, ALL_RULES};
+
+/// Result of checking one file (or a whole tree): surviving diagnostics
+/// plus the ones an allow-directive suppressed.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Diagnostics that survived suppression, in (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics muted by a `lint: allow(...)` directive.
+    pub suppressed: Vec<Diagnostic>,
+    /// Files checked.
+    pub files: usize,
+}
+
+impl Outcome {
+    /// Merges another outcome into this one.
+    pub fn absorb(&mut self, other: Outcome) {
+        self.diagnostics.extend(other.diagnostics);
+        self.suppressed.extend(other.suppressed);
+        self.files += other.files;
+    }
+
+    /// Sorts diagnostics for stable reporting.
+    pub fn sort(&mut self) {
+        let key = |d: &Diagnostic| (d.file.clone(), d.line, d.rule);
+        self.diagnostics.sort_by_key(key);
+        self.suppressed.sort_by_key(key);
+    }
+
+    /// Count of surviving diagnostics for `rule`.
+    pub fn count(&self, rule: &str) -> usize {
+        self.diagnostics.iter().filter(|d| d.rule == rule).count()
+    }
+
+    /// Count of suppressed diagnostics for `rule`.
+    pub fn suppressed_count(&self, rule: &str) -> usize {
+        self.suppressed.iter().filter(|d| d.rule == rule).count()
+    }
+}
+
+/// Checks one file's source text. `path` should be workspace-relative
+/// with forward slashes — the rules scope themselves by it.
+pub fn check_source(path: &str, src: &str) -> Outcome {
+    let lexed = lexer::lex(src);
+    let mut raw = Vec::new();
+    rules::check_tokens(path, &lexed.tokens, &mut raw);
+    let mut out = Outcome {
+        files: 1,
+        ..Outcome::default()
+    };
+    for d in raw {
+        let allowed = lexed.allows.iter().any(|a| {
+            a.rules.iter().any(|r| r == d.rule || r == "all")
+                && d.line >= a.start_line
+                && d.line <= a.end_line + 1
+        });
+        if allowed {
+            out.suppressed.push(d);
+        } else {
+            out.diagnostics.push(d);
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `base`, skipping `target`,
+/// `fixtures`, and VCS directories. Sorted for deterministic output.
+pub fn collect_rs_files(base: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(base, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "target" | "fixtures" | ".git") {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Checks every `.rs` file reachable from `paths` (files or directories),
+/// resolved relative to `root`. Paths are reported relative to `root`.
+pub fn check_paths(root: &Path, paths: &[String]) -> std::io::Result<Outcome> {
+    let mut outcome = Outcome::default();
+    for p in paths {
+        let full = root.join(p);
+        let files = if full.is_dir() {
+            collect_rs_files(&full)
+        } else {
+            vec![full.clone()]
+        };
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = std::fs::read_to_string(&file)?;
+            outcome.absorb(check_source(&rel, &src));
+        }
+    }
+    outcome.sort();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_covers_same_line_and_next_line() {
+        let src = "\
+// lint: allow(no-wall-clock)
+use std::time::Instant;
+use std::time::SystemTime;
+";
+        let out = check_source("crates/kernel/src/x.rs", src);
+        assert_eq!(out.suppressed.len(), 1, "line after the comment is muted");
+        assert_eq!(out.diagnostics.len(), 1, "two lines after is not");
+        assert_eq!(out.diagnostics[0].line, 3);
+    }
+
+    #[test]
+    fn trailing_allow_on_the_same_line_works() {
+        let src = "use std::time::Instant; // lint: allow(no-wall-clock)\n";
+        let out = check_source("crates/kernel/src/x.rs", src);
+        assert!(out.diagnostics.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn allow_is_rule_specific() {
+        let src = "// lint: allow(no-default-hasher)\nuse std::time::Instant;\n";
+        let out = check_source("crates/kernel/src/x.rs", src);
+        assert_eq!(out.diagnostics.len(), 1, "a different rule stays live");
+    }
+
+    #[test]
+    fn outcome_counts_by_rule() {
+        let src = "use std::time::Instant;\n";
+        let mut out = check_source("crates/kernel/src/x.rs", src);
+        out.sort();
+        assert_eq!(out.count("no-wall-clock"), 1);
+        assert_eq!(out.count("no-default-hasher"), 0);
+        assert_eq!(out.suppressed_count("no-wall-clock"), 0);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: deterministic maps only; the banned names appear solely in
+// strings and comments, which a token-level lint must not flag:
+// std::collections::HashMap is fine to *mention* here.
+use sprite_sim::{DetHashMap, DetHashSet};
+
+pub struct Table {
+    by_pid: DetHashMap<u32, u64>,
+}
+
+pub fn describe() -> &'static str {
+    "this string says HashMap and HashSet and RandomState"
+}

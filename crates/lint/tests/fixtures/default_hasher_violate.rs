@@ -1,0 +1,11 @@
+// Fixture: std hash types outside crates/sim (checked as a kernel path).
+use std::collections::HashMap;
+use std::collections::hash_map::RandomState;
+
+pub struct Table {
+    by_pid: HashMap<u32, u64>,
+}
+
+pub fn build() -> std::collections::HashSet<u32> {
+    Default::default()
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+pub fn noop() {}

@@ -1,0 +1,10 @@
+// Fixture: wire traffic goes through the typed Transport facade. Methods
+// that merely *read* the network (net.rpc_table()) must not match, and
+// neither must "net.rpc(" inside a string.
+pub fn report(net: &mut Transport, now: SimTime, a: HostId, b: HostId) -> Result<(), RpcError> {
+    net.send(RpcOp::LoadReport, now, a, b, None)?;
+    let table = net.rpc_table();
+    let _ = table;
+    let _doc = "calling net.rpc( directly is banned";
+    Ok(())
+}

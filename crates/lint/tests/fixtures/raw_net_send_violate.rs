@@ -1,0 +1,7 @@
+// Fixture: raw Network sends outside crates/net.
+pub fn broadcast(net: &mut Network, msg: Msg) {
+    net.rpc(msg.src, msg.dst, 48);
+    net.bulk(msg.src, msg.dst, 4096);
+    net.datagram(msg.src, msg.dst, 64);
+    net.multicast(msg.src, &[msg.dst], 48);
+}

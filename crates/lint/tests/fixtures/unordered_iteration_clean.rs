@@ -1,0 +1,19 @@
+// Fixture: same shape, but iteration order is laundered before it can
+// reach the queue: keys are sorted first, or the reduction is
+// order-insensitive (count/min/max/sum).
+pub struct Sched {
+    waiters: DetHashMap<u32, u64>,
+}
+
+impl Sched {
+    pub fn kick(&mut self, engine: &mut Engine<World>) {
+        let mut pids: Vec<u32> = self.waiters.keys().copied().collect();
+        pids.sort_unstable();
+        for pid in pids {
+            engine.schedule(SimDuration::ZERO, wake(pid));
+        }
+        let live = self.waiters.iter().count();
+        let soonest = self.waiters.values().min();
+        let _ = (live, soonest);
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: hash-iteration order feeding the event queue. The file both
+// schedules work and loops over DetHashMap/DetHashSet state unsorted.
+pub struct Sched {
+    waiters: DetHashMap<u32, u64>,
+    ready: sprite_sim::DetHashSet<u32>,
+}
+
+impl Sched {
+    pub fn kick(&mut self, engine: &mut Engine<World>) {
+        for (pid, deadline) in self.waiters.iter() {
+            engine.schedule(SimDuration::from_micros(*deadline), wake(*pid));
+        }
+        for p in &self.ready {
+            engine.schedule(SimDuration::ZERO, wake(*p));
+        }
+        let mut picked = DetHashSet::default();
+        picked.insert(1u32);
+        picked
+            .iter()
+            .for_each(|p| engine.schedule(SimDuration::ZERO, wake(*p)));
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: send results matched or propagated; unwrap on non-transport
+// results stays legal, as does the word ".send(x).unwrap()" in a string.
+pub fn notify(net: &mut Transport, now: SimTime, a: HostId, b: HostId) -> Result<(), RpcError> {
+    match net.send(RpcOp::SignalForward, now, a, b, None) {
+        Ok(delivery) => drop(delivery),
+        Err(e) => return Err(e),
+    }
+    net.send_sized(RpcOp::Payload, now, a, b, 4096, None)?;
+    let parsed: u32 = "7".parse().unwrap();
+    let _ = parsed;
+    let _doc = "never write .send(x).unwrap() on a transport";
+    Ok(())
+}

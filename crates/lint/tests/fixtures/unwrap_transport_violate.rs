@@ -1,0 +1,17 @@
+// Fixture: the regression case the old `grep -rEz` missed — a Transport
+// send chain split across lines, with the unwrap on its own line.
+pub fn notify(net: &mut Transport, now: SimTime, a: HostId, b: HostId) {
+    let delivery = net
+        .send(
+            RpcOp::SignalForward,
+            now,
+            a,
+            b,
+            None,
+        )
+        .unwrap();
+    let _ = delivery;
+    // Single-line form, and an expect() after an interposed link.
+    net.send_sized(RpcOp::Payload, now, a, b, 4096, None).unwrap();
+    net.stream_bulk(now, a, b, 1 << 20).ok().expect("bulk");
+}

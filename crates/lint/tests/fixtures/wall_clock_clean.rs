@@ -1,0 +1,9 @@
+// Fixture: simulated time and seeded randomness only. The banned names
+// may appear in comments (Instant, SystemTime, thread_rng) and strings.
+use sprite_sim::{DetRng, SimTime};
+
+pub fn measure(now: SimTime, rng: &mut DetRng) -> u64 {
+    let _ = rng.next_u64();
+    let _doc = "wall-clock types like Instant are banned here";
+    now.as_micros()
+}

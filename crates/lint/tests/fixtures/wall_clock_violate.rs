@@ -1,0 +1,11 @@
+// Fixture: ambient host state inside a simulation crate.
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    let started = Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = wall;
+    let mut rng = thread_rng();
+    let _ = &mut rng;
+    started.elapsed().as_micros()
+}

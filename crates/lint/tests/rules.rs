@@ -1,0 +1,173 @@
+//! Per-rule fixture tests: each rule has one file it must flag and one it
+//! must leave alone. Fixtures live under `tests/fixtures/` — a directory
+//! the workspace scanner skips, so they never pollute the self-check.
+//!
+//! The synthetic paths passed to `check_source` place each fixture in the
+//! directory its rule scopes to (e.g. a kernel path for the hasher rule).
+
+use std::path::Path;
+
+use sprite_lint::check_source;
+
+fn fixture(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"))
+}
+
+/// Lines (sorted) on which `rule` fired when `name` is checked at `path`.
+fn flagged_lines(name: &str, path: &str, rule: &str) -> Vec<usize> {
+    let out = check_source(path, &fixture(name));
+    let mut lines: Vec<usize> = out
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect();
+    lines.sort_unstable();
+    lines
+}
+
+/// Every diagnostic (any rule) for `name` at `path`.
+fn all_diags(name: &str, path: &str) -> Vec<(String, usize)> {
+    check_source(path, &fixture(name))
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect()
+}
+
+#[test]
+fn default_hasher_fixture_flags_and_clean_passes() {
+    let lines = flagged_lines(
+        "default_hasher_violate.rs",
+        "crates/kernel/src/fixture.rs",
+        "no-default-hasher",
+    );
+    // HashMap import, RandomState import, HashMap field, HashSet return.
+    assert_eq!(lines, vec![2, 3, 6, 9]);
+    assert!(all_diags("default_hasher_clean.rs", "crates/kernel/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn default_hasher_is_allowed_inside_sim() {
+    // The same violating file is legal where the wrappers live.
+    assert!(all_diags("default_hasher_violate.rs", "crates/sim/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn raw_net_send_fixture_flags_and_clean_passes() {
+    let lines = flagged_lines(
+        "raw_net_send_violate.rs",
+        "crates/kernel/src/fixture.rs",
+        "no-raw-net-send",
+    );
+    assert_eq!(lines, vec![3, 4, 5, 6], "rpc, bulk, datagram, multicast");
+    assert!(all_diags("raw_net_send_clean.rs", "crates/kernel/src/fixture.rs").is_empty());
+    assert!(
+        all_diags("raw_net_send_violate.rs", "crates/net/src/fixture.rs").is_empty(),
+        "raw sends are the transport's own business inside crates/net"
+    );
+}
+
+#[test]
+fn multiline_unwrap_regression_is_caught() {
+    // The old `grep -rEz` lint missed send chains split across lines;
+    // this is the regression fixture proving the token-level rule sees
+    // them. Line 12 is the lone `.unwrap()` after the multiline send.
+    let lines = flagged_lines(
+        "unwrap_transport_violate.rs",
+        "crates/kernel/src/fixture.rs",
+        "no-unwrap-on-transport",
+    );
+    assert_eq!(lines.len(), 3, "multiline, single-line, and chained expect");
+    assert_eq!(
+        lines[0], 12,
+        "the unwrap on its own line is attributed there"
+    );
+    assert!(all_diags("unwrap_transport_clean.rs", "crates/kernel/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn wall_clock_fixture_flags_and_clean_passes() {
+    let lines = flagged_lines(
+        "wall_clock_violate.rs",
+        "crates/kernel/src/fixture.rs",
+        "no-wall-clock",
+    );
+    // Instant import, Instant::now, SystemTime::now, thread_rng.
+    assert_eq!(lines, vec![2, 5, 6, 8]);
+    assert!(all_diags("wall_clock_clean.rs", "crates/kernel/src/fixture.rs").is_empty());
+    assert!(
+        all_diags("wall_clock_violate.rs", "crates/bench/src/fixture.rs").is_empty(),
+        "the bench harness may measure wall time"
+    );
+}
+
+#[test]
+fn unordered_iteration_fixture_flags_and_clean_passes() {
+    let lines = flagged_lines(
+        "unordered_iteration_violate.rs",
+        "crates/kernel/src/fixture.rs",
+        "no-unordered-iteration-into-scheduling",
+    );
+    // for over .iter(), for over &set, and the for_each chain.
+    assert_eq!(lines.len(), 3, "got {lines:?}");
+    assert!(
+        all_diags(
+            "unordered_iteration_clean.rs",
+            "crates/kernel/src/fixture.rs"
+        )
+        .is_empty(),
+        "sorted keys and order-insensitive reductions are legal"
+    );
+}
+
+#[test]
+fn forbid_unsafe_fixture_flags_and_clean_passes() {
+    let lines = flagged_lines(
+        "forbid_unsafe_violate.rs",
+        "crates/kernel/src/lib.rs",
+        "forbid-unsafe-code",
+    );
+    assert_eq!(lines, vec![1]);
+    assert!(all_diags("forbid_unsafe_clean.rs", "crates/kernel/src/lib.rs").is_empty());
+    // Non-crate-root files don't need the attribute.
+    assert!(all_diags("forbid_unsafe_violate.rs", "crates/kernel/src/proc.rs").is_empty());
+}
+
+#[test]
+fn suppression_silences_a_fixture_violation() {
+    let src = format!(
+        "// lint: allow(no-raw-net-send)\n{}",
+        fixture("raw_net_send_violate.rs")
+    );
+    let out = check_source("crates/kernel/src/fixture.rs", &src);
+    // Only the first line after the directive is muted; the rest stay.
+    let suppressed = out
+        .suppressed
+        .iter()
+        .filter(|d| d.rule == "no-raw-net-send")
+        .count();
+    assert_eq!(
+        suppressed, 0,
+        "directive covers lines 1-2, first call is on 4"
+    );
+    let src_inline = fixture("raw_net_send_violate.rs").replace(
+        "net.rpc(msg.src, msg.dst, 48);",
+        "net.rpc(msg.src, msg.dst, 48); // lint: allow(no-raw-net-send)",
+    );
+    let out = check_source("crates/kernel/src/fixture.rs", &src_inline);
+    assert_eq!(
+        out.suppressed.len(),
+        2,
+        "inline allow mutes its own line and the next (rpc and bulk)"
+    );
+    assert_eq!(
+        out.diagnostics
+            .iter()
+            .filter(|d| d.rule == "no-raw-net-send")
+            .count(),
+        2,
+        "datagram and multicast stay flagged"
+    );
+}

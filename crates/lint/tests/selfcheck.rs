@@ -1,0 +1,54 @@
+//! Workspace self-check: the whole repository must be lint-clean.
+//!
+//! This is the same scan CI runs (`sprite_lint crates src tests
+//! examples`), executed as a test so `cargo test` alone already enforces
+//! the determinism invariants.
+
+use std::path::Path;
+
+use sprite_lint::{check_paths, ALL_RULES};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let paths = ["crates", "src", "tests", "examples"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
+    let outcome = check_paths(root, &paths).expect("scan workspace");
+    assert!(
+        outcome.files > 50,
+        "the scan must actually see the workspace, got {} files",
+        outcome.files
+    );
+    let rendered: Vec<String> = outcome
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has lint diagnostics:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn every_rule_id_is_stable() {
+    // The IDs are part of the suppression syntax and the CI contract;
+    // renaming one silently un-suppresses existing allows.
+    assert_eq!(
+        ALL_RULES,
+        &[
+            "no-default-hasher",
+            "no-raw-net-send",
+            "no-unwrap-on-transport",
+            "no-wall-clock",
+            "no-unordered-iteration-into-scheduling",
+            "forbid-unsafe-code",
+        ]
+    );
+}

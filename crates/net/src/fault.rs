@@ -19,7 +19,7 @@
 //! timeout and backoff waiting is charged through the *simulated* clock, so
 //! fault runs stay exactly as deterministic as ideal ones.
 
-use sprite_sim::{DetRng, SimDuration, SimTime};
+use sprite_sim::{DetRng, SimDuration, SimTime, StateDigest};
 
 use crate::{HostId, RpcOp};
 
@@ -241,6 +241,18 @@ impl FaultStats {
     /// Total surfaced errors across all ops.
     pub fn total_giveups(&self) -> u64 {
         self.rows.iter().map(|r| r.giveups).sum()
+    }
+
+    /// Folds every row's counters into `d`, in table order.
+    pub fn digest_into(&self, d: &mut StateDigest) {
+        for row in &self.rows {
+            d.write_u64(row.drops);
+            d.write_u64(row.delays);
+            d.write_u64(row.partitions);
+            d.write_u64(row.crashes);
+            d.write_u64(row.retries);
+            d.write_u64(row.giveups);
+        }
     }
 
     /// Merges another table into this one (parallel experiment merges).

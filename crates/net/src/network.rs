@@ -17,7 +17,7 @@
 //! * every message and byte is counted, because the host-selection
 //!   comparison (E10) reports messages per operation.
 
-use sprite_sim::{Counter, FcfsResource, SimDuration, SimTime};
+use sprite_sim::{Counter, FcfsResource, SimDuration, SimTime, StateDigest};
 
 use crate::{CostModel, HostId};
 
@@ -115,6 +115,19 @@ impl Network {
     /// Messages sent by one host.
     pub fn sent_by(&self, host: HostId) -> u64 {
         self.sent_by_host[host.index()].get()
+    }
+
+    /// Folds the network's observable state into `d`: traffic totals, the
+    /// shared wire's busy horizon, and per-host send counters.
+    pub fn digest_into(&self, d: &mut StateDigest) {
+        d.write_u64(self.stats.messages);
+        d.write_u64(self.stats.bytes);
+        d.write_u64(self.stats.rpcs);
+        d.write_u64(self.stats.multicasts);
+        d.write_u64(self.wire.busy_until().as_micros());
+        for c in &self.sent_by_host {
+            d.write_u64(c.get());
+        }
     }
 
     /// Resets the traffic counters (measurement-phase boundaries); the wire's

@@ -31,7 +31,7 @@
 //! used to be scattered across the kernel, FS, VM and host-selection
 //! crates.
 
-use sprite_sim::{FcfsResource, OnlineStats, SimDuration, SimTime, Trace};
+use sprite_sim::{FcfsResource, OnlineStats, SimDuration, SimTime, StateDigest, Trace};
 
 use crate::fault::{
     backoff_after, FaultStats, LinkVerdict, RpcError, RpcFailure, RpcResult, MAX_SEND_ATTEMPTS,
@@ -308,6 +308,17 @@ impl RpcTable {
         self.rows.iter().map(|r| r.bytes).sum()
     }
 
+    /// Folds every row's integer counters into `d`, in table order (the
+    /// RTT distributions are float aggregates and stay out of digests).
+    pub fn digest_into(&self, d: &mut StateDigest) {
+        for row in &self.rows {
+            d.write_u64(row.calls);
+            d.write_u64(row.messages);
+            d.write_u64(row.bytes);
+            d.write_u64(row.rtt.count());
+        }
+    }
+
     /// Merges another table into this one (replication merges).
     pub fn merge(&mut self, other: &RpcTable) {
         for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
@@ -439,6 +450,15 @@ impl Transport {
     /// The per-op fault table (drops, delays, partitions, crashes, retries).
     pub fn fault_stats(&self) -> &FaultStats {
         &self.faults
+    }
+
+    /// Folds the transport's observable state into `d`: the underlying
+    /// network (traffic totals, wire horizon, per-host counters), the
+    /// per-op RPC table and the per-op fault table.
+    pub fn digest_into(&self, d: &mut StateDigest) {
+        self.net.digest_into(d);
+        self.table.digest_into(d);
+        self.faults.digest_into(d);
     }
 
     /// Starts recording an `"rpc"` narrative line per send, keeping the

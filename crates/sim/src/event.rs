@@ -33,6 +33,7 @@
 //! `periodic_reschedules` counts the allocations avoided and
 //! `buckets_scanned` the calendar's search effort.
 
+use crate::digest::Checkpoint;
 use crate::stats::EngineCounters;
 use crate::{SimDuration, SimTime};
 
@@ -286,6 +287,14 @@ impl<S> CalendarQueue<S> {
     }
 }
 
+/// The replay-audit seam: a state-hash function sampled every `every`
+/// executed events, accumulating a digest stream (see [`crate::StateDigest`]).
+struct Audit<S> {
+    every: u64,
+    hash: Box<dyn Fn(&S) -> u64>,
+    stream: Vec<Checkpoint>,
+}
+
 /// A discrete-event simulation engine over state `S`.
 ///
 /// # Examples
@@ -330,6 +339,7 @@ pub struct Engine<S> {
     queue: CalendarQueue<S>,
     deadline: Option<SimTime>,
     counters: EngineCounters,
+    audit: Option<Audit<S>>,
 }
 
 impl<S> Default for Engine<S> {
@@ -347,6 +357,38 @@ impl<S> Engine<S> {
             queue: CalendarQueue::new(),
             deadline: None,
             counters: EngineCounters::default(),
+            audit: None,
+        }
+    }
+
+    /// Arms the replay auditor: after every `every` executed events the
+    /// engine calls `hash` on the simulation state and appends a
+    /// [`Checkpoint`] to the audit stream. Two runs of the same scenario
+    /// replay identically iff their streams match checkpoint for
+    /// checkpoint; retrieve the stream with [`Engine::take_audit_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn audit_every<F>(&mut self, every: u64, hash: F)
+    where
+        F: Fn(&S) -> u64 + 'static,
+    {
+        assert!(every > 0, "audit interval must be positive");
+        self.audit = Some(Audit {
+            every,
+            hash: Box::new(hash),
+            stream: Vec::new(),
+        });
+    }
+
+    /// Takes the accumulated audit checkpoint stream, leaving the auditor
+    /// armed with an empty stream. Empty if [`Engine::audit_every`] was
+    /// never called.
+    pub fn take_audit_stream(&mut self) -> Vec<Checkpoint> {
+        match &mut self.audit {
+            Some(a) => std::mem::take(&mut a.stream),
+            None => Vec::new(),
         }
     }
 
@@ -494,6 +536,15 @@ impl<S> Engine<S> {
                                 &mut self.counters,
                             );
                         }
+                    }
+                }
+                if let Some(audit) = &mut self.audit {
+                    if self.counters.events_executed.is_multiple_of(audit.every) {
+                        audit.stream.push(Checkpoint {
+                            events: self.counters.events_executed,
+                            at: self.now,
+                            digest: (audit.hash)(state),
+                        });
                     }
                 }
                 true
@@ -681,6 +732,58 @@ mod tests {
             "scanned {} buckets for 30 events",
             c.buckets_scanned
         );
+    }
+
+    #[test]
+    fn audit_samples_at_event_count_checkpoints() {
+        let mut engine: Engine<u64> = Engine::new();
+        engine.audit_every(3, |state| *state);
+        for i in 1..=10u64 {
+            engine.schedule_at(SimTime::from_micros(i * 100), move |s: &mut u64, _| *s += i);
+        }
+        let mut state = 0u64;
+        engine.run(&mut state);
+        let stream = engine.take_audit_stream();
+        // 10 events, every=3 -> checkpoints after events 3, 6, 9.
+        assert_eq!(
+            stream.iter().map(|c| c.events).collect::<Vec<_>>(),
+            vec![3, 6, 9]
+        );
+        assert_eq!(stream[0].at, SimTime::from_micros(300));
+        assert_eq!(stream[0].digest, 1 + 2 + 3);
+        assert_eq!(stream[2].digest, (1..=9).sum::<u64>());
+        // The stream was taken; a fresh run accumulates from empty.
+        assert!(engine.take_audit_stream().is_empty());
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_audit_streams() {
+        let run = || {
+            let mut engine: Engine<u64> = Engine::new();
+            engine.audit_every(2, |s| {
+                let mut d = crate::StateDigest::new();
+                d.write_u64(*s);
+                d.finish()
+            });
+            for i in 1..=7u64 {
+                engine.schedule_at(SimTime::from_micros(i * 10), move |s: &mut u64, _| {
+                    *s = s.wrapping_mul(31).wrapping_add(i)
+                });
+            }
+            let mut state = 0u64;
+            engine.run(&mut state);
+            engine.take_audit_stream()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "audit interval must be positive")]
+    fn audit_interval_zero_panics() {
+        let mut engine: Engine<u64> = Engine::new();
+        engine.audit_every(0, |_| 0);
     }
 
     #[test]

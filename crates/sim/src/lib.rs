@@ -21,6 +21,10 @@
 //! * [`DetHashMap`] / [`DetHashSet`] — hash tables keyed by an in-repo
 //!   FxHash-style hasher with a fixed seed, so hashing is both cheap and
 //!   identical on every run (simulation state never uses `RandomState`);
+//! * [`StateDigest`] / [`Checkpoint`] — an FNV-1a accumulator subsystems fold
+//!   their observable state into, sampled by [`Engine::audit_every`] at fixed
+//!   event-count checkpoints so replay divergence is detectable and
+//!   bisectable;
 //! * [`Trace`] — an optional bounded narrative log for examples and debugging.
 //!
 //! Nothing in this crate (or anything built on it) consults the wall clock or
@@ -66,6 +70,7 @@
 #![warn(missing_docs)]
 
 mod detmap;
+mod digest;
 mod event;
 mod resource;
 mod rng;
@@ -74,6 +79,7 @@ mod time;
 mod trace;
 
 pub use detmap::{hash_probes, take_hash_probes, DetHashMap, DetHashSet, DetState, FxHasher};
+pub use digest::{Checkpoint, StateDigest};
 pub use event::{Engine, Handler, PeriodicHandler};
 pub use resource::FcfsResource;
 pub use rng::DetRng;

@@ -89,6 +89,30 @@ if ! cmp -s experiments_output.txt "$tmp/faults0_prefix.txt"; then
     exit 1
 fi
 
+echo "==> determinism audit (--audit) digest streams match across --jobs"
+# The audit replays E11 replications with state-digest checkpoints armed
+# and prints every stream (first/last digest per replication). The block
+# is a pure function of the seeded replications, so its bytes — including
+# every digest — must be identical for any worker count. A mismatch also
+# makes the binary itself exit 1 with a bisected divergence window.
+mkdir -p "$tmp/a1" "$tmp/a4"
+(cd "$tmp/a1" && "$OLDPWD/$bin" e01 --audit --jobs 1 > ../audit1.txt 2> /dev/null)
+(cd "$tmp/a4" && "$OLDPWD/$bin" e01 --audit --jobs 4 > ../audit4.txt 2> /dev/null)
+if ! cmp -s "$tmp/audit1.txt" "$tmp/audit4.txt"; then
+    echo "FAIL: --audit digest streams diverged between --jobs 1 and --jobs 4" >&2
+    diff "$tmp/audit1.txt" "$tmp/audit4.txt" | head -40 >&2 || true
+    exit 1
+fi
+if ! grep -q '^Determinism audit' "$tmp/audit1.txt"; then
+    echo "FAIL: --audit run printed no audit block" >&2
+    exit 1
+fi
+if ! grep -q 'verdict: all .* replication digest streams identical' "$tmp/audit1.txt"; then
+    echo "FAIL: audit verdict reports a divergence" >&2
+    grep 'verdict' "$tmp/audit1.txt" >&2 || true
+    exit 1
+fi
+
 echo "==> wall-time regression vs BENCH_experiments.json baseline"
 baseline="$(sed -n 's/.*"total_wall_seconds": \([0-9.]*\).*/\1/p' BENCH_experiments.json | head -1)"
 fresh="$(sed -n 's/.*"total_wall_seconds": \([0-9.]*\).*/\1/p' "$tmp/BENCH_experiments.json" | head -1)"
