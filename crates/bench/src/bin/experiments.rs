@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 
-use sprite_bench::experiments::{e11, f01, m01};
+use sprite_bench::experiments::{e11, f01, m01, m02};
 use sprite_bench::support::{fault_table_text, rpc_table_text};
 use sprite_bench::{audit, runner};
 use sprite_fs::SpritePath;
@@ -36,6 +36,22 @@ struct Options {
     /// across `--jobs` threads and verify the streams against a serial
     /// in-process reference. Exits 1 on divergence.
     audit: bool,
+    /// `--shards N` — logical shard count for the partitioned-parallel
+    /// macrobench (0 = auto-detect from the machine, like `--jobs 0`
+    /// would; default 1).
+    shards: usize,
+    /// `--m02[=HOSTS:DAYS]` — run the partitioned-parallel determinism
+    /// macrobench after the suite (serial + sharded drives, stream
+    /// comparison). Without operands it runs the full 5000-host month.
+    m02: Option<m02::M02Params>,
+}
+
+/// Parses the `--m02` operand: `<hosts>:<days>`, both positive.
+fn parse_m02(v: &str) -> Option<m02::M02Params> {
+    let (hosts, days) = v.split_once(':')?;
+    let hosts = hosts.parse::<u32>().ok().filter(|&h| h >= 1)?;
+    let days = days.parse::<u64>().ok().filter(|&d| d >= 1)?;
+    Some(m02::M02Params { hosts, days })
 }
 
 /// Parses the `--faults` operand: `<seed>:<rate>` with an integer seed and
@@ -57,6 +73,8 @@ fn parse_args() -> Options {
         rpc_table: false,
         faults: None,
         audit: false,
+        shards: 1,
+        m02: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,6 +93,20 @@ fn parse_args() -> Options {
             "--macro" => opts.macrobench = true,
             "--rpc-table" => opts.rpc_table = true,
             "--audit" => opts.audit = true,
+            "--m02" => opts.m02 = Some(m02::FULL),
+            "--shards" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(0) => {
+                        opts.shards = std::thread::available_parallelism().map_or(1, |p| p.get());
+                    }
+                    Ok(n) => opts.shards = n,
+                    _ => {
+                        eprintln!("--shards needs a non-negative integer (0 = auto), got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--faults" => {
                 let v = args.next().unwrap_or_default();
                 match parse_faults(&v) {
@@ -100,9 +132,26 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 }
             },
+            _ if arg.starts_with("--shards=") => match arg["--shards=".len()..].parse::<usize>() {
+                Ok(0) => {
+                    opts.shards = std::thread::available_parallelism().map_or(1, |p| p.get());
+                }
+                Ok(n) => opts.shards = n,
+                _ => {
+                    eprintln!("bad {arg:?}; --shards needs a non-negative integer (0 = auto)");
+                    std::process::exit(2);
+                }
+            },
+            _ if arg.starts_with("--m02=") => match parse_m02(&arg["--m02=".len()..]) {
+                Some(p) => opts.m02 = Some(p),
+                None => {
+                    eprintln!("bad {arg:?}; --m02 takes <hosts>:<days>, both positive");
+                    std::process::exit(2);
+                }
+            },
             _ if arg.starts_with('-') => {
                 eprintln!(
-                    "unknown flag {arg:?}; flags: --jobs N, --json, --macro, --rpc-table, --faults SEED:RATE, --audit, list"
+                    "unknown flag {arg:?}; flags: --jobs N, --json, --macro, --rpc-table, --faults SEED:RATE, --audit, --shards N, --m02[=HOSTS:DAYS], list"
                 );
                 std::process::exit(2);
             }
@@ -187,6 +236,16 @@ fn main() {
         (outcome, started.elapsed().as_secs_f64())
     });
 
+    // The partitioned-parallel macrobench drives the sharded cluster
+    // workload serial and sharded and compares digest streams. Its stdout
+    // block is partition-invariant so the CI gate can diff it across
+    // --shards values; partition-dependent numbers go to stderr/JSON.
+    let m02_run = opts.m02.map(|params| {
+        let started = Instant::now();
+        let report = m02::run(params, opts.shards);
+        (report, started.elapsed().as_secs_f64())
+    });
+
     println!("# Sprite process migration — reproduction tables\n");
     for r in &results {
         println!("{}", r.rendered);
@@ -234,6 +293,13 @@ fn main() {
             outcome.streams.len()
         );
     }
+    if let Some((report, _)) = &m02_run {
+        println!("{}", m02::render(report));
+        println!(
+            "  [m02: {} digest checkpoints, serial vs sharded]\n",
+            report.serial.audit.len()
+        );
+    }
     for r in &results {
         eprintln!(
             "[timing] {}: {:.2}s cpu across {} unit{}",
@@ -267,6 +333,39 @@ fn main() {
             outcome.streams.len(),
             opts.jobs
         );
+    }
+    if let Some((r, m02_wall)) = &m02_run {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        eprintln!(
+            "[timing] m02: {m02_wall:.2}s wall total; serial {:.2}s, sharded {:.2}s \
+             ({} shards on {} workers, {cores} cores), speedup {:.2}x",
+            r.serial.wall_seconds,
+            r.sharded.wall_seconds,
+            r.sharded.shards,
+            r.sharded.workers,
+            r.serial.wall_seconds / r.sharded.wall_seconds.max(1e-9),
+        );
+        eprintln!(
+            "[timing] m02: wall per simulated day: serial {:.3}s, sharded {:.3}s",
+            r.serial.wall_seconds / r.params.days as f64,
+            r.sharded.wall_seconds / r.params.days as f64,
+        );
+        eprintln!(
+            "[counters] m02: {} cross-shard of {} messages, barrier stall {:.3}s across {} workers",
+            r.sharded.cross_messages,
+            r.sharded.messages,
+            m02::total_stall_ns(&r.sharded) as f64 / 1e9,
+            r.sharded.workers,
+        );
+        for s in &r.sharded.shard_counters {
+            eprintln!(
+                "[counters] m02 shard {}: {} cells, {} events, {} timers, {} sent, {} in",
+                s.shard, s.cells, s.events, s.timers_set, s.messages_sent, s.messages_in
+            );
+        }
+        if !r.digest_match {
+            eprintln!("m02 FAILED: sharded digest stream diverged from serial");
+        }
     }
     eprintln!(
         "[counters] interned paths: {}, hash probes: {}",
@@ -418,6 +517,105 @@ fn main() {
             ));
             json.push_str("  }");
         }
+        if let Some((r, m02_wall)) = &m02_run {
+            let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+            json.push_str(",\n  \"m02\": {\n");
+            json.push_str(
+                "    \"description\": \"partitioned-parallel determinism macrobench (sharded month)\",\n",
+            );
+            json.push_str(&format!("    \"hosts\": {},\n", r.params.hosts));
+            json.push_str(&format!("    \"days\": {},\n", r.params.days));
+            json.push_str(&format!("    \"seed\": {},\n", m02::FULL_SEED));
+            json.push_str(&format!("    \"shards\": {},\n", r.sharded.shards));
+            json.push_str(&format!("    \"workers\": {},\n", r.sharded.workers));
+            json.push_str(&format!("    \"cores\": {cores},\n"));
+            json.push_str(&format!("    \"wall_seconds\": {m02_wall:.3},\n"));
+            json.push_str(&format!(
+                "    \"serial_wall_seconds\": {:.3},\n",
+                r.serial.wall_seconds
+            ));
+            json.push_str(&format!(
+                "    \"sharded_wall_seconds\": {:.3},\n",
+                r.sharded.wall_seconds
+            ));
+            json.push_str(&format!(
+                "    \"serial_wall_per_sim_day_seconds\": {:.4},\n",
+                r.serial.wall_seconds / r.params.days as f64
+            ));
+            json.push_str(&format!(
+                "    \"sharded_wall_per_sim_day_seconds\": {:.4},\n",
+                r.sharded.wall_seconds / r.params.days as f64
+            ));
+            json.push_str(&format!(
+                "    \"speedup\": {:.3},\n",
+                r.serial.wall_seconds / r.sharded.wall_seconds.max(1e-9)
+            ));
+            json.push_str(&format!("    \"windows\": {},\n", r.serial.windows));
+            json.push_str(&format!("    \"events\": {},\n", r.serial.events));
+            json.push_str(&format!("    \"messages\": {},\n", r.serial.messages));
+            json.push_str(&format!(
+                "    \"cross_shard_messages\": {},\n",
+                r.sharded.cross_messages
+            ));
+            json.push_str(&format!(
+                "    \"barrier_stall_seconds\": {:.3},\n",
+                m02::total_stall_ns(&r.sharded) as f64 / 1e9
+            ));
+            json.push_str(&format!(
+                "    \"jobs_spawned\": {},\n",
+                r.serial.jobs.spawned
+            ));
+            json.push_str(&format!(
+                "    \"jobs_completed\": {},\n",
+                r.serial.jobs.completed
+            ));
+            json.push_str(&format!(
+                "    \"jobs_migrated\": {},\n",
+                r.serial.jobs.migrated
+            ));
+            json.push_str(&format!(
+                "    \"jobs_evicted\": {},\n",
+                r.serial.jobs.evicted
+            ));
+            json.push_str(&format!(
+                "    \"digest_checkpoints\": {},\n",
+                r.serial.audit.len()
+            ));
+            json.push_str(&format!(
+                "    \"digest_stream\": \"{:016x}\",\n",
+                m02::stream_digest(&r.serial.audit)
+            ));
+            json.push_str(&format!("    \"digest_match\": {},\n", r.digest_match));
+            json.push_str("    \"shard_counters\": [\n");
+            for (i, s) in r.sharded.shard_counters.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{\"shard\": {}, \"cells\": {}, \"events\": {}, \"timers_set\": {}, \"messages_sent\": {}, \"messages_in\": {}}}{}\n",
+                    s.shard,
+                    s.cells,
+                    s.events,
+                    s.timers_set,
+                    s.messages_sent,
+                    s.messages_in,
+                    if i + 1 == r.sharded.shard_counters.len() { "" } else { "," }
+                ));
+            }
+            json.push_str("    ],\n");
+            json.push_str("    \"worker_stalls\": [\n");
+            for (i, w) in r.sharded.worker_stalls.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{\"worker\": {}, \"stall_ns\": {}}}{}\n",
+                    w.worker,
+                    w.stall_ns,
+                    if i + 1 == r.sharded.worker_stalls.len() {
+                        ""
+                    } else {
+                        ","
+                    }
+                ));
+            }
+            json.push_str("    ]\n");
+            json.push_str("  }");
+        }
         json.push_str("\n}\n");
         let path = "BENCH_experiments.json";
         if let Err(e) = std::fs::write(path, json) {
@@ -433,6 +631,11 @@ fn main() {
                 "audit FAILED: replication {} diverged in event window ({}, {}]",
                 d.rep, d.start_events, d.end_events
             );
+            std::process::exit(1);
+        }
+    }
+    if let Some((r, _)) = &m02_run {
+        if !r.digest_match {
             std::process::exit(1);
         }
     }

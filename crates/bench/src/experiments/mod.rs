@@ -24,6 +24,7 @@ pub mod e11;
 pub mod e12;
 pub mod f01;
 pub mod m01;
+pub mod m02;
 
 use crate::runner::{merge_e10, merge_e11, merge_single, Experiment, Partial, Unit};
 use sprite_sim::SimDuration;

@@ -1,0 +1,134 @@
+//! Static partitioning of the cluster's hosts across simulation shards.
+//!
+//! The conservative-parallel engine in `sprite_sim` assigns cell `i` to
+//! shard `i % nshards`. [`HostPartition`] is the kernel-layer view of that
+//! same mapping, expressed in terms of [`HostId`]s, so code that reasons
+//! about the cluster (the m02 macrobench, diagnostics, per-shard
+//! accounting) and the engine can never disagree about where a host lives.
+//!
+//! Round-robin by ID is deliberately boring: it is a pure function of the
+//! host ID and the shard count, needs no state, and spreads any
+//! ID-correlated load pattern (file servers at low IDs, say) evenly across
+//! shards. Nothing about the *results* depends on the choice — the engine's
+//! merge makes the digest stream partition-invariant — so the only job of
+//! the mapping is balance.
+
+use sprite_net::HostId;
+
+/// The static host-to-shard map for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostPartition {
+    nhosts: u32,
+    nshards: usize,
+}
+
+impl HostPartition {
+    /// Builds the map. `nshards` is clamped to `[1, nhosts]` — more shards
+    /// than hosts would leave empty shards spinning at every barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nhosts` is zero.
+    pub fn new(nhosts: u32, nshards: usize) -> Self {
+        assert!(nhosts > 0, "a cluster needs at least one host");
+        HostPartition {
+            nhosts,
+            nshards: nshards.clamp(1, nhosts as usize),
+        }
+    }
+
+    /// Number of hosts in the cluster.
+    pub fn nhosts(&self) -> u32 {
+        self.nhosts
+    }
+
+    /// Number of shards (after clamping).
+    pub fn nshards(&self) -> usize {
+        self.nshards
+    }
+
+    /// The shard a host's cell executes on. Must agree with the engine's
+    /// `cell i -> shard i % nshards` assignment — this is that same
+    /// function.
+    pub fn shard_of(&self, host: HostId) -> usize {
+        host.index() % self.nshards
+    }
+
+    /// Whether two hosts execute on the same shard (their interactions
+    /// still cross a barrier — co-residence only affects effort, never
+    /// order).
+    pub fn colocated(&self, a: HostId, b: HostId) -> bool {
+        self.shard_of(a) == self.shard_of(b)
+    }
+
+    /// The hosts assigned to `shard`, in ascending ID order.
+    pub fn hosts_of(&self, shard: usize) -> impl Iterator<Item = HostId> + '_ {
+        assert!(shard < self.nshards, "shard {shard} out of range");
+        (shard..self.nhosts as usize)
+            .step_by(self.nshards)
+            .map(|i| HostId::new(i as u32))
+    }
+
+    /// Hosts on each shard: `sizes()[s]` is shard `s`'s cell count. Shards
+    /// differ by at most one host.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.nshards];
+        for i in 0..self.nhosts as usize {
+            sizes[i % self.nshards] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_by_id() {
+        let p = HostPartition::new(10, 4);
+        assert_eq!(p.shard_of(HostId::new(0)), 0);
+        assert_eq!(p.shard_of(HostId::new(1)), 1);
+        assert_eq!(p.shard_of(HostId::new(4)), 0);
+        assert_eq!(p.shard_of(HostId::new(9)), 1);
+    }
+
+    #[test]
+    fn shards_clamp_to_host_count() {
+        let p = HostPartition::new(3, 8);
+        assert_eq!(p.nshards(), 3);
+        let p = HostPartition::new(3, 0);
+        assert_eq!(p.nshards(), 1);
+    }
+
+    #[test]
+    fn hosts_of_partitions_the_cluster() {
+        let p = HostPartition::new(10, 3);
+        let mut seen = Vec::new();
+        for s in 0..p.nshards() {
+            for h in p.hosts_of(s) {
+                assert_eq!(p.shard_of(h), s);
+                seen.push(h.index());
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sizes_are_balanced() {
+        let p = HostPartition::new(10, 4);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+        let counted: Vec<usize> = (0..4).map(|s| p.hosts_of(s).count()).collect();
+        assert_eq!(sizes, counted);
+    }
+
+    #[test]
+    fn colocated_is_shard_equality() {
+        let p = HostPartition::new(8, 2);
+        assert!(p.colocated(HostId::new(0), HostId::new(2)));
+        assert!(!p.colocated(HostId::new(0), HostId::new(3)));
+    }
+}

@@ -83,6 +83,15 @@ const SCHED_CALLS: &[&str] = &[
     "send_datagram",
     "send_multicast",
     "stream_bulk",
+    // Sharded-engine vocabulary: cell timers/sends and barrier seeding.
+    // The conservative-parallel merge keeps the digest stream partition-
+    // invariant only if what each cell feeds it is itself deterministic,
+    // so hash-order iteration into these is just as fatal as into the
+    // serial queue.
+    "timer_at",
+    "timer_in",
+    "send_latency",
+    "seed_timer",
 ];
 
 /// All rule IDs, in reporting order.

@@ -1,0 +1,29 @@
+// Fixture: the same shard/barrier merge shapes, but with iteration order
+// laundered before it can reach the engine: keys sorted into a Vec first,
+// or reductions that are order-insensitive. This is the pattern the
+// sharded engine's merge code itself must follow.
+pub struct MergeState {
+    wakeups: DetHashMap<u32, u64>,
+    peers: sprite_sim::DetHashSet<u32>,
+}
+
+impl MergeState {
+    pub fn rearm(&mut self, ctx: &mut CellCtx<'_, HostMsg>) {
+        let mut pending: Vec<(u32, u64)> = self.wakeups.iter().map(|(t, a)| (*t, *a)).collect();
+        pending.sort_unstable();
+        for (token, at) in pending {
+            ctx.timer_at(SimTime::from_micros(at), token);
+        }
+        let fanout = self.peers.iter().count();
+        let soonest = self.wakeups.values().min();
+        let _ = (fanout, soonest);
+    }
+
+    pub fn seed(&mut self, eng: &mut ShardedEngine<HostCell>) {
+        let mut tokens: Vec<u32> = self.wakeups.keys().copied().collect();
+        tokens.sort_unstable();
+        for token in tokens {
+            eng.seed_timer(0, SimTime::ZERO, u64::from(token));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: hash-iteration order feeding the sharded engine. The file is in
+// scope only through the shard vocabulary (timer_at / send_latency /
+// seed_timer) — no serial `schedule`/`send` calls — and loops over
+// DetHashMap/DetHashSet state unsorted while arming cell timers, sending
+// cross-cell messages and seeding the barrier calendar.
+pub struct MergeState {
+    wakeups: DetHashMap<u32, u64>,
+    peers: sprite_sim::DetHashSet<u32>,
+}
+
+impl MergeState {
+    pub fn rearm(&mut self, ctx: &mut CellCtx<'_, HostMsg>) {
+        for (token, at) in self.wakeups.iter() {
+            ctx.timer_at(SimTime::from_micros(*at), *token);
+        }
+        for peer in &self.peers {
+            ctx.send_latency(*peer, ctx.lookahead(), HostMsg::Probe);
+        }
+    }
+
+    pub fn seed(&mut self, eng: &mut ShardedEngine<HostCell>) {
+        self.wakeups
+            .iter()
+            .for_each(|(token, at)| eng.seed_timer(0, SimTime::from_micros(*at), *token));
+    }
+}

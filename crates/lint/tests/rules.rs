@@ -123,6 +123,25 @@ fn unordered_iteration_fixture_flags_and_clean_passes() {
 }
 
 #[test]
+fn unordered_shard_fixture_flags_and_clean_passes() {
+    // The shard vocabulary (timer_at / timer_in / send_latency /
+    // seed_timer) pulls a file into the rule's scope on its own — these
+    // fixtures contain no serial schedule/send calls.
+    let lines = flagged_lines(
+        "unordered_shard_violate.rs",
+        "crates/sim/src/fixture.rs",
+        "no-unordered-iteration-into-scheduling",
+    );
+    // for over .iter() into timer_at, for over &set into send_latency,
+    // and the for_each chain into seed_timer.
+    assert_eq!(lines.len(), 3, "got {lines:?}");
+    assert!(
+        all_diags("unordered_shard_clean.rs", "crates/sim/src/fixture.rs").is_empty(),
+        "sorted keys and order-insensitive reductions are legal in merge code"
+    );
+}
+
+#[test]
 fn forbid_unsafe_fixture_flags_and_clean_passes() {
     let lines = flagged_lines(
         "forbid_unsafe_violate.rs",

@@ -114,6 +114,16 @@ impl CostModel {
     pub fn copy_time(&self, bytes: u64) -> SimDuration {
         self.page_copy * bytes.div_ceil(PAGE_SIZE)
     }
+
+    /// The smallest latency any inter-host message can have under this
+    /// model: the one-way wire + controller latency of a zero-payload
+    /// message. This is the hardware floor for the conservative-parallel
+    /// engine's lookahead — no partition of the cluster can observe another
+    /// partition's actions sooner than this, so any barrier cadence at or
+    /// above it is safe.
+    pub fn min_link_latency(&self) -> SimDuration {
+        self.message_latency
+    }
 }
 
 impl Default for CostModel {

@@ -28,6 +28,7 @@ mod cost;
 mod fault;
 mod host;
 mod network;
+mod shardlink;
 mod transport;
 
 pub use cost::{CostModel, PAGE_SIZE};
@@ -38,6 +39,7 @@ pub use fault::{
 };
 pub use host::HostId;
 pub use network::{Delivery, MessageKind, NetStats, Network};
+pub use shardlink::ShardLink;
 pub use transport::{
     wire_size, Ideal, LinkPolicy, OpStats, RpcOp, RpcTable, Transport, WireSize, CONTROL_BYTES,
     HANDLE_BYTES, LOAD_REPORT_BYTES, PAGE_REPLY_BYTES,

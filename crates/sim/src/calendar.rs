@@ -1,0 +1,292 @@
+//! The calendar queue — the workspace's pending-event set.
+//!
+//! Month-long runs execute tens of millions of events, so this is the
+//! hottest data structure in the repository. Instead of a binary heap
+//! (O(log n) per operation) the queue keeps an array of time buckets, each
+//! `width` microseconds wide, covering one "year" of `nbuckets * width`
+//! microseconds (Brown 1988). Enqueue drops an entry into the bucket its
+//! timestamp maps to — O(1). Dequeue scans the current bucket for the
+//! earliest key — O(1) amortized while a doubling/halving resize policy
+//! keeps buckets holding a handful of entries. Entries beyond the current
+//! year wait in a sorted overflow list and migrate into buckets as years
+//! advance; when every bucket is empty the queue jumps straight to the year
+//! of the next overflow entry instead of ticking through empty buckets.
+//!
+//! The queue is generic over its entry type so that both the serial
+//! [`crate::Engine`] (closure events keyed `(time, seq)`) and the sharded
+//! conservative-parallel engine in [`crate::shard`] (data events keyed
+//! `(time, cell, seq)`) share one implementation — and one set of effort
+//! counters ([`EngineCounters`]).
+
+use crate::stats::EngineCounters;
+
+/// An entry the calendar can hold: a timestamp plus a tie-break key. The
+/// triple `(at_micros, tie.0, tie.1)` must totally order entries; the queue
+/// pops them in ascending order of that triple.
+pub(crate) trait CalendarEntry {
+    /// Absolute simulated time of the entry, in microseconds.
+    fn at_micros(&self) -> u64;
+    /// Tie-break key applied after the timestamp.
+    fn tie(&self) -> (u64, u64);
+}
+
+/// Full ordering key of an entry.
+fn key<T: CalendarEntry>(e: &T) -> (u64, u64, u64) {
+    let (a, b) = e.tie();
+    (e.at_micros(), a, b)
+}
+
+/// Outcome of asking the calendar for the next due entry.
+pub(crate) enum Pop<T> {
+    /// Nothing pending at all.
+    Empty,
+    /// The next entry lies beyond the deadline; it stays queued.
+    Parked,
+    /// The earliest entry, removed from the queue.
+    Event(T),
+}
+
+const MIN_BUCKETS: usize = 16;
+const MAX_BUCKETS: usize = 1 << 16;
+/// The calendar year covers this multiple of the observed event spread.
+/// Steady-state periodic workloads keep a pending set spanning one period;
+/// a year many periods long means re-armed ticks almost always land inside
+/// the current year (O(1) bucket insert) instead of in the overflow list.
+const YEAR_SPREAD_FACTOR: u64 = 16;
+/// Buckets allocated per pending entry at rebuild. Together with the factor
+/// above this targets ~2 entries per occupied bucket.
+const BUCKETS_PER_EVENT: usize = 8;
+
+/// The bucketed pending-event set. All times are in microseconds.
+pub(crate) struct Calendar<T> {
+    buckets: Vec<Vec<T>>,
+    /// Microseconds per bucket (>= 1).
+    width: u64,
+    /// Start of bucket 0's window for the current rotation.
+    year_start: u64,
+    /// Next bucket index to inspect.
+    cursor: usize,
+    /// Entries at or beyond `year_end()`, sorted by key descending so the
+    /// soonest entry is at the back.
+    overflow: Vec<T>,
+    len: usize,
+    /// Rebuild when `len` exceeds this (set to 2x the size at last rebuild).
+    grow_at: usize,
+    /// Rebuild when `len` drops below this (1/4 the size at last rebuild).
+    shrink_at: usize,
+}
+
+impl<T: CalendarEntry> Calendar<T> {
+    pub(crate) fn new() -> Self {
+        Calendar {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width: 1_000,
+            year_start: 0,
+            cursor: 0,
+            overflow: Vec::new(),
+            len: 0,
+            grow_at: 32,
+            shrink_at: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    fn year_len(&self) -> u64 {
+        // Widths are clamped at resize so this cannot overflow.
+        self.width * self.buckets.len() as u64
+    }
+
+    fn year_end(&self) -> u64 {
+        self.year_start.saturating_add(self.year_len())
+    }
+
+    /// Inserts without resize bookkeeping.
+    fn place(&mut self, ev: T) {
+        let at = ev.at_micros();
+        debug_assert!(at >= self.year_start, "entry behind the calendar year");
+        if at >= self.year_end() {
+            let k = key(&ev);
+            // Sorted descending: find the insertion point from the back.
+            let idx = self.overflow.partition_point(|e| key(e) > k);
+            self.overflow.insert(idx, ev);
+        } else {
+            let idx = ((at - self.year_start) / self.width) as usize;
+            // The cursor may already have advanced past this bucket (it moves
+            // forward whenever a pop or peek scans over empty buckets, e.g.
+            // while a shard is parked at a window boundary). Pushing behind it
+            // must pull it back, or the entry becomes invisible until the
+            // year wraps.
+            self.cursor = self.cursor.min(idx);
+            self.buckets[idx].push(ev);
+        }
+    }
+
+    pub(crate) fn push(&mut self, ev: T, counters: &mut EngineCounters) {
+        let at = ev.at_micros();
+        if self.len == 0 {
+            // Re-anchor the calendar on the first entry after an idle spell
+            // so `cursor`/`year_start` never have to run backwards.
+            self.year_start = at - at % self.width;
+            self.cursor = 0;
+        } else if at < self.year_start {
+            // An entry before the anchor (only possible from external
+            // scheduling between runs, never from handlers — they schedule
+            // at or after `now`). Rare enough to just re-anchor everything.
+            let mut events = self.gather();
+            events.push(ev);
+            self.rebuild(events, counters);
+            return;
+        }
+        self.place(ev);
+        self.len += 1;
+        if self.len > self.grow_at {
+            self.resize(counters);
+        }
+    }
+
+    /// Drains every pending entry into one unordered list.
+    fn gather(&mut self) -> Vec<T> {
+        let mut events: Vec<T> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            events.append(b);
+        }
+        events.append(&mut self.overflow);
+        events
+    }
+
+    /// Rebuilds with a bucket count and width matched to the current entry
+    /// population.
+    fn resize(&mut self, counters: &mut EngineCounters) {
+        let events = self.gather();
+        self.rebuild(events, counters);
+    }
+
+    fn rebuild(&mut self, events: Vec<T>, counters: &mut EngineCounters) {
+        counters.resizes += 1;
+        let n = events.len();
+        self.grow_at = (2 * n).max(32);
+        self.shrink_at = n / 4;
+        let nbuckets = (BUCKETS_PER_EVENT * n.max(1))
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if self.buckets.len() != nbuckets {
+            self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        }
+        self.cursor = 0;
+        self.len = n;
+        if events.is_empty() {
+            return;
+        }
+        let min = events.iter().map(|e| e.at_micros()).min().unwrap();
+        let max = events.iter().map(|e| e.at_micros()).max().unwrap();
+        // Size the year to several times the occupied span (see
+        // YEAR_SPREAD_FACTOR); clamp so `width * nbuckets` stays far from
+        // u64 overflow.
+        let span = max - min;
+        self.width = (YEAR_SPREAD_FACTOR.saturating_mul(span) / nbuckets as u64)
+            .clamp(1, u64::MAX / (4 * nbuckets as u64));
+        self.year_start = min - min % self.width;
+        for ev in events {
+            self.place(ev);
+        }
+    }
+
+    /// Advances to the year containing the next pending entry. Caller
+    /// guarantees every bucket is empty and the overflow list is not.
+    fn advance_year(&mut self, counters: &mut EngineCounters) {
+        debug_assert!(!self.overflow.is_empty());
+        let next_at = self.overflow.last().map(|e| e.at_micros()).unwrap();
+        let contiguous_end = self.year_end().saturating_add(self.year_len());
+        self.year_start = if next_at < contiguous_end {
+            // The next entry lives in the very next year: roll forward.
+            self.year_end()
+        } else {
+            // Far-future gap: jump straight to the entry's year.
+            next_at - next_at % self.width
+        };
+        self.cursor = 0;
+        let year_end = self.year_end();
+        while let Some(ev) = self.overflow.last() {
+            if ev.at_micros() >= year_end {
+                break;
+            }
+            let ev = self.overflow.pop().unwrap();
+            counters.overflow_migrations += 1;
+            let idx = ((ev.at_micros() - self.year_start) / self.width) as usize;
+            self.buckets[idx].push(ev);
+        }
+    }
+
+    /// Removes and returns the earliest entry, unless it lies beyond
+    /// `deadline` (microseconds, inclusive).
+    pub(crate) fn pop_due(
+        &mut self,
+        deadline: Option<u64>,
+        counters: &mut EngineCounters,
+    ) -> Pop<T> {
+        if self.len == 0 {
+            return Pop::Empty;
+        }
+        loop {
+            while self.cursor < self.buckets.len() {
+                counters.buckets_scanned += 1;
+                let bucket = &self.buckets[self.cursor];
+                if !bucket.is_empty() {
+                    // All entries in this bucket precede every entry in later
+                    // buckets and in overflow; the earliest key here is the
+                    // global minimum.
+                    let best = bucket
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| key(*e))
+                        .map(|(i, e)| (i, e.at_micros()))
+                        .unwrap();
+                    if let Some(d) = deadline {
+                        if best.1 > d {
+                            return Pop::Parked;
+                        }
+                    }
+                    let ev = self.buckets[self.cursor].swap_remove(best.0);
+                    self.len -= 1;
+                    if self.len < self.shrink_at {
+                        self.resize(counters);
+                    }
+                    return Pop::Event(ev);
+                }
+                self.cursor += 1;
+            }
+            // Every bucket drained; the remaining entries are all overflow.
+            if let Some(d) = deadline {
+                if self.overflow.last().is_some_and(|e| e.at_micros() > d) {
+                    return Pop::Parked;
+                }
+            }
+            self.advance_year(counters);
+        }
+    }
+
+    /// Timestamp of the earliest pending entry without removing it. Advances
+    /// the cursor over drained buckets (and migrates overflow years) exactly
+    /// as [`Calendar::pop_due`] would, so a following pop rescans only the
+    /// bucket that answered. Used by the sharded engine to pick the next
+    /// barrier window.
+    pub(crate) fn next_time(&mut self, counters: &mut EngineCounters) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            while self.cursor < self.buckets.len() {
+                counters.buckets_scanned += 1;
+                let bucket = &self.buckets[self.cursor];
+                if !bucket.is_empty() {
+                    return bucket.iter().map(|e| e.at_micros()).min();
+                }
+                self.cursor += 1;
+            }
+            self.advance_year(counters);
+        }
+    }
+}

@@ -13,18 +13,10 @@
 //! # The calendar queue
 //!
 //! Month-long runs execute millions of events, the vast majority of them
-//! recurring daemon ticks, so the pending-event set is the hottest data
-//! structure in the repository. Instead of a binary heap (O(log n) per
-//! operation plus one boxed closure per event) the engine keeps a **calendar
-//! queue** (Brown 1988): an array of time buckets, each `width` microseconds
-//! wide, covering one "year" of `nbuckets * width` microseconds. Enqueue
-//! drops an event into the bucket its timestamp maps to — O(1). Dequeue
-//! scans the current bucket for the earliest `(time, seq)` pair — O(1)
-//! amortized while the queue is sized so buckets hold a handful of events,
-//! which a doubling/halving resize policy maintains. Events beyond the
-//! current year wait in a sorted overflow list and migrate into buckets as
-//! years advance; when every bucket is empty the queue jumps straight to the
-//! year of the next overflow event instead of ticking through empty buckets.
+//! recurring daemon ticks, so the pending-event set lives in the calendar
+//! queue of [`crate::calendar`] — O(1) amortized push/pop, shared with the
+//! sharded conservative-parallel engine in [`crate::shard`]. This engine's
+//! entries are closures keyed `(time, seq)`: ties break by insertion order.
 //!
 //! Recurring work uses [`Engine::schedule_periodic`]: the handler is boxed
 //! **once** and re-armed in place after each tick, so a month of load-daemon
@@ -33,6 +25,7 @@
 //! `periodic_reschedules` counts the allocations avoided and
 //! `buckets_scanned` the calendar's search effort.
 
+use crate::calendar::{Calendar, CalendarEntry, Pop};
 use crate::digest::Checkpoint;
 use crate::stats::EngineCounters;
 use crate::{SimDuration, SimTime};
@@ -58,232 +51,12 @@ struct Scheduled<S> {
     action: Action<S>,
 }
 
-impl<S> Scheduled<S> {
-    fn key(&self) -> (u64, u64) {
-        (self.at.as_micros(), self.seq)
+impl<S> CalendarEntry for Scheduled<S> {
+    fn at_micros(&self) -> u64 {
+        self.at.as_micros()
     }
-}
-
-/// Outcome of asking the calendar for the next due event.
-enum Pop<S> {
-    /// Nothing pending at all.
-    Empty,
-    /// The next event lies beyond the deadline; it stays queued.
-    Parked,
-    /// The earliest event, removed from the queue.
-    Event(Scheduled<S>),
-}
-
-const MIN_BUCKETS: usize = 16;
-const MAX_BUCKETS: usize = 1 << 16;
-/// The calendar year covers this multiple of the observed event spread.
-/// Steady-state periodic workloads keep a pending set spanning one period;
-/// a year many periods long means re-armed ticks almost always land inside
-/// the current year (O(1) bucket insert) instead of in the overflow list.
-const YEAR_SPREAD_FACTOR: u64 = 16;
-/// Buckets allocated per pending event at rebuild. Together with the factor
-/// above this targets ~2 events per occupied bucket.
-const BUCKETS_PER_EVENT: usize = 8;
-
-/// The bucketed pending-event set. All times are in microseconds.
-struct CalendarQueue<S> {
-    buckets: Vec<Vec<Scheduled<S>>>,
-    /// Microseconds per bucket (>= 1).
-    width: u64,
-    /// Start of bucket 0's window for the current rotation.
-    year_start: u64,
-    /// Next bucket index to inspect.
-    cursor: usize,
-    /// Events at or beyond `year_end()`, sorted by `(at, seq)` descending so
-    /// the soonest event is at the back.
-    overflow: Vec<Scheduled<S>>,
-    len: usize,
-    /// Rebuild when `len` exceeds this (set to 2x the size at last rebuild).
-    grow_at: usize,
-    /// Rebuild when `len` drops below this (1/4 the size at last rebuild).
-    shrink_at: usize,
-}
-
-impl<S> CalendarQueue<S> {
-    fn new() -> Self {
-        CalendarQueue {
-            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
-            width: 1_000,
-            year_start: 0,
-            cursor: 0,
-            overflow: Vec::new(),
-            len: 0,
-            grow_at: 32,
-            shrink_at: 0,
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    fn year_len(&self) -> u64 {
-        // Widths are clamped at resize so this cannot overflow.
-        self.width * self.buckets.len() as u64
-    }
-
-    fn year_end(&self) -> u64 {
-        self.year_start.saturating_add(self.year_len())
-    }
-
-    /// Inserts without resize bookkeeping.
-    fn place(&mut self, ev: Scheduled<S>) {
-        let at = ev.at.as_micros();
-        debug_assert!(at >= self.year_start, "event behind the calendar year");
-        if at >= self.year_end() {
-            let key = ev.key();
-            // Sorted descending: find the insertion point from the back.
-            let idx = self.overflow.partition_point(|e| e.key() > key);
-            self.overflow.insert(idx, ev);
-        } else {
-            let idx = ((at - self.year_start) / self.width) as usize;
-            self.buckets[idx].push(ev);
-        }
-    }
-
-    fn push(&mut self, ev: Scheduled<S>, counters: &mut EngineCounters) {
-        let at = ev.at.as_micros();
-        if self.len == 0 {
-            // Re-anchor the calendar on the first event after an idle spell
-            // so `cursor`/`year_start` never have to run backwards.
-            self.year_start = at - at % self.width;
-            self.cursor = 0;
-        } else if at < self.year_start {
-            // An event before the anchor (only possible from external
-            // scheduling between runs, never from handlers — they schedule
-            // at or after `now`). Rare enough to just re-anchor everything.
-            let mut events = self.gather();
-            events.push(ev);
-            self.rebuild(events, counters);
-            return;
-        }
-        self.place(ev);
-        self.len += 1;
-        if self.len > self.grow_at {
-            self.resize(counters);
-        }
-    }
-
-    /// Drains every pending event into one unordered list.
-    fn gather(&mut self) -> Vec<Scheduled<S>> {
-        let mut events: Vec<Scheduled<S>> = Vec::with_capacity(self.len);
-        for b in &mut self.buckets {
-            events.append(b);
-        }
-        events.append(&mut self.overflow);
-        events
-    }
-
-    /// Rebuilds with a bucket count and width matched to the current event
-    /// population.
-    fn resize(&mut self, counters: &mut EngineCounters) {
-        let events = self.gather();
-        self.rebuild(events, counters);
-    }
-
-    fn rebuild(&mut self, events: Vec<Scheduled<S>>, counters: &mut EngineCounters) {
-        counters.resizes += 1;
-        let n = events.len();
-        self.grow_at = (2 * n).max(32);
-        self.shrink_at = n / 4;
-        let nbuckets = (BUCKETS_PER_EVENT * n.max(1))
-            .next_power_of_two()
-            .clamp(MIN_BUCKETS, MAX_BUCKETS);
-        if self.buckets.len() != nbuckets {
-            self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
-        }
-        self.cursor = 0;
-        self.len = n;
-        if events.is_empty() {
-            return;
-        }
-        let min = events.iter().map(|e| e.at.as_micros()).min().unwrap();
-        let max = events.iter().map(|e| e.at.as_micros()).max().unwrap();
-        // Size the year to several times the occupied span (see
-        // YEAR_SPREAD_FACTOR); clamp so `width * nbuckets` stays far from
-        // u64 overflow.
-        let span = max - min;
-        self.width = (YEAR_SPREAD_FACTOR.saturating_mul(span) / nbuckets as u64)
-            .clamp(1, u64::MAX / (4 * nbuckets as u64));
-        self.year_start = min - min % self.width;
-        for ev in events {
-            self.place(ev);
-        }
-    }
-
-    /// Advances to the year containing the next pending event. Caller
-    /// guarantees every bucket is empty and the overflow list is not.
-    fn advance_year(&mut self, counters: &mut EngineCounters) {
-        debug_assert!(!self.overflow.is_empty());
-        let next_at = self.overflow.last().map(|e| e.at.as_micros()).unwrap();
-        let contiguous_end = self.year_end().saturating_add(self.year_len());
-        self.year_start = if next_at < contiguous_end {
-            // The next event lives in the very next year: roll forward.
-            self.year_end()
-        } else {
-            // Far-future gap: jump straight to the event's year.
-            next_at - next_at % self.width
-        };
-        self.cursor = 0;
-        let year_end = self.year_end();
-        while let Some(ev) = self.overflow.last() {
-            if ev.at.as_micros() >= year_end {
-                break;
-            }
-            let ev = self.overflow.pop().unwrap();
-            counters.overflow_migrations += 1;
-            let idx = ((ev.at.as_micros() - self.year_start) / self.width) as usize;
-            self.buckets[idx].push(ev);
-        }
-    }
-
-    /// Removes and returns the earliest event, unless it lies beyond
-    /// `deadline`.
-    fn pop_due(&mut self, deadline: Option<SimTime>, counters: &mut EngineCounters) -> Pop<S> {
-        if self.len == 0 {
-            return Pop::Empty;
-        }
-        loop {
-            while self.cursor < self.buckets.len() {
-                counters.buckets_scanned += 1;
-                let bucket = &self.buckets[self.cursor];
-                if !bucket.is_empty() {
-                    // All events in this bucket precede every event in later
-                    // buckets and in overflow; the earliest (time, seq) pair
-                    // here is the global minimum.
-                    let best = bucket
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, e)| e.key())
-                        .map(|(i, e)| (i, e.at))
-                        .unwrap();
-                    if let Some(d) = deadline {
-                        if best.1 > d {
-                            return Pop::Parked;
-                        }
-                    }
-                    let ev = self.buckets[self.cursor].swap_remove(best.0);
-                    self.len -= 1;
-                    if self.len < self.shrink_at {
-                        self.resize(counters);
-                    }
-                    return Pop::Event(ev);
-                }
-                self.cursor += 1;
-            }
-            // Every bucket drained; the remaining events are all overflow.
-            if let Some(d) = deadline {
-                if self.overflow.last().is_some_and(|e| e.at > d) {
-                    return Pop::Parked;
-                }
-            }
-            self.advance_year(counters);
-        }
+    fn tie(&self) -> (u64, u64) {
+        (self.seq, 0)
     }
 }
 
@@ -336,7 +109,7 @@ struct Audit<S> {
 pub struct Engine<S> {
     now: SimTime,
     seq: u64,
-    queue: CalendarQueue<S>,
+    queue: Calendar<Scheduled<S>>,
     deadline: Option<SimTime>,
     counters: EngineCounters,
     audit: Option<Audit<S>>,
@@ -354,7 +127,7 @@ impl<S> Engine<S> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: CalendarQueue::new(),
+            queue: Calendar::new(),
             deadline: None,
             counters: EngineCounters::default(),
             audit: None,
@@ -509,7 +282,10 @@ impl<S> Engine<S> {
     /// Runs a single event. Returns `false` when there is nothing left to do
     /// (or the next event lies beyond the deadline).
     pub fn step(&mut self, state: &mut S) -> bool {
-        match self.queue.pop_due(self.deadline, &mut self.counters) {
+        match self
+            .queue
+            .pop_due(self.deadline.map(|d| d.as_micros()), &mut self.counters)
+        {
             Pop::Empty => false,
             Pop::Parked => {
                 // Leave the event queued; the clock parks at the deadline.

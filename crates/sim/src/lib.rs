@@ -25,11 +25,19 @@
 //!   their observable state into, sampled by [`Engine::audit_every`] at fixed
 //!   event-count checkpoints so replay divergence is detectable and
 //!   bisectable;
+//! * [`ShardedEngine`] / [`Cell`] — a conservative parallel (PDES) engine:
+//!   cells partitioned across shards, per-shard calendar queues, barrier
+//!   windows one lookahead wide, and a deterministic merge that keeps the
+//!   digest stream byte-identical for any shard or worker count;
 //! * [`Trace`] — an optional bounded narrative log for examples and debugging.
 //!
-//! Nothing in this crate (or anything built on it) consults the wall clock or
-//! spawns threads: a simulation run is a pure function of its inputs and
-//! seed, so every benchmark table is reproducible bit for bit.
+//! Nothing in this crate (or anything built on it) consults the wall clock:
+//! a simulation run is a pure function of its inputs and seed, so every
+//! benchmark table is reproducible bit for bit. The sharded engine spawns
+//! worker threads, but they are invisible to results — partitioning is
+//! logical, and the merge order is a pure function of the workload (wall
+//! time enters only through an explicitly injected stall-accounting clock
+//! that never feeds back into simulation state).
 //!
 //! # Examples
 //!
@@ -69,11 +77,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod detmap;
 mod digest;
 mod event;
 mod resource;
 mod rng;
+mod shard;
 mod stats;
 mod time;
 mod trace;
@@ -83,6 +93,7 @@ pub use digest::{Checkpoint, StateDigest};
 pub use event::{Engine, Handler, PeriodicHandler};
 pub use resource::FcfsResource;
 pub use rng::DetRng;
+pub use shard::{Cell, CellCtx, CellId, ShardCounters, ShardedEngine, StallClock, WorkerCounters};
 pub use stats::{Counter, EngineCounters, OnlineStats, Samples};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};

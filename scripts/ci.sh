@@ -30,6 +30,12 @@ echo "==> sprite_lint (determinism invariants)"
 # documented in DESIGN.md; any non-allowed diagnostic fails the gate.
 cargo run -q -p sprite_lint -- crates src tests examples
 
+echo "==> m02 smoke (200 hosts, 1 simulated day, 2 shards)"
+# The partitioned-parallel engine compares its sharded digest stream
+# against the serial reference in-process and exits 1 on divergence; one
+# small run keeps the determinism contract in even the quick gate.
+target/release/experiments e01 --m02=200:1 --shards 2 > /dev/null 2>&1
+
 if [[ "$quick" == 1 ]]; then
     echo "==> tier-1 OK (quick mode; skipped fmt/clippy)"
     exit 0
