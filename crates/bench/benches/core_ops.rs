@@ -171,9 +171,57 @@ fn bench_fs_and_eviction() {
     });
 }
 
+fn bench_hostsel_ranking() {
+    use sprite_hostsel::{AvailabilityPolicy, GossipDissemination, HostInfo, HostSelector};
+    use sprite_net::{CostModel, HostId, Transport};
+    let hosts = 10_000;
+    let mut net = Transport::new(CostModel::sun3(), hosts);
+    let mut sel = GossipDissemination::new(hosts, 2, 8, AvailabilityPolicy::default(), 17);
+    sel.set_cache_capacity(hosts);
+    sel.set_max_age(SimDuration::from_secs(3600));
+    let now = SimTime::ZERO + SimDuration::from_secs(1000);
+    let world: Vec<HostInfo> = (0..hosts as u32)
+        .map(|i| {
+            HostInfo::idle_host(
+                HostId::new(i),
+                SimDuration::from_secs(60 + u64::from(i % 997)),
+            )
+        })
+        .collect();
+    let requester = HostId::new(0);
+    for info in &world {
+        sel.prime(requester, *info, now);
+    }
+    let mut t = now;
+    sprite_sim::take_hash_probes(); // drain the thread counter
+    bench("gossip_rank_10k_cached", 200, || {
+        let (pick, t2) = sel.select(&mut net, t, requester, &world);
+        let host = pick.expect("a warm cache always grants");
+        t = sel.release(&mut net, t2, requester, host);
+        black_box(host);
+    });
+    // The fast path's contract: a select is a scan over the cache slots and
+    // the reusable scratch — no hashing, no allocation growth.
+    assert_eq!(
+        sprite_sim::take_hash_probes(),
+        0,
+        "the ranking fast path must not hash"
+    );
+    assert_eq!(
+        sel.ranker_grows(),
+        0,
+        "pre-sized ranking scratch must not reallocate"
+    );
+    eprintln!(
+        "[sim] gossip ranking scanned {} cached entries per select, hash- and allocation-free",
+        sel.cached_entries(requester)
+    );
+}
+
 fn main() {
     println!("core_ops microbench (std::time::Instant, mean of fixed iters)");
     bench_migration();
     bench_pmake();
     bench_fs_and_eviction();
+    bench_hostsel_ranking();
 }

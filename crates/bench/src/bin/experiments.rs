@@ -8,6 +8,7 @@
 //! cargo run -p sprite-bench --release --bin experiments -- --json   # sidecar
 //! cargo run -p sprite-bench --release --bin experiments -- --faults 42:0.1
 //! cargo run -p sprite-bench --release --bin experiments -- --audit   # digest audit
+//! cargo run -p sprite-bench --release --bin experiments -- --e10-sweep # 100..10k hosts
 //! ```
 //!
 //! Tables go to stdout and are byte-identical for every `--jobs` value
@@ -18,10 +19,11 @@
 
 use std::time::Instant;
 
-use sprite_bench::experiments::{e11, f01, m01, m02};
+use sprite_bench::experiments::{e10, e11, f01, m01, m02};
 use sprite_bench::support::{fault_table_text, rpc_table_text};
 use sprite_bench::{audit, runner};
 use sprite_fs::SpritePath;
+use sprite_sim::SimDuration;
 
 struct Options {
     ids: Vec<String>,
@@ -44,6 +46,21 @@ struct Options {
     /// macrobench after the suite (serial + sharded drives, stream
     /// comparison). Without operands it runs the full 5000-host month.
     m02: Option<m02::M02Params>,
+    /// `--e10-sweep[=SIZES]` — run the decentralized host-selection sweep
+    /// (central vs sharded vs gossip) after the suite. SIZES is a
+    /// comma-separated host-count list; without operands it runs
+    /// 100/1000/10000. Cells run on `--jobs` threads; stdout is identical
+    /// for every thread count.
+    e10_sweep: Option<Vec<usize>>,
+}
+
+/// Parses the `--e10-sweep` operand: comma-separated positive host counts.
+fn parse_sweep_sizes(v: &str) -> Option<Vec<usize>> {
+    let sizes: Vec<usize> = v
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().ok().filter(|&n| n >= 2))
+        .collect::<Option<_>>()?;
+    (!sizes.is_empty()).then_some(sizes)
 }
 
 /// Parses the `--m02` operand: `<hosts>:<days>`, both positive.
@@ -75,6 +92,7 @@ fn parse_args() -> Options {
         audit: false,
         shards: 1,
         m02: None,
+        e10_sweep: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -94,6 +112,7 @@ fn parse_args() -> Options {
             "--rpc-table" => opts.rpc_table = true,
             "--audit" => opts.audit = true,
             "--m02" => opts.m02 = Some(m02::FULL),
+            "--e10-sweep" => opts.e10_sweep = Some(e10::SWEEP_SIZES.to_vec()),
             "--shards" => {
                 let v = args.next().unwrap_or_default();
                 match v.parse::<usize>() {
@@ -149,9 +168,20 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 }
             },
+            _ if arg.starts_with("--e10-sweep=") => {
+                match parse_sweep_sizes(&arg["--e10-sweep=".len()..]) {
+                    Some(sizes) => opts.e10_sweep = Some(sizes),
+                    None => {
+                        eprintln!(
+                            "bad {arg:?}; --e10-sweep takes comma-separated host counts >= 2"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ if arg.starts_with('-') => {
                 eprintln!(
-                    "unknown flag {arg:?}; flags: --jobs N, --json, --macro, --rpc-table, --faults SEED:RATE, --audit, --shards N, --m02[=HOSTS:DAYS], list"
+                    "unknown flag {arg:?}; flags: --jobs N, --json, --macro, --rpc-table, --faults SEED:RATE, --audit, --shards N, --m02[=HOSTS:DAYS], --e10-sweep[=SIZES], list"
                 );
                 std::process::exit(2);
             }
@@ -236,6 +266,20 @@ fn main() {
         (outcome, started.elapsed().as_secs_f64())
     });
 
+    // The decentralization sweep runs after the suite; its cells fan out
+    // over --jobs threads but results merge by canonical index, so the
+    // appended stdout block is identical for every --jobs value.
+    let sweep_run = opts.e10_sweep.as_ref().map(|sizes| {
+        let started = Instant::now();
+        let rows = e10::run_sweep(
+            sizes,
+            SimDuration::from_secs(e10::SWEEP_DURATION_SECS),
+            e10::SWEEP_SEED,
+            opts.jobs,
+        );
+        (rows, started.elapsed().as_secs_f64())
+    });
+
     // The partitioned-parallel macrobench drives the sharded cluster
     // workload serial and sharded and compares digest streams. Its stdout
     // block is partition-invariant so the CI gate can diff it across
@@ -293,6 +337,10 @@ fn main() {
             outcome.streams.len()
         );
     }
+    if let Some((rows, _)) = &sweep_run {
+        println!("{}", e10::render_sweep(rows));
+        println!("  [e10-sweep: decentralized host selection at scale]\n");
+    }
     if let Some((report, _)) = &m02_run {
         println!("{}", m02::render(report));
         println!(
@@ -332,6 +380,14 @@ fn main() {
             "[timing] audit: {audit_wall:.2}s wall over {} replications ({} jobs + serial reference)",
             outcome.streams.len(),
             opts.jobs
+        );
+    }
+    if let Some((rows, sweep_wall)) = &sweep_run {
+        eprintln!(
+            "[timing] e10-sweep: {sweep_wall:.2}s wall over {} cells with {} job{}",
+            rows.len(),
+            opts.jobs,
+            if opts.jobs == 1 { "" } else { "s" }
         );
     }
     if let Some((r, m02_wall)) = &m02_run {
@@ -433,6 +489,15 @@ fn main() {
             ));
             json.push_str(&format!("    \"net_messages\": {},\n", r.net_messages));
             json.push_str(&format!("    \"net_bytes\": {},\n", r.net_bytes));
+            json.push_str(&format!(
+                "    \"hostsel_requests\": {},\n",
+                r.hostsel_requests
+            ));
+            json.push_str(&format!(
+                "    \"hostsel_select_mean_ms\": {:.3},\n",
+                r.hostsel_select_mean_ms
+            ));
+            json.push_str(&format!("    \"hostsel_bytes\": {},\n", r.hostsel_bytes));
             json.push_str("    \"rpc_table\": [\n");
             let rows: Vec<_> = r.rpc.rows().collect();
             for (i, (op, row)) in rows.iter().enumerate() {
@@ -515,6 +580,37 @@ fn main() {
                 "    \"divergent\": {}\n",
                 outcome.divergence.is_some()
             ));
+            json.push_str("  }");
+        }
+        if let Some((rows, sweep_wall)) = &sweep_run {
+            json.push_str(",\n  \"e10_sweep\": {\n");
+            json.push_str(
+                "    \"description\": \"decentralized host selection at scale: central vs sharded vs gossip\",\n",
+            );
+            json.push_str(&format!(
+                "    \"duration_secs\": {},\n",
+                e10::SWEEP_DURATION_SECS
+            ));
+            json.push_str(&format!("    \"seed\": {},\n", e10::SWEEP_SEED));
+            json.push_str(&format!("    \"wall_seconds\": {sweep_wall:.3},\n"));
+            json.push_str("    \"rows\": [\n");
+            for (i, r) in rows.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{\"architecture\": \"{}\", \"hosts\": {}, \"requests\": {}, \"grant_rate\": {:.4}, \"conflicts_per_request\": {:.4}, \"staleness_s\": {:.3}, \"quality_pct\": {:.1}, \"mean_latency_ms\": {:.4}, \"messages_per_request\": {:.2}, \"wire_bytes\": {}}}{}\n",
+                    r.name,
+                    r.hosts,
+                    r.requests,
+                    r.grant_rate,
+                    r.conflicts_per_request,
+                    r.staleness_s,
+                    r.quality_pct,
+                    r.mean_latency_ms,
+                    r.messages_per_request,
+                    r.wire_bytes,
+                    if i + 1 == rows.len() { "" } else { "," }
+                ));
+            }
+            json.push_str("    ]\n");
             json.push_str("  }");
         }
         if let Some((r, m02_wall)) = &m02_run {

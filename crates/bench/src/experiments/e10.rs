@@ -9,11 +9,11 @@
 //! \[DO91\]).
 
 use sprite_hostsel::{
-    AvailabilityPolicy, CentralServer, HostInfo, HostSelector, MulticastQuery, Probabilistic,
-    SharedFileBoard,
+    AvailabilityPolicy, CentralServer, GossipDissemination, HostInfo, HostSelector, MulticastQuery,
+    Probabilistic, ShardedCoordinator, SharedFileBoard,
 };
 use sprite_net::{CostModel, HostId, Transport};
-use sprite_sim::{DetRng, SimDuration, SimTime};
+use sprite_sim::{DetRng, OnlineStats, SimDuration, SimTime};
 use sprite_workloads::{ActivityModel, ActivityTrace};
 
 use crate::support::TableWriter;
@@ -35,6 +35,14 @@ pub struct ArchRow {
     pub mean_latency_ms: f64,
     /// Control messages per request (updates + selection traffic).
     pub messages_per_request: f64,
+    /// Mean age (seconds) of the cached entry each grant acted on; zero for
+    /// architectures that consult the ground truth directly.
+    pub staleness_s: f64,
+    /// Placement quality: granted host's true idle time as a percentage of
+    /// the best truly-available host's idle time at grant (100 = perfect).
+    pub quality_pct: f64,
+    /// Total host-selection wire bytes over the run (reports + queries).
+    pub wire_bytes: u64,
 }
 
 /// Drives one selector for `duration` over `hosts` hosts.
@@ -71,6 +79,10 @@ pub fn drive(
             .collect()
     };
     let mut held: Vec<(SimTime, HostId, HostId)> = Vec::new(); // (release_at, requester, host)
+                                                               // Placement quality is judged against the same default policy every E10
+                                                               // cell hands its selector.
+    let policy = AvailabilityPolicy::default();
+    let mut quality = OnlineStats::new();
     let report_every = SimDuration::from_secs(5);
     let request_every = SimDuration::from_secs(10);
     let mut t = start;
@@ -102,6 +114,25 @@ pub fn drive(
             let requester = HostId::new(rng.uniform_u64(hosts as u64) as u32);
             let (granted, done) = selector.select(&mut net, next_request, requester, &world);
             if let Some(hh) = granted {
+                // How good was the pick? Compare the granted host's true
+                // idle time against the best truly-available host's (the
+                // `world` snapshot already loads held hosts, so they are
+                // ineligible on both sides of the ratio).
+                let chosen_idle = world
+                    .iter()
+                    .find(|i| i.host == hh)
+                    .map(|i| i.idle.as_secs_f64())
+                    .unwrap_or(0.0);
+                let best_idle = world
+                    .iter()
+                    .filter(|i| i.host != requester && policy.is_available(i))
+                    .map(|i| i.idle.as_secs_f64())
+                    .fold(0.0, f64::max);
+                quality.record(if best_idle > 0.0 {
+                    (chosen_idle / best_idle).min(1.0)
+                } else {
+                    1.0
+                });
                 let hold = rng.exponential(SimDuration::from_secs(60));
                 held.push((done + hold, requester, hh));
             }
@@ -118,10 +149,13 @@ pub fn drive(
         conflicts_per_request: stats.conflicts as f64 / stats.requests.max(1) as f64,
         mean_latency_ms: stats.select_latency.mean() * 1e3,
         messages_per_request: stats.messages as f64 / stats.requests.max(1) as f64,
+        staleness_s: stats.info_age.mean(),
+        quality_pct: quality.mean() * 100.0,
+        wire_bytes: net.stats().bytes,
     }
 }
 
-/// The four architectures, in the table's canonical order.
+/// The six architectures, in the table's canonical order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArchKind {
     /// Central availability server (Sprite's winner).
@@ -132,15 +166,36 @@ pub enum ArchKind {
     Probabilistic,
     /// Multicast query.
     Multicast,
+    /// Hosts hashed across `c` coordinator daemons.
+    Sharded,
+    /// Batched load-vector gossip with local allocation-free selection.
+    Gossip,
 }
 
 /// Canonical architecture order for the matrix.
-pub const ARCHS: [ArchKind; 4] = [
+pub const ARCHS: [ArchKind; 6] = [
     ArchKind::Central,
     ArchKind::SharedFile,
     ArchKind::Probabilistic,
     ArchKind::Multicast,
+    ArchKind::Sharded,
+    ArchKind::Gossip,
 ];
+
+/// Coordinator-daemon count for a sharded cell: one per 64 hosts, at least
+/// two (so sharding actually happens), at most 64, never more than hosts.
+pub fn sharded_coordinators(hosts: usize) -> usize {
+    (hosts / 64).clamp(2, 64).min(hosts)
+}
+
+/// Builds the gossip selector an E10 cell drives: fanout 2, batches of 8,
+/// refresh floor every 6th report (reports arrive every 5 s, so an
+/// unchanged host still re-gossips at least twice a minute).
+pub fn gossip_selector(hosts: usize, policy: AvailabilityPolicy, seed: u64) -> GossipDissemination {
+    let mut g = GossipDissemination::new(hosts, 2, 8, policy, seed ^ 0x71d3);
+    g.set_refresh_every(6);
+    g
+}
 
 /// Drives one `(architecture, cluster size)` cell. Each cell builds its own
 /// selector and network from the seed, so cells are independent — the
@@ -153,6 +208,12 @@ pub fn drive_kind(kind: ArchKind, hosts: usize, duration: SimDuration, seed: u64
         ArchKind::SharedFile => Box::new(SharedFileBoard::new(HostId::new(0), policy)),
         ArchKind::Probabilistic => Box::new(Probabilistic::new(hosts, 4, policy, seed ^ 0x9e37)),
         ArchKind::Multicast => Box::new(MulticastQuery::new(policy)),
+        ArchKind::Sharded => Box::new(ShardedCoordinator::new(
+            hosts,
+            sharded_coordinators(hosts),
+            policy,
+        )),
+        ArchKind::Gossip => Box::new(gossip_selector(hosts, policy, seed)),
     };
     drive(selector.as_mut(), hosts, duration, seed)
 }
@@ -216,6 +277,90 @@ pub fn table() -> String {
     render(&rows)
 }
 
+/// Cluster sizes in the decentralization sweep (100 → 10 000 hosts).
+pub const SWEEP_SIZES: [usize; 3] = [100, 1000, 10_000];
+/// Architectures raced in the sweep: the thesis's winner against the two
+/// decentralized designs that replace it at scale.
+pub const SWEEP_ARCHS: [ArchKind; 3] = [ArchKind::Central, ArchKind::Sharded, ArchKind::Gossip];
+/// Simulated duration of each sweep cell.
+pub const SWEEP_DURATION_SECS: u64 = 1800;
+/// Seed for the sweep.
+pub const SWEEP_SEED: u64 = 31;
+
+/// Runs the `sizes × SWEEP_ARCHS` sweep on up to `jobs` worker threads.
+///
+/// Cells are independent (each builds its own selector, transport and RNG
+/// from the seed), so workers pull cell indices from a shared cursor and
+/// write results back by index — the returned rows are in canonical order
+/// and byte-identical to a serial run regardless of `jobs`.
+pub fn run_sweep(sizes: &[usize], duration: SimDuration, seed: u64, jobs: usize) -> Vec<ArchRow> {
+    let cells: Vec<(usize, ArchKind)> = sizes
+        .iter()
+        .flat_map(|&n| SWEEP_ARCHS.iter().map(move |&k| (n, k)))
+        .collect();
+    let workers = jobs.max(1).min(cells.len().max(1));
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<ArchRow>>> =
+        cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(hosts, kind)) = cells.get(i) else {
+                    break;
+                };
+                let row = drive_kind(kind, hosts, duration, seed);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(row);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("sweep cell not driven")
+        })
+        .collect()
+}
+
+/// Renders the sweep table: staleness vs. placement quality vs. latency vs.
+/// wire cost, the axes on which decentralization trades against the thesis's
+/// central server.
+pub fn render_sweep(rows: &[ArchRow]) -> String {
+    let mut t = TableWriter::new(
+        "E10 sweep: decentralized host selection at scale (30 simulated minutes each)",
+        &[
+            "architecture",
+            "hosts",
+            "requests",
+            "granted",
+            "staleness(s)",
+            "quality",
+            "latency(ms)",
+            "msgs/req",
+            "wire(KB)",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.name.to_string(),
+            r.hosts.to_string(),
+            r.requests.to_string(),
+            format!("{:.0}%", r.grant_rate * 100.0),
+            format!("{:.1}", r.staleness_s),
+            format!("{:.0}%", r.quality_pct),
+            format!("{:.3}", r.mean_latency_ms),
+            format!("{:.1}", r.messages_per_request),
+            format!("{}", r.wire_bytes / 1024),
+        ]);
+    }
+    t.note("gossip selects locally in microseconds on slightly staler state; the sharded");
+    t.note("coordinators keep central-grade freshness while splitting the daemon's load;");
+    t.note("the central server's queue is the scaling wall the thesis never had to hit");
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +407,56 @@ mod tests {
             prob.messages_per_request,
             central.messages_per_request
         );
+    }
+
+    #[test]
+    fn decentralized_archs_kill_the_central_round_trip() {
+        let rows = run(&[60], SimDuration::from_secs(300), 11);
+        let central = rows.iter().find(|r| r.name == "central-server").unwrap();
+        let sharded = rows.iter().find(|r| r.name == "sharded").unwrap();
+        let gossip = rows.iter().find(|r| r.name == "gossip").unwrap();
+        // Gossip selection is a local cache scan — no round trip at all.
+        assert!(
+            gossip.mean_latency_ms < 0.1 * central.mean_latency_ms,
+            "gossip {} ms vs central {} ms",
+            gossip.mean_latency_ms,
+            central.mean_latency_ms
+        );
+        // The price is acting on older information than the server's
+        // freshly-reported table.
+        assert!(
+            gossip.staleness_s > central.staleness_s,
+            "gossip staleness {} s vs central {} s",
+            gossip.staleness_s,
+            central.staleness_s
+        );
+        // Sharded keeps server-grade freshness while splitting the queue,
+        // so its round trip stays in the central server's ballpark.
+        assert!(
+            sharded.mean_latency_ms < 1.5 * central.mean_latency_ms,
+            "sharded {} ms vs central {} ms",
+            sharded.mean_latency_ms,
+            central.mean_latency_ms
+        );
+        // Both decentralized designs still place well.
+        assert!(
+            sharded.quality_pct > 50.0,
+            "sharded quality {}",
+            sharded.quality_pct
+        );
+        assert!(
+            gossip.quality_pct > 30.0,
+            "gossip quality {}",
+            gossip.quality_pct
+        );
+    }
+
+    #[test]
+    fn sweep_rows_are_jobs_invariant() {
+        let d = SimDuration::from_secs(300);
+        let serial = run_sweep(&[50], d, 13, 1);
+        let par = run_sweep(&[50], d, 13, 4);
+        assert_eq!(render_sweep(&serial), render_sweep(&par));
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub struct MonthReport {
     pub net_messages: u64,
     /// Raw network byte total (equals `rpc.total_bytes()`).
     pub net_bytes: u64,
+    /// Host selections requested (one per job launch).
+    pub hostsel_requests: u64,
+    /// Mean host-selection latency in milliseconds — the round trip for
+    /// server architectures, the local cache scan for gossip.
+    pub hostsel_select_mean_ms: f64,
+    /// Wire bytes spent on host selection (all `hostsel-*` ops combined).
+    pub hostsel_bytes: u64,
 }
 
 struct ActiveJob {
@@ -77,7 +84,7 @@ struct ActiveJob {
 struct World {
     cluster: Cluster,
     migrator: sprite_core::Migrator,
-    selector: CentralServer,
+    selector: Box<dyn HostSelector>,
     rng: DetRng,
     traces: Vec<ActivityTrace>,
     jobs: Vec<ActiveJob>,
@@ -194,7 +201,24 @@ fn minute_tick(w: &mut World, t: SimTime) {
 /// parallel replications). Keep `hosts`/`days` small in tests; the full
 /// table merges five 6-day replications over 50 hosts.
 pub fn run_seeded(hosts: usize, days: u64, rng: DetRng) -> MonthReport {
-    run_inner(hosts, days, rng, None).0
+    run_inner(hosts, days, rng, None, default_selector()).0
+}
+
+/// The selector the golden month uses: the thesis's central server on host 0.
+pub fn default_selector() -> Box<dyn HostSelector> {
+    Box::new(CentralServer::new(h(0), AvailabilityPolicy::default()))
+}
+
+/// Runs one replication through an arbitrary selection architecture — the
+/// macrobench drives the same month through gossip dissemination to price
+/// the central server out of the hot path.
+pub fn run_seeded_with(
+    hosts: usize,
+    days: u64,
+    rng: DetRng,
+    selector: Box<dyn HostSelector>,
+) -> MonthReport {
+    run_inner(hosts, days, rng, None, selector).0
 }
 
 /// Runs one replication with the engine's audit hook armed: every `every`
@@ -208,7 +232,18 @@ pub fn run_audited(
     rng: DetRng,
     every: u64,
 ) -> (MonthReport, Vec<Checkpoint>) {
-    run_inner(hosts, days, rng, Some(every))
+    run_inner(hosts, days, rng, Some(every), default_selector())
+}
+
+/// [`run_audited`] through an arbitrary selection architecture.
+pub fn run_audited_with(
+    hosts: usize,
+    days: u64,
+    rng: DetRng,
+    every: u64,
+    selector: Box<dyn HostSelector>,
+) -> (MonthReport, Vec<Checkpoint>) {
+    run_inner(hosts, days, rng, Some(every), selector)
 }
 
 fn run_inner(
@@ -216,6 +251,7 @@ fn run_inner(
     days: u64,
     mut rng: DetRng,
     audit_every: Option<u64>,
+    selector: Box<dyn HostSelector>,
 ) -> (MonthReport, Vec<Checkpoint>) {
     let (cluster, setup_done) = standard_cluster(hosts);
     let model = ActivityModel::default();
@@ -227,7 +263,7 @@ fn run_inner(
     let mut world = World {
         cluster,
         migrator: standard_migrator(hosts),
-        selector: CentralServer::new(h(0), AvailabilityPolicy::default()),
+        selector,
         rng,
         traces,
         jobs: Vec::new(),
@@ -266,7 +302,20 @@ fn run_inner(
     };
     report.migrations = world.migrator.totals().migrations;
     report.sim_events = engine.events_executed();
+    let sel = world.selector.stats();
+    report.hostsel_requests = sel.requests;
+    report.hostsel_select_mean_ms = sel.select_latency.mean() * 1e3;
     report.rpc = world.cluster.net.rpc_table().clone();
+    report.hostsel_bytes = [
+        sprite_net::RpcOp::HostselQuery,
+        sprite_net::RpcOp::HostselReport,
+        sprite_net::RpcOp::HostselRelease,
+        sprite_net::RpcOp::HostselGossip,
+        sprite_net::RpcOp::HostselShardQuery,
+    ]
+    .iter()
+    .map(|&op| report.rpc.get(op).bytes)
+    .sum();
     let net = world.cluster.net.stats();
     report.net_messages = net.messages;
     report.net_bytes = net.bytes;
@@ -295,6 +344,7 @@ pub fn replication_rngs(seed: u64, reps: usize) -> Vec<DetRng> {
 pub fn merge(reports: &[MonthReport]) -> MonthReport {
     let mut out = MonthReport::default();
     let mut latency_total = 0.0;
+    let mut select_total = 0.0;
     for r in reports {
         out.hosts = r.hosts;
         out.days += r.days;
@@ -310,6 +360,9 @@ pub fn merge(reports: &[MonthReport]) -> MonthReport {
         out.rpc.merge(&r.rpc);
         out.net_messages += r.net_messages;
         out.net_bytes += r.net_bytes;
+        out.hostsel_requests += r.hostsel_requests;
+        out.hostsel_bytes += r.hostsel_bytes;
+        select_total += r.hostsel_select_mean_ms * r.hostsel_requests as f64;
         latency_total += r.mean_eviction_secs * r.evictions as f64;
     }
     out.utilization =
@@ -318,6 +371,11 @@ pub fn merge(reports: &[MonthReport]) -> MonthReport {
         0.0
     } else {
         latency_total / out.evictions as f64
+    };
+    out.hostsel_select_mean_ms = if out.hostsel_requests == 0 {
+        0.0
+    } else {
+        select_total / out.hostsel_requests as f64
     };
     out
 }

@@ -20,12 +20,15 @@
 //! covers E1-A7, and this table only prints when `--macro` (or the id
 //! `m01`) is requested.
 
+use sprite_hostsel::{AvailabilityPolicy, GossipDissemination, HostSelector};
 use sprite_pmake::{prepare_sources, run_build, Action, DepGraph, PmakeConfig};
 use sprite_sim::{DetRng, SimDuration};
 use sprite_workloads::simulation_batch;
 
 use crate::experiments::e11;
-use crate::support::{h, secs, standard_cluster, standard_migrator, warmed_selector, TableWriter};
+use crate::support::{
+    h, secs, standard_cluster, standard_migrator, warmed_sharded_selector, TableWriter,
+};
 
 /// Hosts in the macrobench cluster (the thesis cluster was ~50).
 pub const MACRO_HOSTS: usize = 120;
@@ -37,6 +40,27 @@ pub const MACRO_REPS: usize = 2;
 pub const MACRO_SIM_JOBS: usize = 100;
 /// Master seed.
 pub const MACRO_SEED: u64 = 47;
+/// Coordinator daemons the batch workload shards its hosts across.
+pub const MACRO_COORDINATORS: usize = 4;
+
+/// The month's selection architecture: gossip dissemination tuned for the
+/// driver's one-minute report cadence — fanout 1, batches of 4 entries, a
+/// refresh floor every 30th report (an unchanged host still re-gossips
+/// twice an hour) and entries trusted for 45 minutes. This replaces the
+/// central server whose 500 µs service queue cost 615 ms per selection at
+/// 120 hosts.
+pub fn month_selector(rep: usize) -> Box<dyn HostSelector> {
+    let mut g = GossipDissemination::new(
+        MACRO_HOSTS,
+        1,
+        4,
+        AvailabilityPolicy::default(),
+        MACRO_SEED ^ 0x6055 ^ (rep as u64).wrapping_mul(0x9e37),
+    );
+    g.set_refresh_every(30);
+    g.set_max_age(SimDuration::from_secs(45 * 60));
+    Box::new(g)
+}
 
 /// Everything the macrobench measured, for the table and the JSON sidecar.
 #[derive(Debug, Clone)]
@@ -66,6 +90,13 @@ pub struct MacroReport {
     pub net_messages: u64,
     /// Raw network byte total across both workloads.
     pub net_bytes: u64,
+    /// Host selections requested across both workloads.
+    pub hostsel_requests: u64,
+    /// Mean host-selection latency across both workloads (milliseconds).
+    pub hostsel_select_mean_ms: f64,
+    /// Wire bytes spent on host selection (all `hostsel-*` ops, both
+    /// workloads).
+    pub hostsel_bytes: u64,
 }
 
 fn simulation_graph(count: usize, mean_cpu: SimDuration, seed: u64) -> DepGraph {
@@ -90,10 +121,14 @@ fn simulation_graph(count: usize, mean_cpu: SimDuration, seed: u64) -> DepGraph 
 
 /// Runs both workloads serially and returns the combined report.
 pub fn run() -> MacroReport {
-    // Part 1: the month, as serial replications of the E11 world.
+    // Part 1: the month, as serial replications of the E11 world, placed
+    // through gossip dissemination instead of the central server.
     let month_reports: Vec<e11::MonthReport> = e11::replication_rngs(MACRO_SEED, MACRO_REPS)
         .into_iter()
-        .map(|rng| e11::run_seeded(MACRO_HOSTS, MACRO_REP_DAYS, rng))
+        .enumerate()
+        .map(|(rep, rng)| {
+            e11::run_seeded_with(MACRO_HOSTS, MACRO_REP_DAYS, rng, month_selector(rep))
+        })
         .collect();
     let month = e11::merge(&month_reports);
 
@@ -105,7 +140,7 @@ pub fn run() -> MacroReport {
     );
     let (mut cluster, t0) = standard_cluster(MACRO_HOSTS);
     let mut migrator = standard_migrator(MACRO_HOSTS);
-    let mut selector = warmed_selector(&mut cluster, MACRO_HOSTS, 2);
+    let mut selector = warmed_sharded_selector(&mut cluster, MACRO_HOSTS, MACRO_COORDINATORS, 2);
     let t = prepare_sources(&mut cluster, &graph, h(1), t0).expect("prepare");
     let build = run_build(
         &mut cluster,
@@ -123,8 +158,34 @@ pub fn run() -> MacroReport {
     rpc.merge(cluster.net.rpc_table());
     let batch_net = cluster.net.stats();
 
+    // Host-selection totals: the month's gossip placements plus the batch's
+    // sharded-coordinator queries, latency weighted by request count.
+    let batch_sel = selector.stats();
+    let hostsel_requests = month.hostsel_requests + batch_sel.requests;
+    let hostsel_select_mean_ms = if hostsel_requests == 0 {
+        0.0
+    } else {
+        (month.hostsel_select_mean_ms * month.hostsel_requests as f64
+            + batch_sel.select_latency.mean() * 1e3 * batch_sel.requests as f64)
+            / hostsel_requests as f64
+    };
+    let hostsel_bytes = month.hostsel_bytes
+        + [
+            sprite_net::RpcOp::HostselQuery,
+            sprite_net::RpcOp::HostselReport,
+            sprite_net::RpcOp::HostselRelease,
+            sprite_net::RpcOp::HostselGossip,
+            sprite_net::RpcOp::HostselShardQuery,
+        ]
+        .iter()
+        .map(|&op| cluster.net.rpc_table().get(op).bytes)
+        .sum::<u64>();
+
     MacroReport {
         rpc,
+        hostsel_requests,
+        hostsel_select_mean_ms,
+        hostsel_bytes,
         net_messages: month.net_messages + batch_net.messages,
         net_bytes: month.net_bytes + batch_net.bytes,
         hosts: MACRO_HOSTS,
@@ -197,6 +258,12 @@ pub fn render(r: &MacroReport) -> String {
     ]);
     t.row(&["rpc: messages".into(), r.rpc.total_messages().to_string()]);
     t.row(&["rpc: bytes".into(), r.rpc.total_bytes().to_string()]);
+    t.row(&["hostsel: selections".into(), r.hostsel_requests.to_string()]);
+    t.row(&[
+        "hostsel: mean select latency".into(),
+        format!("{:.3}ms", r.hostsel_select_mean_ms),
+    ]);
+    t.row(&["hostsel: wire bytes".into(), r.hostsel_bytes.to_string()]);
     t.note("slab slots are reused through free lists: the table footprint is the");
     t.note("high-water mark, not the process count; stale lookups must stay 0;");
     t.note("rpc totals equal the raw NetStats counters (every byte is typed)");
@@ -214,7 +281,7 @@ mod tests {
         let graph = simulation_graph(8, SimDuration::from_secs(40), 7);
         let (mut cluster, t0) = standard_cluster(10);
         let mut migrator = standard_migrator(10);
-        let mut selector = warmed_selector(&mut cluster, 10, 2);
+        let mut selector = warmed_sharded_selector(&mut cluster, 10, 2, 2);
         let t = prepare_sources(&mut cluster, &graph, h(1), t0).expect("prepare");
         let build = run_build(
             &mut cluster,

@@ -2,7 +2,9 @@
 
 use sprite_core::{MigrationConfig, Migrator};
 use sprite_fs::SpritePath;
-use sprite_hostsel::{AvailabilityPolicy, CentralServer, HostInfo, HostSelector};
+use sprite_hostsel::{
+    AvailabilityPolicy, CentralServer, HostInfo, HostSelector, ShardedCoordinator,
+};
 use sprite_kernel::Cluster;
 use sprite_net::{CostModel, HostId, PAGE_SIZE};
 use sprite_sim::{SimDuration, SimTime};
@@ -47,6 +49,32 @@ pub fn standard_migrator(hosts: usize) -> Migrator {
 /// idle (hosts below `first` are reserved: server, home, ...).
 pub fn warmed_selector(cluster: &mut Cluster, hosts: usize, first: u32) -> CentralServer {
     let mut sel = CentralServer::new(h(0), AvailabilityPolicy::default());
+    for i in 0..hosts as u32 {
+        let info = if i < first {
+            HostInfo {
+                host: h(i),
+                load: 2.0,
+                idle: SimDuration::ZERO,
+                console_active: true,
+            }
+        } else {
+            HostInfo::idle_host(h(i), SimDuration::from_secs(3600))
+        };
+        sel.report(&mut cluster.net, SimTime::ZERO, info);
+    }
+    sel
+}
+
+/// A sharded-coordinator selector (hosts hashed across `coordinators`
+/// daemons) warmed the same way as [`warmed_selector`]: hosts below `first`
+/// reported busy, the rest idle for an hour.
+pub fn warmed_sharded_selector(
+    cluster: &mut Cluster,
+    hosts: usize,
+    coordinators: usize,
+    first: u32,
+) -> ShardedCoordinator {
+    let mut sel = ShardedCoordinator::new(hosts, coordinators, AvailabilityPolicy::default());
     for i in 0..hosts as u32 {
         let info = if i < first {
             HostInfo {

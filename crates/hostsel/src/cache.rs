@@ -1,0 +1,381 @@
+//! Bounded, age-stamped load caches and the allocation-free ranking fast
+//! path shared by the decentralized selection architectures.
+//!
+//! The centralized selectors keep `BTreeMap` tables and build a fresh
+//! `Vec` of candidates per query — fine for one daemon, fatal for a
+//! per-host cache at 10 000 hosts. [`LoadCache`] is a fixed-slot array
+//! (no hashing, no allocation after construction): inserts refresh an
+//! existing entry in place or overwrite the *stalest* slot when full, and
+//! stale entries are never eagerly evicted — readers simply skip anything
+//! older than their trust horizon, the same epoch/age discipline the
+//! fault layer uses for stale load reports. [`Ranker`] is the matching
+//! query side: one reusable scratch buffer, sorted in place, with a
+//! growth counter so benchmarks can assert the steady state allocates
+//! nothing.
+
+use sprite_net::HostId;
+use sprite_sim::{SimDuration, SimTime};
+
+use crate::load::{AvailabilityPolicy, HostInfo};
+
+/// One cached observation of a peer's load state.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheEntry {
+    /// The observed state.
+    pub info: HostInfo,
+    /// When the origin host measured it (not when it arrived here), so a
+    /// relayed entry ages from its measurement, never from its last hop.
+    pub written: SimTime,
+}
+
+impl CacheEntry {
+    /// The entry's age at `now`.
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        now.saturating_elapsed_since(self.written)
+    }
+}
+
+/// A bounded, age-stamped load cache with fixed storage.
+#[derive(Debug, Clone)]
+pub struct LoadCache {
+    slots: Vec<Option<CacheEntry>>,
+}
+
+impl LoadCache {
+    /// A cache with `capacity` slots (at least one). All storage is
+    /// allocated here; nothing grows afterwards.
+    pub fn new(capacity: usize) -> Self {
+        LoadCache {
+            slots: vec![None; capacity.max(1)],
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Inserts or refreshes an observation. An existing entry for the same
+    /// host is replaced only by a fresher stamp (relays cannot roll time
+    /// backwards). When the cache is full the stalest slot is overwritten.
+    /// Returns whether the entry was stored.
+    pub fn insert(&mut self, entry: CacheEntry) -> bool {
+        let mut free: Option<usize> = None;
+        let mut stalest: Option<(usize, SimTime)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            match slot {
+                Some(e) if e.info.host == entry.info.host => {
+                    if entry.written >= e.written {
+                        self.slots[i] = Some(entry);
+                        return true;
+                    }
+                    return false;
+                }
+                Some(e) => {
+                    if stalest.map(|(_, w)| e.written < w).unwrap_or(true) {
+                        stalest = Some((i, e.written));
+                    }
+                }
+                None => {
+                    if free.is_none() {
+                        free = Some(i);
+                    }
+                }
+            }
+        }
+        if let Some(i) = free {
+            self.slots[i] = Some(entry);
+            return true;
+        }
+        match stalest {
+            // Never replace a fresher observation with a staler one.
+            Some((i, w)) if entry.written >= w => {
+                self.slots[i] = Some(entry);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The cached entry for `host`, if any (mutable, for anticipation and
+    /// release bookkeeping).
+    pub fn get_mut(&mut self, host: HostId) -> Option<&mut CacheEntry> {
+        self.slots
+            .iter_mut()
+            .flatten()
+            .find(|e| e.info.host == host)
+    }
+
+    /// The cached entry for `host`, if any.
+    pub fn get(&self, host: HostId) -> Option<&CacheEntry> {
+        self.slots.iter().flatten().find(|e| e.info.host == host)
+    }
+
+    /// Every occupied slot, in slot order (callers needing a deterministic
+    /// ranking sort through [`Ranker`], never iterate raw slots into
+    /// scheduling decisions).
+    pub fn entries(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.slots.iter().flatten()
+    }
+
+    /// Copies the up-to-`limit` freshest entries into `out` (freshest
+    /// first, host id breaking ties), reusing `out`'s storage. This is the
+    /// gossip batch builder: O(capacity · limit) with `limit` small, no
+    /// allocation once `out` has warmed up.
+    pub fn freshest_into(&self, limit: usize, out: &mut Vec<CacheEntry>) {
+        out.clear();
+        for e in self.entries() {
+            // Insertion sort into the bounded batch.
+            let pos = out
+                .iter()
+                .position(|o| (e.written, o.info.host.index()) > (o.written, e.info.host.index()))
+                .unwrap_or(out.len());
+            if pos < limit {
+                if out.len() == limit {
+                    out.pop();
+                }
+                out.insert(pos, *e);
+            }
+        }
+    }
+}
+
+/// How [`Ranker::rank`] orders surviving candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankOrder {
+    /// Freshest observation first (gossip: distrust old news), then
+    /// longest idle, then lowest host id.
+    FreshestFirst,
+    /// Longest idle first (coordinator tables: Mutka/Livny \[ML87\]), then
+    /// lowest host id.
+    IdlestFirst,
+}
+
+/// The allocation-free ranking fast path: one reusable scratch buffer,
+/// sorted in place with `sort_unstable_by` (itself allocation-free for
+/// `Copy` elements), plus a growth counter so benchmarks can assert the
+/// warmed-up path never reallocates.
+#[derive(Debug, Default)]
+pub struct Ranker {
+    scratch: Vec<CacheEntry>,
+    grows: u64,
+}
+
+impl Ranker {
+    /// A ranker whose scratch is pre-sized for caches of `capacity`
+    /// entries, so the first query does not count as a growth.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Ranker {
+            scratch: Vec::with_capacity(capacity),
+            grows: 0,
+        }
+    }
+
+    /// Times the scratch buffer had to reallocate. Zero after warmup is
+    /// the fast-path invariant the core_ops microbenchmark gates on.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Ranks `cache`'s trustworthy candidates for `requester`: entries no
+    /// older than `max_age` that `policy` calls available, `requester`
+    /// itself excluded, hosts rejected by `keep` (already-assigned hosts,
+    /// say) skipped. Stale entries are *skipped, not evicted* — the cache
+    /// is untouched and a fresher observation can still revive the slot.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rank(
+        &mut self,
+        cache: &LoadCache,
+        now: SimTime,
+        max_age: SimDuration,
+        requester: HostId,
+        policy: &AvailabilityPolicy,
+        order: RankOrder,
+        mut keep: impl FnMut(HostId) -> bool,
+    ) -> &[CacheEntry] {
+        let cap_before = self.scratch.capacity();
+        self.scratch.clear();
+        for e in cache.entries() {
+            if e.info.host != requester
+                && e.age(now) <= max_age
+                && policy.is_available(&e.info)
+                && keep(e.info.host)
+            {
+                self.scratch.push(*e);
+            }
+        }
+        match order {
+            RankOrder::FreshestFirst => self.scratch.sort_unstable_by(|a, b| {
+                b.written
+                    .cmp(&a.written)
+                    .then(b.info.idle.cmp(&a.info.idle))
+                    .then(a.info.host.cmp(&b.info.host))
+            }),
+            RankOrder::IdlestFirst => self.scratch.sort_unstable_by(|a, b| {
+                b.info
+                    .idle
+                    .cmp(&a.info.idle)
+                    .then(a.info.host.cmp(&b.info.host))
+            }),
+        }
+        if self.scratch.capacity() != cap_before {
+            self.grows += 1;
+        }
+        &self.scratch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: u32) -> HostId {
+        HostId::new(i)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn entry(host: u32, written_secs: u64, idle_secs: u64) -> CacheEntry {
+        CacheEntry {
+            info: HostInfo::idle_host(h(host), SimDuration::from_secs(idle_secs)),
+            written: t(written_secs),
+        }
+    }
+
+    #[test]
+    fn insert_refreshes_and_rejects_rollback() {
+        let mut c = LoadCache::new(4);
+        assert!(c.insert(entry(1, 10, 60)));
+        assert!(c.insert(entry(1, 20, 90)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(h(1)).map(|e| e.written), Some(t(20)));
+        // A staler relay of the same host must not roll the entry back.
+        assert!(!c.insert(entry(1, 5, 600)));
+        assert_eq!(c.get(h(1)).map(|e| e.written), Some(t(20)));
+    }
+
+    #[test]
+    fn full_cache_overwrites_the_stalest_slot() {
+        let mut c = LoadCache::new(3);
+        c.insert(entry(1, 30, 60));
+        c.insert(entry(2, 10, 60)); // stalest
+        c.insert(entry(3, 20, 60));
+        assert!(c.insert(entry(4, 40, 60)));
+        assert!(c.get(h(2)).is_none(), "stalest entry was the victim");
+        assert!(c.get(h(4)).is_some());
+        // An entry staler than everything cached is dropped, not stored.
+        assert!(!c.insert(entry(5, 1, 60)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn freshest_into_orders_and_bounds_the_batch() {
+        let mut c = LoadCache::new(8);
+        for (host, w) in [(1, 10), (2, 40), (3, 30), (4, 20)] {
+            c.insert(entry(host, w, 60));
+        }
+        let mut batch = Vec::new();
+        c.freshest_into(3, &mut batch);
+        let hosts: Vec<u32> = batch.iter().map(|e| e.info.host.index() as u32).collect();
+        assert_eq!(hosts, vec![2, 3, 4], "freshest three, freshest first");
+    }
+
+    #[test]
+    fn rank_skips_stale_without_evicting() {
+        let mut c = LoadCache::new(4);
+        c.insert(entry(1, 0, 60));
+        c.insert(entry(2, 100, 60));
+        let mut r = Ranker::with_capacity(4);
+        let now = t(110);
+        let max_age = SimDuration::from_secs(30);
+        let ranked = r.rank(
+            &c,
+            now,
+            max_age,
+            h(9),
+            &AvailabilityPolicy::default(),
+            RankOrder::FreshestFirst,
+            |_| true,
+        );
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].info.host, h(2));
+        // The stale entry is still cached — skipped, not evicted.
+        assert!(c.get(h(1)).is_some());
+    }
+
+    #[test]
+    fn rank_orders_and_filters() {
+        let mut c = LoadCache::new(8);
+        c.insert(entry(1, 50, 60));
+        c.insert(entry(2, 50, 600));
+        c.insert(entry(3, 50, 300));
+        let mut r = Ranker::with_capacity(8);
+        let now = t(55);
+        let age = SimDuration::from_secs(60);
+        let policy = AvailabilityPolicy::default();
+        let idle: Vec<HostId> = r
+            .rank(&c, now, age, h(9), &policy, RankOrder::IdlestFirst, |_| {
+                true
+            })
+            .iter()
+            .map(|e| e.info.host)
+            .collect();
+        assert_eq!(idle, vec![h(2), h(3), h(1)]);
+        let kept: Vec<HostId> = r
+            .rank(
+                &c,
+                now,
+                age,
+                h(9),
+                &policy,
+                RankOrder::IdlestFirst,
+                |host| host != h(2),
+            )
+            .iter()
+            .map(|e| e.info.host)
+            .collect();
+        assert_eq!(kept, vec![h(3), h(1)], "keep-filter drops assigned hosts");
+        let no_self: Vec<HostId> = r
+            .rank(&c, now, age, h(2), &policy, RankOrder::IdlestFirst, |_| {
+                true
+            })
+            .iter()
+            .map(|e| e.info.host)
+            .collect();
+        assert_eq!(no_self, vec![h(3), h(1)], "requester never self-selects");
+    }
+
+    #[test]
+    fn warmed_ranker_never_grows() {
+        let mut c = LoadCache::new(64);
+        for i in 0..64 {
+            c.insert(entry(i, 50, 60 + u64::from(i)));
+        }
+        let mut r = Ranker::with_capacity(c.capacity());
+        for _ in 0..100 {
+            let ranked = r.rank(
+                &c,
+                t(55),
+                SimDuration::from_secs(60),
+                h(999),
+                &AvailabilityPolicy::default(),
+                RankOrder::FreshestFirst,
+                |_| true,
+            );
+            assert_eq!(ranked.len(), 64);
+        }
+        assert_eq!(r.grows(), 0, "pre-sized scratch must never reallocate");
+    }
+}

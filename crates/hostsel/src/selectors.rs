@@ -44,6 +44,10 @@ pub struct SelectorStats {
     pub messages: u64,
     /// End-to-end selection latency.
     pub select_latency: OnlineStats,
+    /// Age of the granted host's cached entry at grant time (seconds) —
+    /// the staleness the architecture acted on. Selectors without
+    /// age-stamped state leave it empty.
+    pub info_age: OnlineStats,
 }
 
 /// A host-selection architecture.
@@ -105,7 +109,11 @@ pub trait HostSelector {
     fn stats(&self) -> &SelectorStats;
 }
 
-fn truth_available(truth: &[HostInfo], policy: &AvailabilityPolicy, host: HostId) -> bool {
+pub(crate) fn truth_available(
+    truth: &[HostInfo],
+    policy: &AvailabilityPolicy,
+    host: HostId,
+) -> bool {
     truth
         .iter()
         .find(|i| i.host == host)
@@ -122,7 +130,9 @@ fn truth_available(truth: &[HostInfo], policy: &AvailabilityPolicy, host: HostId
 pub struct CentralServer {
     server: HostId,
     policy: AvailabilityPolicy,
-    table: BTreeMap<HostId, HostInfo>,
+    /// Host state plus the stamp of its last refresh, so grants can report
+    /// the information age they acted on.
+    table: BTreeMap<HostId, (HostInfo, SimTime)>,
     assigned: BTreeMap<HostId, HostId>,
     /// What each host last told the server, to suppress no-change traffic.
     last_reported_available: BTreeMap<HostId, bool>,
@@ -214,12 +224,12 @@ impl HostSelector for CentralServer {
         if !changed {
             // Still refresh our own table silently (the daemon's timer
             // fires locally on the reporting host at no network cost).
-            self.table.insert(info.host, info);
+            self.table.insert(info.host, (info, now));
             return now;
         }
         if info.host == self.server {
             self.last_reported_available.insert(info.host, avail);
-            self.table.insert(info.host, info);
+            self.table.insert(info.host, (info, now));
             return now;
         }
         self.stats.messages += 1;
@@ -232,7 +242,7 @@ impl HostSelector for CentralServer {
         ) {
             Ok(d) => {
                 self.last_reported_available.insert(info.host, avail);
-                self.table.insert(info.host, info);
+                self.table.insert(info.host, (info, now));
                 d.done
             }
             // The transition report never reached the daemon: its table
@@ -275,26 +285,29 @@ impl HostSelector for CentralServer {
         }
         // Longest-idle available host not already assigned out; Mutka and
         // Livny say long-idle hosts stay idle [ML87].
-        let mut candidates: Vec<HostInfo> = self
+        let mut candidates: Vec<(HostInfo, SimTime)> = self
             .table
             .values()
-            .filter(|i| {
+            .filter(|(i, _)| {
                 i.host != requester
                     && self.policy.is_available(i)
                     && !self.assigned.contains_key(&i.host)
             })
             .copied()
             .collect();
-        candidates.sort_by(|a, b| b.idle.cmp(&a.idle).then(a.host.cmp(&b.host)));
-        for c in candidates {
+        candidates.sort_by(|a, b| b.0.idle.cmp(&a.0.idle).then(a.0.host.cmp(&b.0.host)));
+        for (c, written) in candidates {
             if truth_available(truth, &self.policy, c.host) {
                 self.assigned.insert(c.host, requester);
                 *self.holdings.entry(requester).or_insert(0) += 1;
                 // Flood prevention: count the incoming process against the
                 // host's load before it arrives [BSW89].
-                if let Some(e) = self.table.get_mut(&c.host) {
+                if let Some((e, _)) = self.table.get_mut(&c.host) {
                     e.load += 1.0;
                 }
+                self.stats
+                    .info_age
+                    .record_duration(now.saturating_elapsed_since(written));
                 self.stats.granted += 1;
                 self.stats
                     .select_latency
@@ -328,7 +341,7 @@ impl HostSelector for CentralServer {
         if let Some(held) = self.holdings.get_mut(&requester) {
             *held = held.saturating_sub(1);
         }
-        if let Some(e) = self.table.get_mut(&host) {
+        if let Some((e, _)) = self.table.get_mut(&host) {
             e.load = (e.load - 1.0).max(0.0);
         }
         t
@@ -852,6 +865,8 @@ mod tests {
             Box::new(SharedFileBoard::new(h(0), policy)),
             Box::new(Probabilistic::new(n, 4, policy, 42)),
             Box::new(MulticastQuery::new(policy)),
+            Box::new(crate::ShardedCoordinator::new(n, 2, policy)),
+            Box::new(crate::GossipDissemination::new(n, 4, 8, policy, 42)),
         ]
     }
 

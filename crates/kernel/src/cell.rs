@@ -53,6 +53,12 @@ const JOB_MAX_MINUTES: u64 = 240;
 /// Per-active-minute probability of refreshing the load cache by probing a
 /// random peer.
 const PROBE_PER_ACTIVE_MINUTE: f64 = 0.1;
+/// Per-active-minute probability of pushing a gossip batch (own load plus
+/// the best cached loads) to a random peer — one hop where a probe costs
+/// two, so second-hand knowledge spreads at half the wire price.
+const GOSSIP_PER_ACTIVE_MINUTE: f64 = 0.05;
+/// Entries per gossip batch, own load included.
+pub const GOSSIP_BATCH: usize = 4;
 /// Load-cache capacity: how many peers' last-known loads a host remembers.
 const LOAD_CACHE_SLOTS: usize = 8;
 
@@ -75,6 +81,10 @@ pub enum HostMsg {
     Probe,
     /// Answer to [`HostMsg::Probe`]: the sender's run-queue length.
     LoadReply(u32),
+    /// Unsolicited load-vector push: up to [`GOSSIP_BATCH`] `(host, load)`
+    /// pairs (the sender's own load first), merged into the receiver's
+    /// cache with no reply.
+    Gossip([(CellId, u32); GOSSIP_BATCH], u8),
     /// Migrate a job to the receiver: tag plus remaining CPU minutes.
     Place(JobTag, u64),
     /// A foreign job bounced home (user returned, or the target was busy
@@ -116,6 +126,10 @@ pub struct HostCellStats {
     pub probes_answered: u64,
     /// Probes this host sent.
     pub probes_sent: u64,
+    /// Gossip batches this host pushed.
+    pub gossip_sent: u64,
+    /// Gossip entries this host merged into its cache.
+    pub gossip_merged: u64,
 }
 
 /// A host in the partitioned cluster model. See the module docs for the
@@ -319,6 +333,27 @@ impl Cell for HostCell {
                 self.stats.probes_sent += 1;
                 ctx.send(peer, HostMsg::Probe);
             }
+            // Decentralized dissemination: push own load plus cached loads
+            // to a random peer, spreading second-hand knowledge one hop at
+            // a time.
+            if self.rng.chance(GOSSIP_PER_ACTIVE_MINUTE) {
+                let peer = self.random_peer();
+                let mut batch = [(0u32, 0u32); GOSSIP_BATCH];
+                batch[0] = (self.id, self.load());
+                let mut n: u8 = 1;
+                for slot in &self.cache {
+                    if usize::from(n) >= GOSSIP_BATCH {
+                        break;
+                    }
+                    if slot.host == peer {
+                        continue;
+                    }
+                    batch[usize::from(n)] = (slot.host, slot.load);
+                    n += 1;
+                }
+                self.stats.gossip_sent += 1;
+                ctx.send(peer, HostMsg::Gossip(batch, n));
+            }
             // Job spawn, migrated out if this CPU is busy and an idle peer
             // is known.
             if self.rng.chance(SPAWN_PER_ACTIVE_MINUTE) {
@@ -385,6 +420,14 @@ impl Cell for HostCell {
             HostMsg::LoadReply(load) => {
                 self.cache_insert(from, load);
             }
+            HostMsg::Gossip(batch, n) => {
+                for &(host, load) in &batch[..usize::from(n)] {
+                    if host != self.id {
+                        self.stats.gossip_merged += 1;
+                        self.cache_insert(host, load);
+                    }
+                }
+            }
             HostMsg::Place(tag, remaining_min) => {
                 if self.active {
                     // The user beat the job here: bounce it straight home.
@@ -435,6 +478,8 @@ impl Cell for HostCell {
             s.evicted,
             s.probes_answered,
             s.probes_sent,
+            s.gossip_sent,
+            s.gossip_merged,
         ] {
             d.write_u64(v);
         }
@@ -505,6 +550,10 @@ mod tests {
         );
         assert!(migrated > 0, "migration never engaged");
         assert!(probes > 0, "load cache never refreshed");
+        let gossiped: u64 = stats.iter().map(|s| s.gossip_sent).sum();
+        let merged: u64 = stats.iter().map(|s| s.gossip_merged).sum();
+        assert!(gossiped > 0, "gossip dissemination never engaged");
+        assert!(merged > 0, "gossip batches never merged");
         // Eviction is rarer (user must return mid-job) but the policy
         // must be exercised at this scale.
         assert!(evicted > 0, "eviction policy never exercised");

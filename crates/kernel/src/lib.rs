@@ -18,7 +18,6 @@ mod builder;
 mod calls;
 mod cell;
 mod cluster;
-mod partition;
 mod pid;
 mod proc;
 mod proc_table;
@@ -27,10 +26,10 @@ pub use builder::ClusterBuilder;
 pub use calls::{Disposition, KernelCall};
 pub use cell::{build_cluster_cells, HostCell, HostCellStats, HostMsg, JobTag};
 pub use cluster::{Cluster, HostState, KernelError, KernelResult, KernelStats, Program};
-pub use partition::HostPartition;
 pub use pid::ProcessId;
 pub use proc::{Pcb, ProcState, Signal};
 pub use proc_table::SlabStats;
+pub use sprite_net::HostPartition;
 
 #[cfg(test)]
 mod tests {

@@ -28,6 +28,7 @@ mod cost;
 mod fault;
 mod host;
 mod network;
+mod partition;
 mod shardlink;
 mod transport;
 
@@ -39,8 +40,9 @@ pub use fault::{
 };
 pub use host::HostId;
 pub use network::{Delivery, MessageKind, NetStats, Network};
+pub use partition::HostPartition;
 pub use shardlink::ShardLink;
 pub use transport::{
     wire_size, Ideal, LinkPolicy, OpStats, RpcOp, RpcTable, Transport, WireSize, CONTROL_BYTES,
-    HANDLE_BYTES, LOAD_REPORT_BYTES, PAGE_REPLY_BYTES,
+    GOSSIP_ENTRY_BYTES, HANDLE_BYTES, LOAD_REPORT_BYTES, PAGE_REPLY_BYTES,
 };

@@ -1,10 +1,13 @@
 //! Static partitioning of the cluster's hosts across simulation shards.
 //!
 //! The conservative-parallel engine in `sprite_sim` assigns cell `i` to
-//! shard `i % nshards`. [`HostPartition`] is the kernel-layer view of that
+//! shard `i % nshards`. [`HostPartition`] is the cluster-layer view of that
 //! same mapping, expressed in terms of [`HostId`]s, so code that reasons
-//! about the cluster (the m02 macrobench, diagnostics, per-shard
-//! accounting) and the engine can never disagree about where a host lives.
+//! about the cluster (the m02 macrobench, the sharded host-selection
+//! coordinators, diagnostics, per-shard accounting) and the engine can
+//! never disagree about where a host lives. It lives in `sprite_net`
+//! because both the kernel and the host-selection layer hash hosts with
+//! it — the ID space it partitions is the network's.
 //!
 //! Round-robin by ID is deliberately boring: it is a pure function of the
 //! host ID and the shard count, needs no state, and spreads any
@@ -13,7 +16,7 @@
 //! merge makes the digest stream partition-invariant — so the only job of
 //! the mapping is balance.
 
-use sprite_net::HostId;
+use crate::HostId;
 
 /// The static host-to-shard map for one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

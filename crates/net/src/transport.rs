@@ -49,6 +49,11 @@ pub const LOAD_REPORT_BYTES: u64 = 96;
 pub const HANDLE_BYTES: u64 = 128;
 /// A reply carrying one page of data plus the RPC header.
 pub const PAGE_REPLY_BYTES: u64 = PAGE_SIZE + CONTROL_BYTES;
+/// One entry of a gossiped load batch: host id, load average, idle
+/// seconds and the sender-side age stamp, packed. A gossip message is
+/// [`CONTROL_BYTES`] of header plus one of these per carried entry, so
+/// load traffic is O(k·f) per host-interval instead of O(hosts) queries.
+pub const GOSSIP_ENTRY_BYTES: u64 = 24;
 
 /// Every kind of cross-kernel interaction the reproduction performs.
 ///
@@ -103,6 +108,11 @@ pub enum RpcOp {
     HostselReply,
     /// One-way release notice returning a borrowed host.
     HostselRelease,
+    /// One-way batched load-vector push to a DetRng-chosen gossip peer
+    /// (header plus `f` [`GOSSIP_ENTRY_BYTES`] entries, caller-sized).
+    HostselGossip,
+    /// Selection round trip with one of `c` sharded coordinator daemons.
+    HostselShardQuery,
 }
 
 /// Canonical request/reply payload sizes for one [`RpcOp`].
@@ -116,7 +126,7 @@ pub struct WireSize {
 
 impl RpcOp {
     /// Every op, in table order.
-    pub const ALL: [RpcOp; 23] = [
+    pub const ALL: [RpcOp; 25] = [
         RpcOp::MigrateNegotiate,
         RpcOp::MigrateState,
         RpcOp::MigrateCommit,
@@ -140,6 +150,8 @@ impl RpcOp {
         RpcOp::HostselMulticast,
         RpcOp::HostselReply,
         RpcOp::HostselRelease,
+        RpcOp::HostselGossip,
+        RpcOp::HostselShardQuery,
     ];
 
     /// Stable lower-case label for tables, traces and JSON.
@@ -168,6 +180,8 @@ impl RpcOp {
             RpcOp::HostselMulticast => "hostsel-multicast",
             RpcOp::HostselReply => "hostsel-reply",
             RpcOp::HostselRelease => "hostsel-release",
+            RpcOp::HostselGossip => "hostsel-gossip",
+            RpcOp::HostselShardQuery => "hostsel-shard-query",
         }
     }
 
@@ -214,6 +228,9 @@ pub fn wire_size(op: RpcOp) -> WireSize {
         RpcOp::HostselMulticast => (LOAD_REPORT_BYTES, 0),
         RpcOp::HostselReply => (CONTROL_BYTES, 0),
         RpcOp::HostselRelease => (CONTROL_BYTES, 0),
+        // Caller-sized one-way: header + f gossip entries per message.
+        RpcOp::HostselGossip => (0, 0),
+        RpcOp::HostselShardQuery => (HANDLE_BYTES, HANDLE_BYTES),
     };
     WireSize { request, reply }
 }
@@ -1134,5 +1151,16 @@ mod tests {
         }
         assert_eq!(wire_size(RpcOp::FsBlockRead).reply, PAGE_REPLY_BYTES);
         assert_eq!(wire_size(RpcOp::HostselReport).request, LOAD_REPORT_BYTES);
+        // Gossip is caller-sized (header + entries); the shard query is a
+        // normal handle-sized round trip.
+        assert_eq!(
+            wire_size(RpcOp::HostselGossip),
+            WireSize {
+                request: 0,
+                reply: 0
+            }
+        );
+        assert_eq!(wire_size(RpcOp::HostselShardQuery).reply, HANDLE_BYTES);
+        const { assert!(GOSSIP_ENTRY_BYTES < CONTROL_BYTES) };
     }
 }

@@ -181,4 +181,35 @@ awk -v b="$baseline" -v f="$fresh" -v k="$factor" 'BEGIN {
     exit 1
 }
 
+echo "==> hostsel selection regression vs BENCH_experiments.json baseline"
+# The decentralized selection path (gossip month + sharded batch) replaced
+# the central server's 615 ms query queue. Both numbers are simulated and
+# fully deterministic, so the slack factor only absorbs deliberate small
+# workload tweaks — a return to round-trip selection blows straight past it.
+hs_factor="${BENCH_HOSTSEL_FACTOR:-1.25}"
+hs_base_ms="$(sed -n 's/.*"hostsel_select_mean_ms": \([0-9.]*\).*/\1/p' BENCH_experiments.json | head -1)"
+hs_fresh_ms="$(sed -n 's/.*"hostsel_select_mean_ms": \([0-9.]*\).*/\1/p' "$tmp/BENCH_experiments.json" | head -1)"
+hs_base_bytes="$(sed -n 's/.*"hostsel_bytes": \([0-9]*\).*/\1/p' BENCH_experiments.json | head -1)"
+hs_fresh_bytes="$(sed -n 's/.*"hostsel_bytes": \([0-9]*\).*/\1/p' "$tmp/BENCH_experiments.json" | head -1)"
+if [[ -z "$hs_base_ms" || -z "$hs_fresh_ms" || -z "$hs_base_bytes" || -z "$hs_fresh_bytes" ]]; then
+    echo "FAIL: could not parse hostsel metrics (base ms='$hs_base_ms' fresh ms='$hs_fresh_ms' base bytes='$hs_base_bytes' fresh bytes='$hs_fresh_bytes')" >&2
+    exit 1
+fi
+awk -v b="$hs_base_ms" -v f="$hs_fresh_ms" -v k="$hs_factor" 'BEGIN {
+    limit = b * k
+    printf "    select latency: baseline %.3fms, fresh %.3fms, limit %.3fms (factor %s)\n", b, f, limit, k
+    exit !(f <= limit)
+}' || {
+    echo "FAIL: hostsel_select_mean_ms $hs_fresh_ms regressed past ${hs_factor}x baseline $hs_base_ms" >&2
+    exit 1
+}
+awk -v b="$hs_base_bytes" -v f="$hs_fresh_bytes" -v k="$hs_factor" 'BEGIN {
+    limit = b * k
+    printf "    wire bytes: baseline %d, fresh %d, limit %.0f (factor %s)\n", b, f, limit, k
+    exit !(f <= limit)
+}' || {
+    echo "FAIL: hostsel_bytes $hs_fresh_bytes regressed past ${hs_factor}x baseline $hs_base_bytes" >&2
+    exit 1
+}
+
 echo "==> bench check OK"

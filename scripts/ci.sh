@@ -18,8 +18,8 @@ fi
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
 
 echo "==> sprite_lint (determinism invariants)"
 # The static analyzer replaces the old grep lints: deterministic hashers,
@@ -35,6 +35,23 @@ echo "==> m02 smoke (200 hosts, 1 simulated day, 2 shards)"
 # against the serial reference in-process and exits 1 on divergence; one
 # small run keeps the determinism contract in even the quick gate.
 target/release/experiments e01 --m02=200:1 --shards 2 > /dev/null 2>&1
+
+echo "==> e10-sweep smoke (200 hosts, central vs sharded vs gossip)"
+# The decentralization sweep fans its cells over worker threads; its table
+# must be byte-identical for any --jobs value (gossip fanout is seeded).
+sweep_tmp="$(mktemp -d)"
+trap 'rm -rf "$sweep_tmp"' EXIT
+target/release/experiments e01 --e10-sweep=200 --jobs 1 > "$sweep_tmp/sweep1.txt" 2> /dev/null
+target/release/experiments e01 --e10-sweep=200 --jobs 4 > "$sweep_tmp/sweep4.txt" 2> /dev/null
+if ! cmp -s "$sweep_tmp/sweep1.txt" "$sweep_tmp/sweep4.txt"; then
+    echo "FAIL: e10 sweep stdout diverged between --jobs 1 and --jobs 4" >&2
+    diff "$sweep_tmp/sweep1.txt" "$sweep_tmp/sweep4.txt" | head -40 >&2 || true
+    exit 1
+fi
+if ! grep -q '^## E10 sweep: decentralized host selection' "$sweep_tmp/sweep1.txt"; then
+    echo "FAIL: --e10-sweep run printed no sweep table" >&2
+    exit 1
+fi
 
 if [[ "$quick" == 1 ]]; then
     echo "==> tier-1 OK (quick mode; skipped fmt/clippy)"
