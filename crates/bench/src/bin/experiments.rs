@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use sprite_bench::experiments::{e10, e11, f01, m01, m02};
+use sprite_bench::experiments::{e05, e10, e11, f01, m01, m02};
 use sprite_bench::support::{fault_table_text, rpc_table_text};
 use sprite_bench::{audit, runner};
 use sprite_fs::SpritePath;
@@ -498,6 +498,15 @@ fn main() {
                 r.hostsel_select_mean_ms
             ));
             json.push_str(&format!("    \"hostsel_bytes\": {},\n", r.hostsel_bytes));
+            json.push_str(&format!("    \"fs_shards\": {},\n", r.fs_shards));
+            json.push_str(&format!(
+                "    \"fs_replica_hits\": {},\n",
+                r.fs_replica_hits
+            ));
+            json.push_str(&format!(
+                "    \"fs_server_busy_max_seconds\": {:.3},\n",
+                r.fs_server_busy_max.as_secs_f64()
+            ));
             json.push_str("    \"rpc_table\": [\n");
             let rows: Vec<_> = r.rpc.rows().collect();
             for (i, (op, row)) in rows.iter().enumerate() {
@@ -509,6 +518,48 @@ fn main() {
                     row.bytes,
                     row.rtt.mean() * 1e3,
                     if i + 1 == rows.len() { "" } else { "," }
+                ));
+            }
+            json.push_str("    ]\n");
+            json.push_str("  }");
+        }
+        {
+            // The sharded-FS speedup sweep is a pure function of its
+            // constants and cheap enough to recompute under --json, so the
+            // gate script always has the per-shard saturation crossover.
+            let sweeps = e05::run_table_sweep();
+            json.push_str(",\n  \"e05_sharding\": {\n");
+            json.push_str(
+                "    \"description\": \"pmake speedup vs hosts and FS shards; saturation crossover per shard count\",\n",
+            );
+            json.push_str(&format!("    \"files\": {},\n", e05::TABLE_FILES));
+            json.push_str(&format!("    \"seed\": {},\n", e05::TABLE_SEED));
+            json.push_str(&format!(
+                "    \"crossover_threshold\": {},\n",
+                e05::CROSSOVER_THRESHOLD
+            ));
+            json.push_str("    \"sweeps\": [\n");
+            for (i, rows) in sweeps.iter().enumerate() {
+                let shards = rows.first().map_or(0, |r| r.fs_shards);
+                json.push_str(&format!(
+                    "      {{\"fs_shards\": {}, \"crossover_hosts\": {}, \"rows\": [\n",
+                    shards,
+                    e05::crossover(rows, e05::CROSSOVER_THRESHOLD)
+                ));
+                for (j, r) in rows.iter().enumerate() {
+                    json.push_str(&format!(
+                        "        {{\"hosts\": {}, \"speedup\": {:.3}, \"worst_server_utilization\": {:.4}, \"server_busy_max_seconds\": {:.3}, \"replica_hits\": {}}}{}\n",
+                        r.hosts,
+                        r.speedup,
+                        r.server_utilization,
+                        r.server_busy_max.as_secs_f64(),
+                        r.replica_hits,
+                        if j + 1 == rows.len() { "" } else { "," }
+                    ));
+                }
+                json.push_str(&format!(
+                    "      ]}}{}\n",
+                    if i + 1 == sweeps.len() { "" } else { "," }
                 ));
             }
             json.push_str("    ]\n");

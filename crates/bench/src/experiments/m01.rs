@@ -27,7 +27,7 @@ use sprite_workloads::simulation_batch;
 
 use crate::experiments::e11;
 use crate::support::{
-    h, secs, standard_cluster, standard_migrator, warmed_sharded_selector, TableWriter,
+    h, secs, sharded_cluster, standard_migrator, warmed_sharded_selector, TableWriter,
 };
 
 /// Hosts in the macrobench cluster (the thesis cluster was ~50).
@@ -42,6 +42,8 @@ pub const MACRO_SIM_JOBS: usize = 100;
 pub const MACRO_SEED: u64 = 47;
 /// Coordinator daemons the batch workload shards its hosts across.
 pub const MACRO_COORDINATORS: usize = 4;
+/// File-server daemons striping the batch workload's root domain.
+pub const MACRO_FS_SHARDS: usize = 2;
 
 /// The month's selection architecture: gossip dissemination tuned for the
 /// driver's one-minute report cadence — fanout 1, batches of 4 entries, a
@@ -97,6 +99,12 @@ pub struct MacroReport {
     /// Wire bytes spent on host selection (all `hostsel-*` ops, both
     /// workloads).
     pub hostsel_bytes: u64,
+    /// File-server daemons striping the batch workload's root domain.
+    pub fs_shards: usize,
+    /// Block fetches the batch workload served from replica peers.
+    pub fs_replica_hits: u64,
+    /// Busy time of the batch workload's worst-loaded file-server daemon.
+    pub fs_server_busy_max: SimDuration,
 }
 
 fn simulation_graph(count: usize, mean_cpu: SimDuration, seed: u64) -> DepGraph {
@@ -132,21 +140,29 @@ pub fn run() -> MacroReport {
         .collect();
     let month = e11::merge(&month_reports);
 
-    // Part 2: 100 independent simulations over the borrowed machines.
+    // Part 2: 100 independent simulations over the borrowed machines, with
+    // the root domain striped across MACRO_FS_SHARDS server daemons. The
+    // home host sits just past the server group.
     let graph = simulation_graph(
         MACRO_SIM_JOBS,
         SimDuration::from_secs(400),
         MACRO_SEED ^ 0xa5,
     );
-    let (mut cluster, t0) = standard_cluster(MACRO_HOSTS);
+    let home = h(MACRO_FS_SHARDS as u32);
+    let (mut cluster, t0) = sharded_cluster(MACRO_HOSTS, MACRO_FS_SHARDS);
     let mut migrator = standard_migrator(MACRO_HOSTS);
-    let mut selector = warmed_sharded_selector(&mut cluster, MACRO_HOSTS, MACRO_COORDINATORS, 2);
-    let t = prepare_sources(&mut cluster, &graph, h(1), t0).expect("prepare");
+    let mut selector = warmed_sharded_selector(
+        &mut cluster,
+        MACRO_HOSTS,
+        MACRO_COORDINATORS,
+        MACRO_FS_SHARDS as u32 + 1,
+    );
+    let t = prepare_sources(&mut cluster, &graph, home, t0).expect("prepare");
     let build = run_build(
         &mut cluster,
         &mut migrator,
         &mut selector,
-        h(1),
+        home,
         &graph,
         &PmakeConfig::default(),
         t,
@@ -186,6 +202,9 @@ pub fn run() -> MacroReport {
         hostsel_requests,
         hostsel_select_mean_ms,
         hostsel_bytes,
+        fs_shards: cluster.fs.fs_shards(),
+        fs_replica_hits: cluster.fs.stats().replica_hits,
+        fs_server_busy_max: cluster.fs.server_busy_max(),
         net_messages: month.net_messages + batch_net.messages,
         net_bytes: month.net_bytes + batch_net.bytes,
         hosts: MACRO_HOSTS,
@@ -264,6 +283,15 @@ pub fn render(r: &MacroReport) -> String {
         format!("{:.3}ms", r.hostsel_select_mean_ms),
     ]);
     t.row(&["hostsel: wire bytes".into(), r.hostsel_bytes.to_string()]);
+    t.row(&["fs: server shards (batch)".into(), r.fs_shards.to_string()]);
+    t.row(&[
+        "fs: replica hits (batch)".into(),
+        r.fs_replica_hits.to_string(),
+    ]);
+    t.row(&[
+        "fs: worst server busy (batch)".into(),
+        secs(r.fs_server_busy_max),
+    ]);
     t.note("slab slots are reused through free lists: the table footprint is the");
     t.note("high-water mark, not the process count; stale lookups must stay 0;");
     t.note("rpc totals equal the raw NetStats counters (every byte is typed)");
@@ -279,21 +307,23 @@ mod tests {
         // A scaled-down pass through the same code path: slabs populated,
         // no stale dereferences, simulations all complete.
         let graph = simulation_graph(8, SimDuration::from_secs(40), 7);
-        let (mut cluster, t0) = standard_cluster(10);
+        let (mut cluster, t0) = sharded_cluster(10, MACRO_FS_SHARDS);
         let mut migrator = standard_migrator(10);
-        let mut selector = warmed_sharded_selector(&mut cluster, 10, 2, 2);
-        let t = prepare_sources(&mut cluster, &graph, h(1), t0).expect("prepare");
+        let mut selector = warmed_sharded_selector(&mut cluster, 10, 2, MACRO_FS_SHARDS as u32 + 1);
+        let home = h(MACRO_FS_SHARDS as u32);
+        let t = prepare_sources(&mut cluster, &graph, home, t0).expect("prepare");
         let build = run_build(
             &mut cluster,
             &mut migrator,
             &mut selector,
-            h(1),
+            home,
             &graph,
             &PmakeConfig::default(),
             t,
         )
         .expect("build");
         assert_eq!(build.targets_built, graph.len());
+        assert_eq!(cluster.fs.fs_shards(), MACRO_FS_SHARDS);
         let procs = cluster.proc_slab_stats();
         assert!(procs.high_water > 0, "slab saw live processes");
         assert_eq!(procs.stale_lookups, 0, "no stale PCB handles");

@@ -40,6 +40,25 @@ pub fn cluster_with(
     (c, t)
 }
 
+/// Like [`standard_cluster`] but the root domain is exported by a striped
+/// group of `fs_shards` server daemons on hosts `0..fs_shards` (clamped to
+/// `[1, hosts-1]`). At one shard this is exactly [`standard_cluster`]'s
+/// layout; at N the namespace, replica serving and paging stripes spread
+/// across N server CPUs.
+pub fn sharded_cluster(hosts: usize, fs_shards: usize) -> (Cluster, SimTime) {
+    let shards = fs_shards.clamp(1, hosts.saturating_sub(1).max(1));
+    let mut c = Cluster::with_fs_config(CostModel::sun3(), hosts, sprite_fs::FsConfig::default());
+    let servers: Vec<HostId> = (0..shards as u32).map(h).collect();
+    c.add_sharded_file_service(&servers, SpritePath::new("/"));
+    let t = c
+        .install_program(SimTime::ZERO, SpritePath::new("/bin/sim"), 32 * 1024)
+        .expect("install /bin/sim");
+    let t = c
+        .install_program(t, SpritePath::new("/bin/cc"), 48 * 1024)
+        .expect("install /bin/cc");
+    (c, t)
+}
+
 /// A default migrator for `hosts`.
 pub fn standard_migrator(hosts: usize) -> Migrator {
     Migrator::new(MigrationConfig::default(), hosts)
@@ -287,6 +306,16 @@ mod tests {
         let t2 = dirty_heap(&mut c, t, pid, 0.05);
         assert!(t2 > t);
         assert!(c.pcb(pid).unwrap().space.as_ref().unwrap().dirty_pages() > 0);
+    }
+
+    #[test]
+    fn sharded_cluster_reduces_to_standard_at_one_shard() {
+        let (_c1, t1) = standard_cluster(4);
+        let (c2, t2) = sharded_cluster(4, 1);
+        assert_eq!(t1, t2, "one shard is byte-for-byte the classic layout");
+        assert_eq!(c2.fs.fs_shards(), 1);
+        let (c3, _) = sharded_cluster(6, 2);
+        assert_eq!(c3.fs.fs_shards(), 2);
     }
 
     #[test]

@@ -21,10 +21,12 @@
 //! block reads/writes, consistency actions and paging separately.
 
 use sprite_net::{wire_size, HostId, RpcError, RpcOp, Transport, CONTROL_BYTES, PAGE_SIZE};
-use sprite_sim::{DetHashMap, SimDuration, SimTime, StateDigest};
+use sprite_sim::{DetHashMap, DetHashSet, SimDuration, SimTime, StateDigest};
 
 use crate::cache::{BlockAddr, BlockCache};
+use crate::replica::ReplicaTable;
 use crate::server::ServerState;
+use crate::shard::ShardMap;
 use crate::stream::{MoveOutcome, ReleaseOutcome, StreamId, StreamTable};
 use crate::{FileId, FileKind, OpenMode, SpritePath};
 
@@ -138,6 +140,31 @@ pub struct FsStats {
     pub pseudo_requests: u64,
     /// Opens that skipped the server lookup thanks to a client name cache.
     pub name_cache_hits: u64,
+    /// First-contact prefix-table fetches for striped domains.
+    pub shard_redirects: u64,
+    /// Block fetches served by a read replica instead of the home server.
+    pub replica_hits: u64,
+    /// Replica copies dropped because a write-open bumped the version.
+    pub replica_invalidates: u64,
+}
+
+/// One server daemon's load sample, for the evaluation tables. The
+/// sharded service reports these per server instead of folding everything
+/// into one aggregate, so the worst-loaded daemon is visible.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerLoad {
+    /// The machine the daemon runs on.
+    pub host: HostId,
+    /// Total CPU busy time.
+    pub busy: SimDuration,
+    /// Total time requests spent queued behind the busy CPU.
+    pub queue_wait: SimDuration,
+    /// Requests serviced by the CPU.
+    pub requests: u64,
+    /// Block touches served (memory-cache hits and misses).
+    pub block_ops: u64,
+    /// Block touches that went to disk.
+    pub disk_reads: u64,
 }
 
 /// The shared, network-wide file system.
@@ -167,15 +194,21 @@ pub struct FsStats {
 /// ```
 #[derive(Debug)]
 pub struct SpriteFs {
-    domains: Vec<(SpritePath, HostId)>,
+    shards: ShardMap,
     /// Dense per-host server table: `servers[h.index()]` is `Some` exactly
     /// when host `h` runs a file server. One bounds check per access.
     servers: Vec<Option<ServerState>>,
     clients: Vec<BlockCache>,
     name_caches: Vec<DetHashMap<SpritePath, FileId>>,
+    /// Striped-domain prefixes each host has fetched the member table for
+    /// (first contact pays one `fs-shard-redirect` round trip).
+    shard_known: Vec<DetHashSet<SpritePath>>,
+    replicas: ReplicaTable,
     streams: StreamTable,
     /// Dense file→server table indexed by the file's sequential id.
     file_home: Vec<Option<HostId>>,
+    /// Shard-group index each file was created under (same indexing).
+    file_group: Vec<Option<u16>>,
     next_file: u64,
     stats: FsStats,
     config: FsConfig,
@@ -186,14 +219,17 @@ impl SpriteFs {
     /// servers yet; call [`SpriteFs::add_server`] before creating files.
     pub fn new(config: FsConfig, hosts: usize) -> Self {
         SpriteFs {
-            domains: Vec::new(),
+            shards: ShardMap::new(),
             servers: (0..hosts).map(|_| None).collect(),
             clients: (0..hosts)
                 .map(|_| BlockCache::new(config.client_cache_blocks))
                 .collect(),
             name_caches: vec![DetHashMap::default(); hosts],
+            shard_known: vec![DetHashSet::default(); hosts],
+            replicas: ReplicaTable::new(),
             streams: StreamTable::new(),
             file_home: Vec::new(),
+            file_group: Vec::new(),
             next_file: 1,
             stats: FsStats::default(),
             config,
@@ -201,25 +237,35 @@ impl SpriteFs {
     }
 
     /// Declares that `host` runs a file server exporting the subtree at
-    /// `prefix`. Longest-prefix match routes names to servers.
+    /// `prefix`. Longest-prefix match routes names to domains; registering
+    /// a second host under the *same* prefix turns the domain into a
+    /// striped group whose names are spread across the members by hashing
+    /// the path text (see [`crate::shard::ShardMap`]).
     pub fn add_server(&mut self, host: HostId, prefix: SpritePath) {
         let slot = &mut self.servers[host.index()];
         if slot.is_none() {
             *slot = Some(ServerState::new(host, self.config.server_cache_blocks));
         }
-        self.domains.push((prefix, host));
-        // Longest prefix first.
-        self.domains
-            .sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.depth()));
+        self.shards.add(host, prefix);
     }
 
-    /// Which server exports the domain containing `path`.
+    /// Which server owns `path`: longest prefix picks the domain group,
+    /// the path-text hash picks the member.
     pub fn resolve(&self, path: &SpritePath) -> FsResult<HostId> {
-        self.domains
-            .iter()
-            .find(|(prefix, _)| path.starts_with(prefix))
-            .map(|(_, h)| *h)
+        self.shards
+            .route(path)
+            .map(|(_, h)| h)
             .ok_or_else(|| FsError::NoDomain(path.clone()))
+    }
+
+    /// The namespace partition table (diagnostics).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shards
+    }
+
+    /// The widest server-group size — 1 means the namespace is unsharded.
+    pub fn fs_shards(&self) -> usize {
+        self.shards.max_group_size()
     }
 
     /// Operation counters so far.
@@ -267,14 +313,47 @@ impl SpriteFs {
         d.write_u64(self.stats.pageouts);
         d.write_u64(self.stats.pseudo_requests);
         d.write_u64(self.stats.name_cache_hits);
+        d.write_u64(self.stats.shard_redirects);
+        d.write_u64(self.stats.replica_hits);
+        d.write_u64(self.stats.replica_invalidates);
         d.write_u64(self.next_file);
         self.streams.digest_into(d);
+        self.replicas.digest_into(d);
         for server in self.servers.iter().flatten() {
             d.write_usize(server.host.index());
             d.write_u64(server.cpu.busy_until().as_micros());
             d.write_usize(server.file_count());
             d.write_u64(server.disk_reads());
+            d.write_u64(server.queue_wait().as_micros());
+            d.write_u64(server.block_ops());
         }
+    }
+
+    /// Per-server load samples in host order: the sharded service breaks
+    /// the old single-server contention story out per daemon.
+    pub fn server_loads(&self) -> Vec<ServerLoad> {
+        self.servers
+            .iter()
+            .flatten()
+            .map(|s| ServerLoad {
+                host: s.host,
+                busy: s.cpu.busy_time(),
+                queue_wait: s.queue_wait(),
+                requests: s.cpu.requests(),
+                block_ops: s.block_ops(),
+                disk_reads: s.disk_reads(),
+            })
+            .collect()
+    }
+
+    /// Busy time of the worst-loaded server (the e05 saturation signal).
+    pub fn server_busy_max(&self) -> SimDuration {
+        self.servers
+            .iter()
+            .flatten()
+            .map(|s| s.cpu.busy_time())
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// The server host storing `file`.
@@ -348,6 +427,10 @@ impl SpriteFs {
         extra: SimDuration,
     ) -> FsResult<SimTime> {
         let srv = self.srv_mut(server);
+        // Sampled at dispatch: how long this request sits behind earlier
+        // ones (per-server contention, reported by `server_loads`).
+        let wait = srv.cpu.wait_at(now);
+        srv.note_queue_wait(wait);
         if client == server {
             let local = net.cost().local_kernel_call;
             Ok(srv
@@ -452,6 +535,152 @@ impl SpriteFs {
         Ok(t)
     }
 
+    /// Routes `path` to its owning server, charging the first-contact
+    /// `fs-shard-redirect` round trip when `host` has never talked to this
+    /// striped domain before (a client learns the member table from the
+    /// group's anchor server once, then routes directly). Group members
+    /// already hold the table and never pay the redirect.
+    fn route_charged(
+        &mut self,
+        net: &mut Transport,
+        now: SimTime,
+        host: HostId,
+        path: &SpritePath,
+    ) -> FsResult<(u16, HostId, SimTime)> {
+        let (gi, prefix, anchor, owner, is_member, multi) = {
+            let (gi, g) = self
+                .shards
+                .group_of(path)
+                .ok_or_else(|| FsError::NoDomain(path.clone()))?;
+            (
+                gi as u16,
+                g.prefix.clone(),
+                g.servers[0],
+                g.owner_of(path),
+                g.servers.contains(&host),
+                g.servers.len() > 1,
+            )
+        };
+        let mut t = now;
+        if multi && !is_member && !self.shard_known[host.index()].contains(&prefix) {
+            if host != anchor {
+                t = self.charge_typed(
+                    net,
+                    RpcOp::FsShardRedirect,
+                    t,
+                    host,
+                    anchor,
+                    SimDuration::ZERO,
+                )?;
+            }
+            self.shard_known[host.index()].insert(prefix);
+            self.stats.shard_redirects += 1;
+        }
+        Ok((gi, owner, t))
+    }
+
+    /// The shard-group peers of `home` for `file`, or empty when the file
+    /// lives in a single-server domain.
+    fn group_peers(&self, file: FileId, home: HostId) -> Vec<HostId> {
+        self.file_group
+            .get(file.raw() as usize)
+            .copied()
+            .flatten()
+            .and_then(|gi| self.shards.group(gi as usize))
+            .map(|g| g.servers.iter().copied().filter(|&s| s != home).collect())
+            .unwrap_or_default()
+    }
+
+    /// Pushes read replicas of a hot file to its group peers: one
+    /// `fs-replica-read` pull per peer, sized to the file, served by the
+    /// home CPU. A peer whose pull fails is simply left out; the read that
+    /// triggered the install never fails because of it. Only regular,
+    /// cacheable files with no open writers are eligible — anything else
+    /// and a peer copy could go stale outside the open/close protocol.
+    fn try_install_replicas(
+        &mut self,
+        net: &mut Transport,
+        now: SimTime,
+        file: FileId,
+        home: HostId,
+        peers: Vec<HostId>,
+    ) -> SimTime {
+        let (eligible, version, size) = match self.srv(home).file(file) {
+            Some(f) => (
+                matches!(f.kind, FileKind::Regular)
+                    && f.cacheable
+                    && f.writer_hosts().next().is_none(),
+                f.version,
+                f.logical_size(),
+            ),
+            None => (false, 0, 0),
+        };
+        if !eligible {
+            return now;
+        }
+        let blocks = size.div_ceil(PAGE_SIZE).max(1);
+        let extra = net.cost().cache_block_op;
+        let mut t = now;
+        let mut installed = Vec::new();
+        for peer in peers {
+            if let Ok(done) = self.charge_sized(
+                net,
+                RpcOp::FsReplicaRead,
+                t,
+                peer,
+                home,
+                CONTROL_BYTES,
+                size + CONTROL_BYTES,
+                extra,
+            ) {
+                t = done;
+                // The copy lands in the peer's memory cache: warm it so
+                // replica serves reflect residency, not phantom misses.
+                let srv = self.srv_mut(peer);
+                for b in 0..blocks {
+                    srv.touch_block(file, b);
+                }
+                installed.push(peer);
+            }
+        }
+        if !installed.is_empty() {
+            // The home server joins the serve rotation: it already holds
+            // the authoritative copy, and leaving it out would swap the
+            // read load onto the peers instead of spreading it.
+            installed.push(home);
+            self.replicas.install(file, installed, version);
+        }
+        t
+    }
+
+    /// Drops `file`'s replica set, notifying each peer with one
+    /// `fs-replica-invalidate` (home-initiated, like the consistency
+    /// notices). The set is gone before any notice is sent, so even a
+    /// notice that fails leaves no path to a stale replica read.
+    fn invalidate_replicas(
+        &mut self,
+        net: &mut Transport,
+        now: SimTime,
+        file: FileId,
+    ) -> FsResult<SimTime> {
+        let Some(peers) = self.replicas.drop_set(file) else {
+            return Ok(now);
+        };
+        let home = self.home_of(file).expect("replicated file has a home");
+        let mut t = now;
+        for peer in peers {
+            // The home server is in the serve rotation but holds the
+            // authoritative copy; only actual peers get a notice.
+            if peer != home {
+                self.stats.replica_invalidates += 1;
+                t = net
+                    .send(RpcOp::FsReplicaInvalidate, t, home, peer, None)?
+                    .done;
+            }
+        }
+        Ok(t)
+    }
+
     // ----- namespace operations -------------------------------------------
 
     /// Creates a regular file at `path`.
@@ -504,9 +733,9 @@ impl SpriteFs {
         path: SpritePath,
         kind: FileKind,
     ) -> FsResult<(FileId, SimTime)> {
-        let server = self.resolve(&path)?;
+        let (group, server, t) = self.route_charged(net, now, host, &path)?;
         let lookup = net.cost().name_lookup_component * path.depth();
-        let done = self.charge_typed(net, RpcOp::FsLookup, now, host, server, lookup)?;
+        let done = self.charge_typed(net, RpcOp::FsLookup, t, host, server, lookup)?;
         self.stats.lookups += 1;
         let id = FileId::new(self.next_file);
         let srv = self.srv_mut(server);
@@ -514,6 +743,11 @@ impl SpriteFs {
             Some(id) => {
                 self.next_file += 1;
                 self.set_home(id, server);
+                let i = id.raw() as usize;
+                if self.file_group.len() <= i {
+                    self.file_group.resize(i + 1, None);
+                }
+                self.file_group[i] = Some(group);
                 Ok((id, done))
             }
             None => Err(FsError::AlreadyExists(path)),
@@ -534,22 +768,27 @@ impl SpriteFs {
         host: HostId,
         path: &SpritePath,
     ) -> FsResult<SimTime> {
-        let server = self.resolve(path)?;
+        let (_, server, t) = self.route_charged(net, now, host, path)?;
         let lookup = net.cost().name_lookup_component * path.depth();
-        let done = self.charge_typed(net, RpcOp::FsLookup, now, host, server, lookup)?;
+        let mut done = self.charge_typed(net, RpcOp::FsLookup, t, host, server, lookup)?;
         self.stats.lookups += 1;
-        let srv = self.srv_mut(server);
-        if let Some(id) = srv.lookup(path) {
-            srv.unlink(path);
-            self.clear_home(id);
-            self.clients[host.index()].invalidate_file(id);
-            for cache in &mut self.name_caches {
-                cache.remove(path);
-            }
-            Ok(done)
-        } else {
-            Err(FsError::NotFound(path.clone()))
+        let id = match self.srv(server).lookup(path) {
+            Some(id) => id,
+            None => return Err(FsError::NotFound(path.clone())),
+        };
+        // Peer replica copies of the dying file must go first.
+        done = self.invalidate_replicas(net, done, id)?;
+        self.replicas.forget(id);
+        self.srv_mut(server).unlink(path);
+        self.clear_home(id);
+        if let Some(slot) = self.file_group.get_mut(id.raw() as usize) {
+            *slot = None;
         }
+        self.clients[host.index()].invalidate_file(id);
+        for cache in &mut self.name_caches {
+            cache.remove(path);
+        }
+        Ok(done)
     }
 
     // ----- stream operations ------------------------------------------------
@@ -563,7 +802,7 @@ impl SpriteFs {
         path: SpritePath,
         mode: OpenMode,
     ) -> FsResult<(StreamId, SimTime)> {
-        let server = self.resolve(&path)?;
+        let (_, server, t0) = self.route_charged(net, now, host, &path)?;
         let cached_name =
             self.config.client_name_caching && self.name_caches[host.index()].contains_key(&path);
         let lookup = if cached_name {
@@ -573,7 +812,7 @@ impl SpriteFs {
             self.stats.lookups += 1;
             net.cost().name_lookup_component * path.depth()
         };
-        let mut t = self.charge_typed(net, RpcOp::FsOpen, now, host, server, lookup)?;
+        let mut t = self.charge_typed(net, RpcOp::FsOpen, t0, host, server, lookup)?;
         let srv = self.srv_mut(server);
         let Some(id) = srv.lookup(&path) else {
             self.name_caches[host.index()].remove(&path);
@@ -581,6 +820,11 @@ impl SpriteFs {
         };
         let kind = srv.file(id).expect("looked-up file").kind;
         let actions = srv.open(id, host, mode);
+        if mode.writes() {
+            // The version just bumped: peer read replicas are now stale and
+            // must be dropped before the open completes.
+            t = self.invalidate_replicas(net, t, id)?;
+        }
         for flush_host in &actions.flush_from {
             t = self.recall_dirty(net, t, *flush_host, id)?;
         }
@@ -597,14 +841,18 @@ impl SpriteFs {
             }
         }
         // Bring the opener's cache in line with the (possibly bumped)
-        // version: still-current copies are re-stamped, stale ones dropped.
-        if actions.cacheable && !actions.invalidate_on.contains(&host) {
-            if actions.opener_cache_current {
-                let version = self.server_file_version(server, id);
-                self.clients[host.index()].revalidate_file(id, version);
-            } else {
-                t = self.invalidate_on_host(net, t, host, id)?;
-            }
+        // version: still-current copies are re-stamped. Stale copies need
+        // no action — block lookups are version-keyed, so a copy stamped
+        // with an older version simply misses and refetches [NWO88]. (An
+        // eager drop here would throw away every cached block of a file
+        // whose *last* writer was another host, even when the opener's
+        // copies were fetched after that write and are perfectly current.)
+        if actions.cacheable
+            && !actions.invalidate_on.contains(&host)
+            && actions.opener_cache_current
+        {
+            let version = self.server_file_version(server, id);
+            self.clients[host.index()].revalidate_file(id, version);
         }
         if self.config.client_name_caching {
             self.name_caches[host.index()].insert(path, id);
@@ -912,6 +1160,11 @@ impl SpriteFs {
             let f = srv.file(file).expect("file exists");
             (f.cacheable, f.open_hosts().collect::<Vec<_>>())
         };
+        if mode.writes() {
+            // A migrating write stream is a write-open for consistency
+            // purposes; peer replicas version-miss and must be dropped.
+            t = self.invalidate_replicas(net, t, file)?;
+        }
         if !cacheable {
             self.stats.cache_disables += 1;
             for h in holders {
@@ -934,21 +1187,26 @@ impl SpriteFs {
         page: u64,
         bytes: &[u8],
     ) -> FsResult<SimTime> {
-        let server = self.backing_server(file)?;
+        let home = self.backing_server(file)?;
+        let io = self.paging_server(file, page).unwrap_or(home);
         let extra = net.cost().cache_block_op;
-        let t = self.charge_sized(
+        let mut t = self.charge_sized(
             net,
             RpcOp::VmPageFlush,
             now,
             host,
-            server,
+            io,
             bytes.len() as u64 + CONTROL_BYTES,
             CONTROL_BYTES,
             extra,
         )?;
-        let srv = self.srv_mut(server);
-        srv.touch_block(file, page);
-        srv.file_mut(file)
+        // Paging writes bypass the open/close protocol, so any replica set
+        // on the file (possible for a regular file that gets paged) is
+        // dropped here rather than at a write-open.
+        t = self.invalidate_replicas(net, t, file)?;
+        self.srv_mut(io).touch_block(file, page);
+        self.srv_mut(home)
+            .file_mut(file)
             .expect("backing file exists")
             .write_at(page * PAGE_SIZE, bytes);
         self.stats.pageouts += 1;
@@ -964,10 +1222,11 @@ impl SpriteFs {
         file: FileId,
         page: u64,
     ) -> FsResult<(Vec<u8>, SimTime)> {
-        let server = self.backing_server(file)?;
-        let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, page);
-        let t = self.charge_typed(net, RpcOp::VmPageFetch, now, host, server, extra)?;
-        let srv = self.srv_mut(server);
+        let home = self.backing_server(file)?;
+        let io = self.paging_server(file, page).unwrap_or(home);
+        let extra = net.cost().cache_block_op + self.disk_penalty(net, io, file, page);
+        let t = self.charge_typed(net, RpcOp::VmPageFetch, now, host, io, extra)?;
+        let srv = self.srv_mut(home);
         let mut data = srv
             .file(file)
             .expect("backing file exists")
@@ -988,6 +1247,25 @@ impl SpriteFs {
             FileKind::Backing | FileKind::Regular => Ok(server),
             FileKind::Pseudo { .. } => Err(FsError::WrongKind(file)),
         }
+    }
+
+    /// For a backing file in a striped domain, the group member whose
+    /// disk and CPU serve `page`: pages round-robin across the group by
+    /// `(file, page)`, so one large swap file saturates N spindles instead
+    /// of one. Returns `None` in single-server domains. The home server
+    /// keeps the authoritative byte image; only service is striped.
+    fn paging_server(&self, file: FileId, page: u64) -> Option<HostId> {
+        let gi = self
+            .file_group
+            .get(file.raw() as usize)
+            .copied()
+            .flatten()?;
+        let g = self.shards.group(gi as usize)?;
+        if g.servers.len() < 2 {
+            return None;
+        }
+        let n = g.servers.len() as u64;
+        Some(g.servers[(file.raw().wrapping_add(page) % n) as usize])
     }
 
     // ----- pseudo-devices -------------------------------------------------------
@@ -1119,8 +1397,31 @@ impl SpriteFs {
         block: u64,
         version: u64,
     ) -> FsResult<SimTime> {
-        let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, block);
-        let t = self.charge_typed(net, RpcOp::FsBlockRead, now, host, server, extra)?;
+        // A hot file with a live replica set is served by a group peer
+        // chosen from the reading host's identity, spreading the read load
+        // across the striped domain. Replica sets only exist between an
+        // install and the next write-open (which drops them), so a peer
+        // serve is current by construction; bytes still come from the home
+        // server's authoritative copy.
+        let serve_from = match self.replicas.set(file) {
+            Some(set) if host != server => set.servers[host.index() % set.servers.len()],
+            _ => server,
+        };
+        let t = if serve_from != server {
+            self.stats.replica_hits += 1;
+            let extra = net.cost().cache_block_op + self.disk_penalty(net, serve_from, file, block);
+            self.charge_typed(net, RpcOp::FsReplicaRead, now, host, serve_from, extra)?
+        } else {
+            let extra = net.cost().cache_block_op + self.disk_penalty(net, server, file, block);
+            let mut t = self.charge_typed(net, RpcOp::FsBlockRead, now, host, server, extra)?;
+            if host != server {
+                let peers = self.group_peers(file, server);
+                if !peers.is_empty() && self.replicas.note_fetch(file, host) {
+                    t = self.try_install_replicas(net, t, file, server, peers);
+                }
+            }
+            t
+        };
         let mut data = self.server_block(server, file, block);
         if data.is_empty() {
             // Sparse or unwritten region: cache a zero block so the entry
@@ -1678,6 +1979,164 @@ mod tests {
         assert_eq!(st.opens, 0);
         assert_eq!(st.bytes_written, 0);
         assert_eq!(st.lookups, 0);
+    }
+
+    fn sharded_setup(hosts: usize, shards: usize) -> (Transport, SpriteFs) {
+        let net = Transport::new(CostModel::sun3(), hosts);
+        let mut fs = SpriteFs::new(FsConfig::default(), hosts);
+        for i in 0..shards {
+            fs.add_server(HostId::new(i as u32), SpritePath::new("/"));
+        }
+        (net, fs)
+    }
+
+    #[test]
+    fn striped_domain_spreads_files_across_members() {
+        let (mut net, mut fs) = sharded_setup(6, 3);
+        assert_eq!(fs.fs_shards(), 3);
+        let mut t = SimTime::ZERO;
+        let mut homes = std::collections::BTreeSet::new();
+        for i in 0..32 {
+            let (id, t1) = fs
+                .create(&mut net, t, h(4), SpritePath::new(format!("/src/f{i}.c")))
+                .unwrap();
+            t = t1;
+            let home = fs.home_of(id).unwrap();
+            assert_eq!(
+                fs.resolve(&SpritePath::new(format!("/src/f{i}.c")))
+                    .unwrap(),
+                home
+            );
+            homes.insert(home);
+        }
+        assert_eq!(homes.len(), 3, "files should land on all three members");
+    }
+
+    #[test]
+    fn first_contact_pays_one_shard_redirect_per_host() {
+        let (mut net, mut fs) = sharded_setup(6, 3);
+        let t0 = SimTime::ZERO;
+        let (_, t1) = fs
+            .create(&mut net, t0, h(4), SpritePath::new("/a"))
+            .unwrap();
+        assert_eq!(fs.stats().shard_redirects, 1);
+        let (_, t2) = fs
+            .create(&mut net, t1, h(4), SpritePath::new("/b"))
+            .unwrap();
+        assert_eq!(fs.stats().shard_redirects, 1, "table cached at the client");
+        let (s, t3) = fs
+            .open(&mut net, t2, h(5), SpritePath::new("/a"), OpenMode::Read)
+            .unwrap();
+        assert_eq!(fs.stats().shard_redirects, 2, "each host learns it once");
+        fs.close(&mut net, t3, h(5), s).unwrap();
+        // A group member never pays the redirect.
+        let (_, _) = fs
+            .create(&mut net, t3, h(0), SpritePath::new("/c"))
+            .unwrap();
+        assert_eq!(fs.stats().shard_redirects, 2);
+    }
+
+    #[test]
+    fn hot_file_is_replicated_and_write_open_invalidates() {
+        let (mut net, mut fs) = sharded_setup(9, 2);
+        let t0 = SimTime::ZERO;
+        let payload = vec![3u8; 12 * PAGE_SIZE as usize];
+        fs.create(&mut net, t0, h(2), SpritePath::new("/hot"))
+            .unwrap();
+        let (w, t1) = fs
+            .open(&mut net, t0, h(2), SpritePath::new("/hot"), OpenMode::Write)
+            .unwrap();
+        let t2 = fs.write(&mut net, t1, h(2), w, &payload).unwrap();
+        let t3 = fs.close(&mut net, t2, h(2), w).unwrap();
+        // A parade of distinct readers: each switch of reading host heats
+        // the file; once HOT_THRESHOLD switches accumulate the home pushes
+        // a copy to the group peer and later reads rotate over both.
+        let mut t = t3;
+        let mut last = Vec::new();
+        for reader in [h(3), h(4), h(5), h(6), h(7), h(8)] {
+            let (r, t4) = fs
+                .open(&mut net, t, reader, SpritePath::new("/hot"), OpenMode::Read)
+                .unwrap();
+            let (data, t5) = fs
+                .read(&mut net, t4, reader, r, payload.len() as u64)
+                .unwrap();
+            assert_eq!(data, payload);
+            t = fs.close(&mut net, t5, reader, r).unwrap();
+            last = data;
+        }
+        assert_eq!(last, payload);
+        assert!(
+            fs.stats().replica_hits > 0,
+            "late readers should be served by the replica peer"
+        );
+        let t5 = t;
+        let home = fs.resolve(&SpritePath::new("/hot")).unwrap();
+        let peer = if home == h(0) { h(1) } else { h(0) };
+        assert!(
+            fs.server(peer).unwrap().cpu.busy_time() > SimDuration::ZERO,
+            "replica peer CPU did real work"
+        );
+        // A write-open bumps the version and drops the replica set.
+        let (w2, t6) = fs
+            .open(&mut net, t5, h(2), SpritePath::new("/hot"), OpenMode::Write)
+            .unwrap();
+        assert!(fs.stats().replica_invalidates > 0);
+        let t7 = fs.write(&mut net, t6, h(2), w2, b"NEW").unwrap();
+        let t8 = fs.close(&mut net, t7, h(2), w2).unwrap();
+        // A reader re-opens and must see the new bytes, never a stale
+        // replica copy.
+        let (r2, t9) = fs
+            .open(&mut net, t8, h(4), SpritePath::new("/hot"), OpenMode::Read)
+            .unwrap();
+        let (head, _) = fs.read(&mut net, t9, h(4), r2, 3).unwrap();
+        assert_eq!(&head, b"NEW");
+    }
+
+    #[test]
+    fn striped_paging_spreads_service_across_the_group() {
+        let (mut net, mut fs) = sharded_setup(4, 2);
+        let t0 = SimTime::ZERO;
+        let (swap, t1) = fs
+            .create_backing(&mut net, t0, h(3), SpritePath::new("/swap/big"))
+            .unwrap();
+        let page = vec![0x5au8; PAGE_SIZE as usize];
+        let mut t = t1;
+        for p in 0..6 {
+            t = fs.page_out(&mut net, t, h(3), swap, p, &page).unwrap();
+        }
+        for p in 0..6 {
+            let (back, t2) = fs.page_in(&mut net, t, h(3), swap, p).unwrap();
+            assert_eq!(back, page);
+            t = t2;
+        }
+        assert!(fs.server(h(0)).unwrap().cpu.busy_time() > SimDuration::ZERO);
+        assert!(fs.server(h(1)).unwrap().cpu.busy_time() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn server_loads_report_per_daemon_contention() {
+        let (mut net, mut fs) = sharded_setup(4, 2);
+        let t0 = SimTime::ZERO;
+        fs.create(&mut net, t0, h(2), SpritePath::new("/x"))
+            .unwrap();
+        let (s, t1) = fs
+            .open(
+                &mut net,
+                t0,
+                h(2),
+                SpritePath::new("/x"),
+                OpenMode::ReadWrite,
+            )
+            .unwrap();
+        let t2 = fs.write(&mut net, t1, h(2), s, &[1u8; 9000]).unwrap();
+        fs.close(&mut net, t2, h(2), s).unwrap();
+        let loads = fs.server_loads();
+        assert_eq!(loads.len(), 2);
+        assert!(loads.iter().any(|l| l.requests > 0));
+        assert_eq!(
+            fs.server_busy_max(),
+            loads.iter().map(|l| l.busy).max().unwrap()
+        );
     }
 
     #[test]

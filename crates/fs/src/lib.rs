@@ -30,12 +30,16 @@ mod file;
 #[allow(clippy::module_inception)]
 mod fs;
 mod path;
+mod replica;
 mod server;
+mod shard;
 mod stream;
 
 pub use cache::{BlockAddr, BlockCache};
 pub use file::{FileId, FileKind, OpenMode};
-pub use fs::{FsConfig, FsError, FsResult, FsStats, SpriteFs};
+pub use fs::{FsConfig, FsError, FsResult, FsStats, ServerLoad, SpriteFs};
 pub use path::SpritePath;
+pub use replica::{ReplicaSet, ReplicaTable, HOT_THRESHOLD};
 pub use server::{ConsistencyActions, OpenRecord, ServerFile, ServerState};
+pub use shard::{ShardGroup, ShardMap};
 pub use stream::{MoveOutcome, ReleaseOutcome, Stream, StreamId, StreamTable};

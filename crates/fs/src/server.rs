@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 
 use sprite_net::{HostId, PAGE_SIZE};
-use sprite_sim::{DetHashMap, DetHashSet, FcfsResource};
+use sprite_sim::{DetHashMap, DetHashSet, FcfsResource, SimDuration};
 
 use crate::{FileId, FileKind, OpenMode, SpritePath};
 
@@ -187,6 +187,8 @@ pub struct ServerState {
     mem_lru: VecDeque<(FileId, u64)>,
     mem_capacity: usize,
     disk_reads: u64,
+    queue_wait: SimDuration,
+    block_ops: u64,
 }
 
 impl ServerState {
@@ -202,6 +204,8 @@ impl ServerState {
             mem_lru: VecDeque::new(),
             mem_capacity: mem_capacity.max(1),
             disk_reads: 0,
+            queue_wait: SimDuration::ZERO,
+            block_ops: 0,
         }
     }
 
@@ -250,6 +254,22 @@ impl ServerState {
     /// Total disk reads performed (server cache misses).
     pub fn disk_reads(&self) -> u64 {
         self.disk_reads
+    }
+
+    /// Total time requests spent queued behind this server's busy CPU,
+    /// sampled at dispatch (the e05 contention signal).
+    pub fn queue_wait(&self) -> SimDuration {
+        self.queue_wait
+    }
+
+    /// Records the queue delay one request observed at dispatch time.
+    pub fn note_queue_wait(&mut self, wait: SimDuration) {
+        self.queue_wait += wait;
+    }
+
+    /// Block touches served by this server (memory cache hits and misses).
+    pub fn block_ops(&self) -> u64 {
+        self.block_ops
     }
 
     /// Registers an open by `host` in `mode`, returning the consistency
@@ -348,6 +368,7 @@ impl ServerState {
     /// Touches a block in the server memory cache; returns true if it was
     /// resident (no disk access needed).
     pub fn touch_block(&mut self, id: FileId, block: u64) -> bool {
+        self.block_ops += 1;
         let key = (id, block);
         if self.mem_cache.contains(&key) {
             // Refresh recency.

@@ -79,6 +79,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Adds a striped file-service group: every host in `servers` exports
+    /// `prefix`, and names beneath it spread across the group by path-text
+    /// hashing (`sprite_fs::ShardMap`).
+    pub fn sharded_file_service(mut self, servers: &[HostId], prefix: &str) -> Self {
+        for host in servers {
+            self.servers.push((*host, prefix.to_owned()));
+        }
+        self
+    }
+
     /// Installs an executable of `text_bytes` at `path` during build.
     pub fn program(mut self, path: &str, text_bytes: u64) -> Self {
         self.programs.push((path.to_owned(), text_bytes));
@@ -150,6 +160,29 @@ mod tests {
         // Spawning works immediately.
         let r = cluster.spawn(t, HostId::new(1), &SpritePath::new("/bin/a"), 8, 4);
         assert!(r.is_ok());
+    }
+
+    #[test]
+    fn sharded_file_service_runs_programs_end_to_end() {
+        let shards = [HostId::new(0), HostId::new(1)];
+        let (mut cluster, t) = ClusterBuilder::new(6)
+            .sharded_file_service(&shards, "/")
+            .program("/bin/a", 16 * 1024)
+            .program("/bin/b", 16 * 1024)
+            .build()
+            .unwrap();
+        assert_eq!(cluster.fs.fs_shards(), 2);
+        // Processes spawn and run off the striped service transparently.
+        let (pid, t) = cluster
+            .spawn(t, HostId::new(3), &SpritePath::new("/bin/a"), 16, 4)
+            .unwrap();
+        assert!(cluster.pcb(pid).is_some());
+        let (pid2, _t) = cluster
+            .spawn(t, HostId::new(4), &SpritePath::new("/bin/b"), 16, 4)
+            .unwrap();
+        assert!(cluster.pcb(pid2).is_some());
+        // Non-member hosts paid their one-time prefix-table fetch.
+        assert!(cluster.fs.stats().shard_redirects >= 1);
     }
 
     #[test]

@@ -234,6 +234,16 @@ impl Cluster {
         self.fs.add_server(host, prefix);
     }
 
+    /// Declares a striped file-service group: every host in `servers`
+    /// exports `prefix`, and names beneath it spread across the group by
+    /// path-text hashing (see [`sprite_fs::ShardMap`]). One host is the
+    /// classic single-server domain.
+    pub fn add_sharded_file_service(&mut self, servers: &[HostId], prefix: SpritePath) {
+        for host in servers {
+            self.fs.add_server(*host, prefix.clone());
+        }
+    }
+
     /// Starts recording a narrative of cluster events (spawns, execs,
     /// migrations, exits, signals), keeping the most recent `capacity`
     /// lines. The transport starts its own `"rpc"` narrative alongside.

@@ -29,7 +29,6 @@ pub use cluster::{Cluster, HostState, KernelError, KernelResult, KernelStats, Pr
 pub use pid::ProcessId;
 pub use proc::{Pcb, ProcState, Signal};
 pub use proc_table::SlabStats;
-pub use sprite_net::HostPartition;
 
 #[cfg(test)]
 mod tests {

@@ -25,6 +25,11 @@ pub struct Diagnostic {
 const DEFAULT_HASHER_TYPES: &[&str] = &["HashMap", "HashSet", "RandomState"];
 /// Raw `Network` methods that bypass the typed `Transport` accounting.
 const RAW_NET_METHODS: &[&str] = &["rpc", "bulk", "datagram", "multicast"];
+/// Receiver bindings the raw-send rule watches. `net` is the workspace
+/// convention; the striped file-service modules (shard routing, replica
+/// push/invalidate) thread the same handle through helpers as `network`
+/// or `wire`, and a raw send is just as unaccounted under those names.
+const RAW_NET_RECEIVERS: &[&str] = &["net", "network", "wire"];
 /// Typed `Transport` send methods returning `Result<_, RpcError>`.
 const SEND_METHODS: &[&str] = &[
     "send",
@@ -179,7 +184,8 @@ fn no_raw_net_send(path: &str, toks: &[Token], out: &mut Vec<Diagnostic>) {
         return;
     }
     for i in 0..toks.len() {
-        if toks[i].is_ident("net")
+        if toks[i].kind == TokenKind::Ident
+            && RAW_NET_RECEIVERS.contains(&toks[i].text.as_str())
             && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
             && toks.get(i + 2).is_some_and(|t| {
                 t.kind == TokenKind::Ident && RAW_NET_METHODS.contains(&t.text.as_str())

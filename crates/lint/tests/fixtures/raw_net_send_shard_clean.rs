@@ -1,0 +1,26 @@
+// Fixture: the same shard/replica traffic routed through the typed
+// Transport under the striped-service receiver names. Typed sends and
+// reads of the handle (rpc_table) must not match the raw-send rule.
+pub fn push_replicas(
+    network: &mut Transport,
+    now: SimTime,
+    home: HostId,
+    peers: &[HostId],
+) -> Result<(), RpcError> {
+    for &peer in peers {
+        network.send(RpcOp::FsReplicaRead, now, peer, home, None)?;
+    }
+    Ok(())
+}
+
+pub fn invalidate(
+    wire: &mut Transport,
+    now: SimTime,
+    home: HostId,
+    peer: HostId,
+) -> Result<(), RpcError> {
+    wire.send(RpcOp::FsReplicaInvalidate, now, home, peer, None)?;
+    let table = wire.rpc_table();
+    let _ = table;
+    Ok(())
+}

@@ -1,0 +1,13 @@
+// Fixture: striped file-service helpers pushing replica copies and
+// invalidations over the raw Network handle — under the receiver names
+// the shard/replica modules use — instead of the typed Transport.
+pub fn push_replicas(network: &mut Network, home: HostId, peers: &[HostId]) {
+    for &peer in peers {
+        network.rpc(home, peer, 4096);
+    }
+    network.multicast(home, peers, 64);
+}
+
+pub fn invalidate(wire: &mut Network, home: HostId, peer: HostId) {
+    wire.datagram(home, peer, 64);
+}

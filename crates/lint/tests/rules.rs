@@ -70,6 +70,26 @@ fn raw_net_send_fixture_flags_and_clean_passes() {
 }
 
 #[test]
+fn raw_net_send_covers_striped_fs_modules() {
+    // The shard router and replica manager thread the wire handle through
+    // helpers as `network`/`wire`; raw sends under those names must fire
+    // in both modules.
+    for path in ["crates/fs/src/shard.rs", "crates/fs/src/replica.rs"] {
+        let lines = flagged_lines("raw_net_send_shard_violate.rs", path, "no-raw-net-send");
+        assert_eq!(lines, vec![6, 8, 12], "{path}: rpc, multicast, datagram");
+    }
+    assert!(
+        all_diags("raw_net_send_shard_clean.rs", "crates/fs/src/shard.rs").is_empty(),
+        "typed sends under shard/replica receiver names are legal"
+    );
+    assert!(all_diags("raw_net_send_shard_clean.rs", "crates/fs/src/replica.rs").is_empty());
+    assert!(
+        all_diags("raw_net_send_shard_violate.rs", "crates/net/src/wire.rs").is_empty(),
+        "raw sends stay the transport's own business inside crates/net"
+    );
+}
+
+#[test]
 fn multiline_unwrap_regression_is_caught() {
     // The old `grep -rEz` lint missed send chains split across lines;
     // this is the regression fixture proving the token-level rule sees

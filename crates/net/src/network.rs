@@ -6,8 +6,10 @@
 //! and every host shares one 10 Mbit Ethernet. [`Network`] reproduces that
 //! structure:
 //!
-//! * the wire is a single [`FcfsResource`] — concurrent transfers serialize,
-//!   which is what eventually throttles migration-heavy workloads;
+//! * the wire is a single [`SlottedResource`] — concurrent transfers
+//!   serialize, which is what eventually throttles migration-heavy
+//!   workloads, but a transfer arriving between two already-scheduled
+//!   transmissions uses the idle gap, as on a real CSMA wire;
 //! * an RPC costs two message latencies, two processing steps, and wire
 //!   occupancy for both payloads; the callee's CPU can optionally be charged
 //!   so busy servers queue;
@@ -17,7 +19,7 @@
 //! * every message and byte is counted, because the host-selection
 //!   comparison (E10) reports messages per operation.
 
-use sprite_sim::{Counter, FcfsResource, SimDuration, SimTime, StateDigest};
+use sprite_sim::{Counter, FcfsResource, SimDuration, SimTime, SlottedResource, StateDigest};
 
 use crate::{CostModel, HostId};
 
@@ -79,7 +81,7 @@ impl Delivery {
 #[derive(Debug)]
 pub struct Network {
     cost: CostModel,
-    wire: FcfsResource,
+    wire: SlottedResource,
     hosts: usize,
     stats: NetStats,
     sent_by_host: Vec<Counter>,
@@ -90,7 +92,7 @@ impl Network {
     pub fn new(cost: CostModel, hosts: usize) -> Self {
         Network {
             cost,
-            wire: FcfsResource::new(),
+            wire: SlottedResource::new(),
             hosts,
             stats: NetStats::default(),
             sent_by_host: vec![Counter::default(); hosts],
@@ -124,7 +126,7 @@ impl Network {
         d.write_u64(self.stats.bytes);
         d.write_u64(self.stats.rpcs);
         d.write_u64(self.stats.multicasts);
-        d.write_u64(self.wire.busy_until().as_micros());
+        d.write_u64(self.wire.horizon().as_micros());
         for c in &self.sent_by_host {
             d.write_u64(c.get());
         }

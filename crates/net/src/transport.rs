@@ -113,6 +113,15 @@ pub enum RpcOp {
     HostselGossip,
     /// Selection round trip with one of `c` sharded coordinator daemons.
     HostselShardQuery,
+    /// First-contact round trip that teaches a client which server of a
+    /// striped FS domain owns a name (prefix-table fetch).
+    FsShardRedirect,
+    /// Block read served by (or replica pull to) a read-replica server
+    /// peer instead of the file's home server.
+    FsReplicaRead,
+    /// Home-server notice dropping a peer's read replica after a
+    /// write-open bumped the file version.
+    FsReplicaInvalidate,
 }
 
 /// Canonical request/reply payload sizes for one [`RpcOp`].
@@ -126,7 +135,7 @@ pub struct WireSize {
 
 impl RpcOp {
     /// Every op, in table order.
-    pub const ALL: [RpcOp; 25] = [
+    pub const ALL: [RpcOp; 28] = [
         RpcOp::MigrateNegotiate,
         RpcOp::MigrateState,
         RpcOp::MigrateCommit,
@@ -152,6 +161,9 @@ impl RpcOp {
         RpcOp::HostselRelease,
         RpcOp::HostselGossip,
         RpcOp::HostselShardQuery,
+        RpcOp::FsShardRedirect,
+        RpcOp::FsReplicaRead,
+        RpcOp::FsReplicaInvalidate,
     ];
 
     /// Stable lower-case label for tables, traces and JSON.
@@ -182,6 +194,9 @@ impl RpcOp {
             RpcOp::HostselRelease => "hostsel-release",
             RpcOp::HostselGossip => "hostsel-gossip",
             RpcOp::HostselShardQuery => "hostsel-shard-query",
+            RpcOp::FsShardRedirect => "fs-shard-redirect",
+            RpcOp::FsReplicaRead => "fs-replica-read",
+            RpcOp::FsReplicaInvalidate => "fs-replica-invalidate",
         }
     }
 
@@ -231,6 +246,9 @@ pub fn wire_size(op: RpcOp) -> WireSize {
         // Caller-sized one-way: header + f gossip entries per message.
         RpcOp::HostselGossip => (0, 0),
         RpcOp::HostselShardQuery => (HANDLE_BYTES, HANDLE_BYTES),
+        RpcOp::FsShardRedirect => (HANDLE_BYTES, HANDLE_BYTES),
+        RpcOp::FsReplicaRead => (CONTROL_BYTES, PAGE_REPLY_BYTES),
+        RpcOp::FsReplicaInvalidate => (CONTROL_BYTES, CONTROL_BYTES),
     };
     WireSize { request, reply }
 }

@@ -174,11 +174,28 @@ pub fn prepare_sources(
     Ok(t)
 }
 
+/// One job advances one file-system operation (or one compute burst) per
+/// simulation event. The granularity matters: a real compile blocks per
+/// *syscall*, so two jobs on different hosts interleave their RPCs at the
+/// file server and on the wire. Batching a whole read phase into a single
+/// event would serialize entire open/read/close chains — including their
+/// message latencies — through the shared-resource queues, and no amount
+/// of server-side parallelism could then improve the makespan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
-    ReadInputs,
+    /// Open the next input file (or move to Compute when none remain).
+    ReadOpen,
+    /// Read one chunk from the open input.
+    ReadChunk,
+    /// Close the drained input.
+    ReadClose,
     Compute,
-    WriteOutput,
+    /// Create + open the output file.
+    WriteOpen,
+    /// Write the output bytes.
+    WriteChunk,
+    /// Close the output.
+    WriteClose,
     Finish,
 }
 
@@ -297,7 +314,7 @@ pub fn run_build(
                         pid,
                         host,
                         remote,
-                        phase: Phase::ReadInputs,
+                        phase: Phase::ReadOpen,
                         fd: None,
                         read_remaining,
                     },
@@ -315,34 +332,35 @@ pub fn run_build(
         let job = jobs.get_mut(&tgt).expect("queued job exists");
         let next_time: SimTime;
         match job.phase {
-            Phase::ReadInputs => {
-                let mut t2 = t;
-                if let Some(path) = job.read_remaining.pop() {
-                    // Read one input file fully.
-                    let (fd, t3) = cluster.open_fd(
-                        t2,
+            Phase::ReadOpen => match job.read_remaining.pop() {
+                Some(path) => {
+                    let (fd, t2) = cluster.open_fd(
+                        t,
                         job.pid,
                         SpritePath::new(path.as_str()),
                         OpenMode::Read,
                     )?;
-                    let mut t4 = t3;
-                    loop {
-                        let (data, t5) = cluster.read_fd(t4, job.pid, fd, 16 * 1024)?;
-                        t4 = t5;
-                        if data.is_empty() {
-                            break;
-                        }
-                    }
-                    t2 = cluster.close_fd(t4, job.pid, fd)?;
-                    if !job.read_remaining.is_empty() {
-                        next_time = t2;
-                        seq += 1;
-                        queue.push(Reverse((next_time, seq, tgt)));
-                        continue;
-                    }
+                    job.fd = Some(fd);
+                    job.phase = Phase::ReadChunk;
+                    next_time = t2;
                 }
-                job.phase = Phase::Compute;
+                None => {
+                    job.phase = Phase::Compute;
+                    next_time = t;
+                }
+            },
+            Phase::ReadChunk => {
+                let fd = job.fd.expect("input open");
+                let (data, t2) = cluster.read_fd(t, job.pid, fd, 16 * 1024)?;
+                if data.is_empty() {
+                    job.phase = Phase::ReadClose;
+                }
                 next_time = t2;
+            }
+            Phase::ReadClose => {
+                let fd = job.fd.take().expect("input open");
+                next_time = cluster.close_fd(t, job.pid, fd)?;
+                job.phase = Phase::ReadOpen;
             }
             Phase::Compute => {
                 let cpu = match &graph.target(tgt).action {
@@ -356,34 +374,53 @@ pub fn run_build(
                 } else {
                     cluster.run_cpu(t, job.pid, cpu)?
                 };
-                job.phase = Phase::WriteOutput;
+                job.phase = Phase::WriteOpen;
                 next_time = t2;
             }
-            Phase::WriteOutput => {
-                let (out_path, out_bytes) = match &graph.target(tgt).action {
-                    Action::Compile(j) => (Some(j.obj.clone()), j.obj_bytes),
-                    Action::Link { output, .. } => (Some(output.clone()), 128 * 1024),
-                    Action::Phony => (None, 0),
+            Phase::WriteOpen => {
+                let out_path = match &graph.target(tgt).action {
+                    Action::Compile(j) => Some(j.obj.clone()),
+                    Action::Link { output, .. } => Some(output.clone()),
+                    Action::Phony => None,
                 };
-                let mut t2 = t;
-                if let Some(path) = out_path {
-                    let sp = SpritePath::new(path.as_str());
-                    match cluster
-                        .fs
-                        .create(&mut cluster.net, t2, job.host, sp.clone())
-                    {
-                        Ok((_, t3)) => t2 = t3,
-                        Err(FsError::AlreadyExists(_)) => {}
-                        Err(e) => return Err(e.into()),
+                match out_path {
+                    Some(path) => {
+                        let sp = SpritePath::new(path.as_str());
+                        let mut t2 = t;
+                        match cluster
+                            .fs
+                            .create(&mut cluster.net, t2, job.host, sp.clone())
+                        {
+                            Ok((_, t3)) => t2 = t3,
+                            Err(FsError::AlreadyExists(_)) => {}
+                            Err(e) => return Err(e.into()),
+                        }
+                        let (fd, t3) = cluster.open_fd(t2, job.pid, sp, OpenMode::Write)?;
+                        job.fd = Some(fd);
+                        job.phase = Phase::WriteChunk;
+                        next_time = t3;
                     }
-                    let (fd, t3) = cluster.open_fd(t2, job.pid, sp, OpenMode::Write)?;
-                    let data = vec![b'o'; out_bytes as usize];
-                    let t4 = cluster.write_fd(t3, job.pid, fd, &data)?;
-                    t2 = cluster.close_fd(t4, job.pid, fd)?;
-                    job.fd = None;
+                    None => {
+                        job.phase = Phase::Finish;
+                        next_time = t;
+                    }
                 }
+            }
+            Phase::WriteChunk => {
+                let out_bytes = match &graph.target(tgt).action {
+                    Action::Compile(j) => j.obj_bytes,
+                    Action::Link { .. } => 128 * 1024,
+                    Action::Phony => 0,
+                };
+                let fd = job.fd.expect("output open");
+                let data = vec![b'o'; out_bytes as usize];
+                next_time = cluster.write_fd(t, job.pid, fd, &data)?;
+                job.phase = Phase::WriteClose;
+            }
+            Phase::WriteClose => {
+                let fd = job.fd.take().expect("output open");
+                next_time = cluster.close_fd(t, job.pid, fd)?;
                 job.phase = Phase::Finish;
-                next_time = t2;
             }
             Phase::Finish => {
                 let mut t2 = cluster.exit(t, job.pid, 0)?;

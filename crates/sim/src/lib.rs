@@ -91,7 +91,7 @@ mod trace;
 pub use detmap::{hash_probes, take_hash_probes, DetHashMap, DetHashSet, DetState, FxHasher};
 pub use digest::{Checkpoint, StateDigest};
 pub use event::{Engine, Handler, PeriodicHandler};
-pub use resource::FcfsResource;
+pub use resource::{FcfsResource, SlottedResource};
 pub use rng::DetRng;
 pub use shard::{Cell, CellCtx, CellId, ShardCounters, ShardedEngine, StallClock, WorkerCounters};
 pub use stats::{Counter, EngineCounters, OnlineStats, Samples};

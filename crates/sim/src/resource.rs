@@ -86,6 +86,117 @@ impl FcfsResource {
     }
 }
 
+/// A serial resource whose schedule is an explicit busy-interval calendar:
+/// a demand arriving at `now` is served in the earliest idle gap at or
+/// after `now`, even when later transmissions already occupy the frontier.
+///
+/// The distinction from [`FcfsResource`] matters because the event loop
+/// executes causally-related RPC chains atomically: a request, its server
+/// service, and its reply all acquire resources within one event, at
+/// timestamps spread across the whole round trip. Under a pure busy-horizon
+/// model the *next* event's request — which arrives on the wire earlier in
+/// simulated time — queues behind the entire previous chain, so message
+/// latency and server time leak into wire occupancy and every chain
+/// serializes end to end. Gap-filling restores arrival-order service for
+/// the shared Ethernet: a message transmits in the idle window between two
+/// already-scheduled transmissions, exactly as a real CSMA wire would, and
+/// server-side parallelism (e.g. a striped file-service group) can then
+/// genuinely overlap service with wire transfers.
+///
+/// # Examples
+///
+/// ```
+/// use sprite_sim::{SlottedResource, SimDuration, SimTime};
+///
+/// let mut wire = SlottedResource::new();
+/// // A transfer scheduled out-of-order at t=10ms...
+/// let late = wire.acquire(SimTime::from_micros(10_000), SimDuration::from_millis(1));
+/// assert_eq!(late.as_micros(), 11_000);
+/// // ...does not delay an earlier-arriving transfer that fits before it.
+/// let early = wire.acquire(SimTime::ZERO, SimDuration::from_millis(1));
+/// assert_eq!(early.as_micros(), 1_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SlottedResource {
+    /// Sorted, disjoint busy intervals `(start, end)`, merged when they
+    /// touch. Bounded: the oldest pair is coalesced past the cap, which
+    /// only forfeits long-dead idle gaps.
+    busy: Vec<(SimTime, SimTime)>,
+    busy_time: SimDuration,
+    requests: u64,
+}
+
+/// Upper bound on tracked busy intervals (old gaps beyond it are forfeited).
+const MAX_SLOTS: usize = 256;
+
+impl SlottedResource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        SlottedResource::default()
+    }
+
+    /// Submits a demand of `d` at time `now`; serves it in the earliest
+    /// idle gap at or after `now` and returns the completion time.
+    pub fn acquire(&mut self, now: SimTime, d: SimDuration) -> SimTime {
+        self.requests += 1;
+        self.busy_time += d;
+        // Find the earliest gap at or after `now` that fits `d`: skip
+        // intervals wholly behind `now`, then walk the frontier.
+        let mut start = now;
+        let mut i = self.busy.partition_point(|&(_, e)| e <= start);
+        while i < self.busy.len() {
+            let (s, e) = self.busy[i];
+            if start + d <= s {
+                break; // Fits in the gap before interval `i`.
+            }
+            start = start.max_of(e);
+            i += 1;
+        }
+        let end = start + d;
+        let merge_prev = i > 0 && self.busy[i - 1].1 == start;
+        let merge_next = i < self.busy.len() && self.busy[i].0 == end;
+        match (merge_prev, merge_next) {
+            (true, true) => {
+                self.busy[i - 1].1 = self.busy[i].1;
+                self.busy.remove(i);
+            }
+            (true, false) => self.busy[i - 1].1 = end,
+            (false, true) => self.busy[i].0 = start,
+            (false, false) => self.busy.insert(i, (start, end)),
+        }
+        if self.busy.len() > MAX_SLOTS {
+            // Coalesce the two oldest intervals; the forfeited gap between
+            // them is long past any reachable arrival time.
+            let merged = (self.busy[0].0, self.busy[1].1);
+            self.busy.drain(0..2);
+            self.busy.insert(0, merged);
+        }
+        end
+    }
+
+    /// The end of the last scheduled transmission (the busy horizon).
+    pub fn horizon(&self) -> SimTime {
+        self.busy.last().map(|&(_, e)| e).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total busy (service) time accumulated.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Number of demands served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Forgets accumulated accounting but keeps the schedule; used when a
+    /// measurement phase starts after warm-up.
+    pub fn reset_accounting(&mut self) {
+        self.busy_time = SimDuration::ZERO;
+        self.requests = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +254,60 @@ mod tests {
         assert_eq!(r.busy_time(), SimDuration::ZERO);
         assert_eq!(r.requests(), 0);
         assert_eq!(r.busy_until(), SimTime::from_micros(2_000_000));
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn d(us: u64) -> SimDuration {
+        SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn slotted_fills_gaps_left_by_out_of_order_arrivals() {
+        let mut w = SlottedResource::new();
+        // A chain schedules its request at 0 and its reply at 5ms.
+        assert_eq!(w.acquire(t(0), d(1_000)), t(1_000));
+        assert_eq!(w.acquire(t(5_000), d(1_000)), t(6_000));
+        // An earlier-arriving message fits in the idle window between them
+        // instead of queueing at the 6ms horizon.
+        assert_eq!(w.acquire(t(1_500), d(1_000)), t(2_500));
+        // A demand too large for any gap lands after the horizon.
+        assert_eq!(w.acquire(t(0), d(3_000)), t(9_000));
+        assert_eq!(w.horizon(), t(9_000));
+        assert_eq!(w.busy_time(), d(6_000));
+        assert_eq!(w.requests(), 4);
+    }
+
+    #[test]
+    fn slotted_contended_demands_serialize_like_fcfs() {
+        let mut w = SlottedResource::new();
+        let a = w.acquire(SimTime::ZERO, d(10_000));
+        let b = w.acquire(SimTime::ZERO, d(10_000));
+        assert_eq!(a, t(10_000));
+        assert_eq!(b, t(20_000));
+    }
+
+    #[test]
+    fn slotted_merges_touching_intervals() {
+        let mut w = SlottedResource::new();
+        w.acquire(t(0), d(1_000));
+        w.acquire(t(2_000), d(1_000));
+        // Exactly fills the gap: all three merge into one interval, and the
+        // next arrival at 0 queues at the horizon.
+        w.acquire(t(1_000), d(1_000));
+        assert_eq!(w.acquire(t(0), d(500)), t(3_500));
+    }
+
+    #[test]
+    fn slotted_interval_count_stays_bounded() {
+        let mut w = SlottedResource::new();
+        // Thousands of isolated transmissions far apart.
+        for i in 0..10_000u64 {
+            w.acquire(t(i * 10_000), d(10));
+        }
+        assert_eq!(w.requests(), 10_000);
+        assert_eq!(w.busy_time(), d(100_000));
     }
 }

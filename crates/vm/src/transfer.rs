@@ -324,6 +324,38 @@ mod tests {
     }
 
     #[test]
+    fn sprite_flush_over_striped_backing_spreads_paging() {
+        // A two-member group exports "/": the flush's page_out traffic
+        // stripes across both servers instead of saturating one.
+        let mut net = Transport::new(CostModel::sun3(), 4);
+        let mut fs = SpriteFs::new(FsConfig::default(), 4);
+        fs.add_server(h(0), SpritePath::new("/"));
+        fs.add_server(h(3), SpritePath::new("/"));
+        let (mut s, t) = dirty_space(&mut fs, &mut net, "stripe", 64);
+        let r = transfer(
+            &mut s,
+            VmStrategy::SpriteFlush,
+            &mut fs,
+            &mut net,
+            t,
+            h(1),
+            h(2),
+            &TransferParams::default(),
+        )
+        .unwrap();
+        assert!(!r.residual_source_dependency);
+        assert!(r.pages_moved > 0);
+        assert!(
+            fs.server(h(0)).unwrap().cpu.busy_time() > SimDuration::ZERO,
+            "member 0 served part of the paging load"
+        );
+        assert!(
+            fs.server(h(3)).unwrap().cpu.busy_time() > SimDuration::ZERO,
+            "member 3 served part of the paging load"
+        );
+    }
+
+    #[test]
     fn full_copy_freeze_scales_with_size() {
         let (mut net, mut fs) = setup();
         let (mut small, t1) = dirty_space(&mut fs, &mut net, "s", 16);

@@ -212,4 +212,46 @@ awk -v b="$hs_base_bytes" -v f="$hs_fresh_bytes" -v k="$hs_factor" 'BEGIN {
     exit 1
 }
 
+echo "==> sharded-FS load regression vs BENCH_experiments.json baseline"
+# The striped file service spreads the macro workload's server load across
+# its daemons; the worst daemon's busy time is the number that regresses
+# if the striping (or the replica serving that rides on it) breaks. Both
+# runs are simulated and deterministic, so the slack factor only absorbs
+# deliberate workload tweaks.
+fs_factor="${BENCH_FS_FACTOR:-1.25}"
+fs_base="$(sed -n 's/.*"fs_server_busy_max_seconds": \([0-9.]*\).*/\1/p' BENCH_experiments.json | head -1)"
+fs_fresh="$(sed -n 's/.*"fs_server_busy_max_seconds": \([0-9.]*\).*/\1/p' "$tmp/BENCH_experiments.json" | head -1)"
+if [[ -z "$fs_base" || -z "$fs_fresh" ]]; then
+    echo "FAIL: could not parse fs_server_busy_max_seconds (base='$fs_base' fresh='$fs_fresh')" >&2
+    exit 1
+fi
+awk -v b="$fs_base" -v f="$fs_fresh" -v k="$fs_factor" 'BEGIN {
+    limit = b * k
+    printf "    worst server busy: baseline %.3fs, fresh %.3fs, limit %.3fs (factor %s)\n", b, f, limit, k
+    exit !(f <= limit)
+}' || {
+    echo "FAIL: fs_server_busy_max_seconds $fs_fresh regressed past ${fs_factor}x baseline $fs_base" >&2
+    exit 1
+}
+
+echo "==> e05 saturation crossover: striping must keep the bend pushed right"
+# The crossover is the host count where marginal speedup collapses; the
+# sharded series must bend later than the single-server series, and must
+# not retreat left of the recorded baseline beyond the slack factor.
+x1_fresh="$(sed -n 's/.*"fs_shards": 1, "crossover_hosts": \([0-9]*\).*/\1/p' "$tmp/BENCH_experiments.json" | head -1)"
+x2_fresh="$(sed -n 's/.*"fs_shards": 2, "crossover_hosts": \([0-9]*\).*/\1/p' "$tmp/BENCH_experiments.json" | head -1)"
+x2_base="$(sed -n 's/.*"fs_shards": 2, "crossover_hosts": \([0-9]*\).*/\1/p' BENCH_experiments.json | head -1)"
+if [[ -z "$x1_fresh" || -z "$x2_fresh" || -z "$x2_base" ]]; then
+    echo "FAIL: could not parse e05 crossovers (fresh 1-shard='$x1_fresh' 2-shard='$x2_fresh' baseline 2-shard='$x2_base')" >&2
+    exit 1
+fi
+awk -v x1="$x1_fresh" -v x2="$x2_fresh" -v b="$x2_base" -v k="$fs_factor" 'BEGIN {
+    floor = b / k
+    printf "    crossover: 1 shard at %d hosts, 2 shards at %d hosts (baseline %d, floor %.1f)\n", x1, x2, b, floor
+    exit !(x2 > x1 && x2 >= floor)
+}' || {
+    echo "FAIL: e05 crossover regressed (1 shard $x1_fresh, 2 shards $x2_fresh, baseline $x2_base, factor $fs_factor)" >&2
+    exit 1
+}
+
 echo "==> bench check OK"
